@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Design-choice ablations called out in DESIGN.md:
+ *   (a) input-size-aware tie-break on/off (Section III-D2);
+ *   (b) RONCE forced onto RCL workloads (the ~8% RTWICE win the paper
+ *       reports, which motivates CRB);
+ *   (c) hierarchical topology vs a flat crossbar with the same aggregate
+ *       inter-node bandwidth;
+ *   (d) warp pipeline depth (engine modeling knob).
+ */
+
+#include "bench_util.hh"
+
+#include "runtime/ladm_runtime.hh"
+#include "sim/gpu_system.hh"
+
+using namespace ladm;
+using namespace ladm::bench;
+
+namespace
+{
+
+/** Run LADM with the tie-break ablated. */
+RunMetrics
+runNoTieBreak(const std::string &name, const SystemConfig &cfg)
+{
+    auto w = workloads::makeWorkload(name, benchScale());
+    GpuSystem sys(cfg);
+    MallocRegistry reg(cfg.pageSize);
+    w->allocateAll(reg);
+    LadmRuntime runtime(cfg);
+    runtime.setTieBreakLargest(false);
+    runtime.compile(w->kernel());
+    const auto plan = runtime.prepareLaunch(
+        w->kernel(), w->dims(), w->argPcs(), reg, sys.mem().pageTable());
+    auto trace = w->makeTrace(reg);
+    const auto ks = sys.runKernel(w->dims(), *trace,
+                                  plan.scheduler->assign(w->dims(), cfg),
+                                  plan.policy);
+    RunMetrics m;
+    m.cycles = ks.cycles();
+    m.scheduler = plan.scheduler->name();
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeaderLine("Ablations");
+    const SystemConfig multi = presets::multiGpu4x4();
+
+    std::printf("\n(a) input-size-aware tie-break (DL GEMMs; B is the "
+                "large matrix)\n");
+    std::printf("%-14s %14s %16s %9s\n", "workload", "with (sched)",
+                "without (sched)", "benefit");
+    for (const std::string name : {"Alexnet-FC-2", "LSTM-1"}) {
+        const auto with = run(name, Policy::LaspRtwice, multi);
+        const auto without = runNoTieBreak(name, multi);
+        std::printf("%-14s %8llu %-5s %8llu %-7s %8.2fx\n", name.c_str(),
+                    static_cast<unsigned long long>(with.cycles),
+                    with.scheduler.substr(0, 5).c_str(),
+                    static_cast<unsigned long long>(without.cycles),
+                    without.scheduler.substr(0, 7).c_str(),
+                    static_cast<double>(without.cycles) / with.cycles);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n(b) RONCE forced onto RCL workloads (CRB's reason to "
+                "exist; paper: RTWICE ~8%% better there)\n");
+    std::printf("%-14s %12s %12s %10s\n", "workload", "RTWICE", "RONCE",
+                "RT/RO");
+    std::vector<double> rt_vs_ro;
+    for (const std::string name : {"SQ-GEMM", "CONV", "Alexnet-FC-2"}) {
+        const auto rt = run(name, Policy::LaspRtwice, multi);
+        const auto ro = run(name, Policy::LaspRonce, multi);
+        rt_vs_ro.push_back(static_cast<double>(ro.cycles) / rt.cycles);
+        std::printf("%-14s %12llu %12llu %9.2fx\n", name.c_str(),
+                    static_cast<unsigned long long>(rt.cycles),
+                    static_cast<unsigned long long>(ro.cycles),
+                    rt_vs_ro.back());
+        std::fflush(stdout);
+    }
+    std::printf("geomean RTWICE advantage on RCL: %.2fx\n",
+                geomean(rt_vs_ro));
+
+    std::printf("\n(c) hierarchy: ring-of-chiplets + switch vs flat "
+                "crossbar, same per-node DRAM\n");
+    SystemConfig flat = presets::multiGpuFlat(4, 180.0);
+    std::printf("%-14s %14s %14s\n", "workload", "hierarchical",
+                "flat-4x64SM");
+    for (const std::string name : {"SQ-GEMM", "PageRank"}) {
+        const auto h = run(name, Policy::Ladm, multi);
+        const auto f = run(name, Policy::Ladm, flat);
+        std::printf("%-14s %14llu %14llu\n", name.c_str(),
+                    static_cast<unsigned long long>(h.cycles),
+                    static_cast<unsigned long long>(f.cycles));
+        std::fflush(stdout);
+    }
+
+    std::printf("\n(d) warp pipeline depth (engine knob; default 3)\n");
+    std::printf("%-14s %10s %10s %10s\n", "workload", "depth1",
+                "depth2", "depth3");
+    for (const std::string name : {"SQ-GEMM", "VecAdd"}) {
+        std::printf("%-14s", name.c_str());
+        for (const int d : {1, 2, 3}) {
+            SystemConfig cfg = presets::multiGpu4x4();
+            cfg.warpPipelineDepth = d;
+            const auto m = run(name, Policy::Ladm, cfg);
+            std::printf(" %10llu",
+                        static_cast<unsigned long long>(m.cycles));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

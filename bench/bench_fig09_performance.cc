@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 9: performance of H-CODA, LASP+RTWICE, LASP+RONCE, LADM
+ * (LASP+CRB), and the hypothetical monolithic GPU on the 4-GPU x
+ * 4-chiplet machine, for all 27 workloads, normalized to H-CODA.
+ */
+
+#include "bench_util.hh"
+
+using namespace ladm;
+using namespace ladm::bench;
+
+int
+main()
+{
+    printHeaderLine("Fig. 9 -- performance normalized to H-CODA "
+                    "(multi-GPU 4x4, Table III)");
+
+    const SystemConfig multi = presets::multiGpu4x4();
+    const SystemConfig mono = presets::monolithic256();
+    const CsvSink csv("fig09");
+
+    std::printf("%-14s %9s %9s %9s %9s %9s\n", "workload", "H-CODA",
+                "LASP+RT", "LASP+RO", "LADM", "Monolith");
+
+    std::vector<double> ladm_vs_hcoda;
+    std::vector<double> ladm_vs_mono;
+    for (const auto &[section, names] : workloadSections()) {
+        std::printf("--- %s\n", section.c_str());
+        for (const auto &name : names) {
+            const auto hc_m = run(name, Policy::Coda, multi);
+            const auto rt_m = run(name, Policy::LaspRtwice, multi);
+            const auto ro_m = run(name, Policy::LaspRonce, multi);
+            const auto la_m = run(name, Policy::Ladm, multi);
+            const auto mo_m = run(name, Policy::KernelWide, mono);
+            for (const auto *m : {&hc_m, &rt_m, &ro_m, &la_m, &mo_m})
+                csv.add(*m);
+            const Cycles hc = hc_m.cycles, rt = rt_m.cycles,
+                         ro = ro_m.cycles, la = la_m.cycles,
+                         mo = mo_m.cycles;
+            auto rel = [&](Cycles c) {
+                return static_cast<double>(hc) / c;
+            };
+            std::printf("%-14s %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+                        name.c_str(), 1.0, rel(rt), rel(ro), rel(la),
+                        rel(mo));
+            std::fflush(stdout);
+            ladm_vs_hcoda.push_back(rel(la));
+            ladm_vs_mono.push_back(static_cast<double>(mo) / la);
+        }
+    }
+
+    std::printf("\nGEOMEAN  LADM vs H-CODA: %.2fx   (paper: 1.8x)\n",
+                geomean(ladm_vs_hcoda));
+    std::printf("GEOMEAN  LADM vs monolithic: %.2f (paper: 0.82)\n",
+                geomean(ladm_vs_mono));
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 10: percentage of memory traffic that leaves the node, for
+ * H-CODA, LASP+RTWICE, LASP+RONCE, and LADM on all 27 workloads.
+ */
+
+#include "bench_util.hh"
+
+using namespace ladm;
+using namespace ladm::bench;
+
+int
+main()
+{
+    printHeaderLine("Fig. 10 -- off-chip traffic percentage "
+                    "(multi-GPU 4x4, Table III)");
+
+    const SystemConfig multi = presets::multiGpu4x4();
+    const CsvSink csv("fig10");
+
+    std::printf("%-14s %9s %9s %9s %9s\n", "workload", "H-CODA",
+                "LASP+RT", "LASP+RO", "LADM");
+
+    double sum_hc = 0.0, sum_la = 0.0;
+    uint64_t fetch_hc = 0, fetch_la = 0, remote_hc = 0, remote_la = 0;
+    std::vector<double> per_workload_cut;
+    int n = 0;
+    for (const auto &[section, names] : workloadSections()) {
+        std::printf("--- %s\n", section.c_str());
+        for (const auto &name : names) {
+            const auto hc = run(name, Policy::Coda, multi);
+            const auto rt = run(name, Policy::LaspRtwice, multi);
+            const auto ro = run(name, Policy::LaspRonce, multi);
+            const auto la = run(name, Policy::Ladm, multi);
+            for (const auto *m : {&hc, &rt, &ro, &la})
+                csv.add(*m);
+            std::printf("%-14s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+                        name.c_str(), hc.offChipPct, rt.offChipPct,
+                        ro.offChipPct, la.offChipPct);
+            std::fflush(stdout);
+            sum_hc += hc.offChipPct;
+            sum_la += la.offChipPct;
+            fetch_hc += hc.fetchLocal + hc.fetchRemote;
+            remote_hc += hc.fetchRemote;
+            fetch_la += la.fetchLocal + la.fetchRemote;
+            remote_la += la.fetchRemote;
+            if (la.fetchRemote > 0 && hc.fetchRemote > 0)
+                per_workload_cut.push_back(
+                    static_cast<double>(hc.fetchRemote) / la.fetchRemote);
+            ++n;
+        }
+    }
+
+    std::printf("\nMEAN off-chip  H-CODA: %.1f%%   LADM: %.1f%%\n",
+                sum_hc / n, sum_la / n);
+    std::printf("TOTAL remote fetches  H-CODA: %llu   LADM: %llu  "
+                "(aggregate reduction %.1fx)\n",
+                static_cast<unsigned long long>(remote_hc),
+                static_cast<unsigned long long>(remote_la),
+                remote_la ? static_cast<double>(remote_hc) / remote_la
+                          : 0.0);
+    std::printf("GEOMEAN per-workload remote-traffic reduction: %.1fx "
+                "(paper: ~4x)\n",
+                geomean(per_workload_cut));
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 11: the RONCE case study. Break the L2 traffic of random_loc (low
+ * remote reuse -- RONCE helps) and SQ-GEMM (high remote reuse -- RONCE
+ * hurts) into LOCAL-LOCAL / LOCAL-REMOTE / REMOTE-LOCAL classes and
+ * report each class's share and hit rate under RTWICE vs RONCE.
+ */
+
+#include "bench_util.hh"
+
+using namespace ladm;
+using namespace ladm::bench;
+
+namespace
+{
+
+void
+caseStudy(const std::string &workload)
+{
+    const SystemConfig multi = presets::multiGpu4x4();
+    std::printf("\n--- %s\n", workload.c_str());
+    std::printf("%-8s | %22s | %22s | %10s\n", "policy",
+                "traffic share (LL/LR/RL)", "hit rate (LL/LR/RL)",
+                "cycles");
+    for (const Policy p : {Policy::LaspRtwice, Policy::LaspRonce}) {
+        const auto m = run(workload, p, multi);
+        const double total = static_cast<double>(
+            m.classAccesses[0] + m.classAccesses[1] + m.classAccesses[2]);
+        std::printf("%-8s | %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% "
+                    "%6.1f%% | %10llu\n",
+                    p == Policy::LaspRtwice ? "RTWICE" : "RONCE",
+                    100.0 * m.classAccesses[0] / total,
+                    100.0 * m.classAccesses[1] / total,
+                    100.0 * m.classAccesses[2] / total,
+                    100.0 * m.classHitRate[0], 100.0 * m.classHitRate[1],
+                    100.0 * m.classHitRate[2],
+                    static_cast<unsigned long long>(m.cycles));
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeaderLine("Fig. 11 -- cache-remote-once case study "
+                    "(L2 traffic classes)");
+    // (a) low-reuse ITL workload: bypassing REMOTE-LOCAL frees home L2
+    //     capacity for local traffic.
+    caseStudy("Random-loc");
+    // (b) high-reuse RCL workload: the home-side copy serves inter-GPU
+    //     sharing, so bypassing it hurts.
+    caseStudy("SQ-GEMM");
+
+    std::printf("\npaper shape: random_loc REMOTE-LOCAL is a large, "
+                "low-hit-rate class whose\n  bypass raises the other "
+                "classes' hit rates; SQ-GEMM's REMOTE-LOCAL is\n  "
+                "smaller but hits often, so RONCE costs performance "
+                "there.\n");
+    return 0;
+}

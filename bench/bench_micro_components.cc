@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * the symbolic algebra, the sectored cache, the page table, the
+ * bandwidth servers, and trace generation. These gate the wall-clock
+ * cost of the figure harnesses, not any paper result.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/bandwidth_server.hh"
+#include "common/rng.hh"
+#include "kernel/expr.hh"
+#include "mem/page_table.hh"
+#include "mem/placement.hh"
+#include "workloads/access_gen.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+void
+BM_ExprEval(benchmark::State &state)
+{
+    const Expr idx = (by * 16 + ty) * (gdx * bdx) + m * 16 + tx;
+    const Binding b = makeBinding(3, 2, 7, 9, 16, 16, 48, 48, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(idx.eval(b));
+}
+BENCHMARK(BM_ExprEval);
+
+void
+BM_ExprMultiply(benchmark::State &state)
+{
+    const Expr a = by * bdy + ty;
+    const Expr b = gdx * bdx;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a * b + m * 16 + tx);
+}
+BENCHMARK(BM_ExprMultiply);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SectoredCache cache(1 << 20, 16, "bm");
+    Rng rng(1);
+    std::vector<Addr> addrs(8192);
+    for (auto &a : addrs)
+        a = rng.nextBounded(1 << 22) * kSectorSize;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 8191], false, true));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PageTableLookup(benchmark::State &state)
+{
+    PageTable pt(4096);
+    placeInterleaved(pt, 0, 64 << 20, allNodes(16), 4096);
+    Rng rng(2);
+    std::vector<Addr> addrs(8192);
+    for (auto &a : addrs)
+        a = rng.nextBounded(64 << 20);
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pt.lookup(addrs[i++ & 8191]));
+}
+BENCHMARK(BM_PageTableLookup);
+
+void
+BM_BandwidthServerBook(benchmark::State &state)
+{
+    BandwidthServer s(128.0, 100);
+    Cycles now = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.book(now++, 32));
+}
+BENCHMARK(BM_BandwidthServerBook);
+
+void
+BM_AffineWarpStep(benchmark::State &state)
+{
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back(
+        {0, (by * 16 + ty) * (gdx * bdx) + m * 16 + tx, 4, false});
+    LaunchDims dims;
+    dims.grid = {48, 48};
+    dims.block = {16, 16};
+    dims.loopTrips = 48;
+    AffineTraceSource trace(k, dims,
+                            {Allocation{1, 0x100000, 64 << 20, "a"}});
+    std::vector<MemAccess> buf;
+    int64_t step = 0;
+    for (auto _ : state) {
+        buf.clear();
+        trace.warpStep(100, 3, step++ % 48, buf);
+        benchmark::DoNotOptimize(buf.size());
+    }
+}
+BENCHMARK(BM_AffineWarpStep);
+
+} // namespace
+} // namespace ladm
+
+BENCHMARK_MAIN();

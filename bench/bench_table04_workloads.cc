@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table IV: workload characterization. For every workload: the locality
+ * type the static analysis detects, the scheduler LADM's runtime
+ * selects, the threadblock shape, total input size, launched TB count,
+ * and the measured L2 MPKI on the 4x4 machine under LADM.
+ */
+
+#include "bench_util.hh"
+
+#include "compiler/locality_table.hh"
+
+using namespace ladm;
+using namespace ladm::bench;
+
+int
+main()
+{
+    printHeaderLine("Table IV -- workload characterization "
+                    "(as built; inputs are scaled vs the paper)");
+
+    const SystemConfig multi = presets::multiGpu4x4();
+
+    std::printf("%-14s %-12s %-16s %-9s %8s %9s %8s\n", "workload",
+                "locality", "scheduler", "TB dim", "input MB",
+                "launched", "L2 MPKI");
+
+    for (const auto &name : workloads::allWorkloadNames()) {
+        auto w = workloads::makeWorkload(name, benchScale());
+
+        // Static side: dominant classification via the runtime pipeline.
+        auto bundle = makeBundle(Policy::Ladm);
+        MallocRegistry reg;
+        PageTable pt(multi.pageSize);
+        w->allocateAll(reg);
+        const auto plan = bundle->prepare(w->kernel(), w->dims(),
+                                          w->argPcs(), reg, pt, multi);
+
+        Bytes input = 0;
+        for (const auto &a : w->allocs())
+            input += a.size;
+
+        // Dynamic side: one LADM run for the MPKI column.
+        auto w2 = workloads::makeWorkload(name, benchScale());
+        const auto m = runExperiment(*w2, Policy::Ladm, multi);
+
+        char tbdim[24];
+        std::snprintf(tbdim, sizeof(tbdim), "(%lld,%lld)",
+                      static_cast<long long>(w->dims().block.x),
+                      static_cast<long long>(w->dims().block.y));
+        std::printf("%-14s %-12s %-16s %-9s %8.0f %9lld %8.0f\n",
+                    name.c_str(), toString(w->expectedType()),
+                    plan.scheduler->name().c_str(), tbdim,
+                    static_cast<double>(input) / (1 << 20),
+                    static_cast<long long>(w->dims().numTbs()), m.l2Mpki);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper:
+ * it runs the relevant (workload, policy, system) grid and prints the
+ * same rows/series the paper reports. Absolute numbers differ from the
+ * paper (cycle-approximate model, scaled inputs); the shapes are the
+ * reproduction target (see EXPERIMENTS.md).
+ *
+ * LADM_BENCH_SCALE (default 1.0) scales every workload's linear size;
+ * use e.g. 0.5 for a quick pass.
+ */
+
+#ifndef LADM_BENCH_BENCH_UTIL_HH
+#define LADM_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "config/presets.hh"
+#include "core/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace bench
+{
+
+inline double
+benchScale()
+{
+    const char *s = std::getenv("LADM_BENCH_SCALE");
+    return s ? std::atof(s) : 1.0;
+}
+
+/** Run one (workload, policy, system) combination at the bench scale. */
+inline RunMetrics
+run(const std::string &workload, Policy policy, const SystemConfig &cfg)
+{
+    auto w = workloads::makeWorkload(workload, benchScale());
+    return runExperiment(*w, policy, cfg);
+}
+
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** The locality-class section labels of Figs. 9/10, in Table IV order. */
+inline const std::vector<std::pair<std::string, std::vector<std::string>>> &
+workloadSections()
+{
+    static const std::vector<std::pair<std::string, std::vector<std::string>>>
+        sections = {
+            {"NL",
+             {"VecAdd", "SRAD", "HS", "ScalarProd", "BLK", "Histo-final",
+              "Reduction-k6", "Hotspot3D"}},
+            {"RCL",
+             {"CONV", "Histo-main", "FWT-k2", "SQ-GEMM", "Alexnet-FC-2",
+              "VGGnet-FC-2", "Resnet-50-FC", "LSTM-1", "LSTM-2", "TRA"}},
+            {"ITL",
+             {"PageRank", "BFS-relax", "SSSP", "Random-loc",
+              "Kmeans-noTex", "SpMV-jds"}},
+            {"Unclassified", {"B+tree", "LBM", "StreamCluster"}},
+        };
+    return sections;
+}
+
+/** A faster subset used by the bandwidth-sensitivity sweep. */
+inline std::vector<std::string>
+representativeWorkloads()
+{
+    return {"VecAdd",  "SRAD",    "ScalarProd", "CONV",     "SQ-GEMM",
+            "FWT-k2",  "LSTM-2",  "PageRank",   "Kmeans-noTex",
+            "B+tree"};
+}
+
+/**
+ * Optional machine-readable sink: when LADM_BENCH_CSV names a directory,
+ * every run() result is appended to <dir>/<bench>.csv.
+ */
+class CsvSink
+{
+  public:
+    explicit CsvSink(const std::string &bench_name)
+    {
+        const char *dir = std::getenv("LADM_BENCH_CSV");
+        if (!dir)
+            return;
+        path_ = std::string(dir) + "/" + bench_name + ".csv";
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            path_.clear();
+            return;
+        }
+        std::fprintf(f, "%s\n", csvHeader().c_str());
+        std::fclose(f);
+    }
+
+    void
+    add(const RunMetrics &m) const
+    {
+        if (path_.empty())
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "a");
+        if (!f)
+            return;
+        std::fprintf(f, "%s\n", csvRow(m).c_str());
+        std::fclose(f);
+    }
+
+  private:
+    std::string path_;
+};
+
+inline void
+printHeaderLine(const std::string &title)
+{
+    std::printf("%s\n", std::string(78, '=').c_str());
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", std::string(78, '=').c_str());
+}
+
+} // namespace bench
+} // namespace ladm
+
+#endif // LADM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Topology explorer: the same workload under LADM across the machine
+ * shapes the paper discusses -- monolithic, MCM-GPU package rings,
+ * switch-connected multi-GPU, and the full hierarchical system --
+ * showing how interconnect bandwidth and hierarchy shape the NUMA
+ * penalty (the Fig. 4 design space, from the API).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "config/presets.hh"
+#include "core/experiment.hh"
+#include "workloads/registry.hh"
+
+using namespace ladm;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "SQ-GEMM";
+
+    struct Shape
+    {
+        const char *label;
+        SystemConfig cfg;
+    };
+    const std::vector<Shape> shapes = {
+        {"monolithic 256 SMs", presets::monolithic256()},
+        {"MCM ring 1.4 TB/s", presets::mcmRing(4, 1400.0)},
+        {"MCM ring 2.8 TB/s", presets::mcmRing(4, 2800.0)},
+        {"4-GPU xbar 90 GB/s", presets::multiGpuFlat(4, 90.0)},
+        {"4-GPU xbar 360 GB/s", presets::multiGpuFlat(4, 360.0)},
+        {"hierarchical 4x4", presets::multiGpu4x4()},
+    };
+
+    std::printf("%s under LADM across machine shapes\n\n", name.c_str());
+    std::printf("%-22s %12s %9s %10s %12s\n", "machine", "cycles",
+                "vs mono", "off-chip", "inter-GPU MB");
+
+    Cycles mono = 0;
+    for (const auto &s : shapes) {
+        auto w = workloads::makeWorkload(name);
+        const RunMetrics m = runExperiment(*w, Policy::Ladm, s.cfg);
+        if (mono == 0)
+            mono = m.cycles;
+        std::printf("%-22s %12llu %8.2fx %9.1f%% %12.1f\n", s.label,
+                    static_cast<unsigned long long>(m.cycles),
+                    static_cast<double>(mono) / m.cycles, m.offChipPct,
+                    m.interGpuBytes / 1e6);
+    }
+
+    std::printf("\n(pass a Table IV workload name to explore another "
+                "one, e.g. %s PageRank)\n", argv[0]);
+    return 0;
+}

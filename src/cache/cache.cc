@@ -1,0 +1,142 @@
+#include "cache/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "mem/address.hh"
+
+namespace ladm
+{
+
+SectoredCache::SectoredCache(Bytes size, int assoc, std::string name)
+    : name_(std::move(name)), assoc_(assoc)
+{
+    ladm_assert(assoc >= 1, "associativity must be >= 1");
+    Bytes set_bytes = static_cast<Bytes>(assoc) * kLineSize;
+    ladm_assert(size >= set_bytes && size % set_bytes == 0,
+                "cache '", name_, "': size ", size,
+                " not a multiple of assoc*line");
+    size_t num_sets = size / set_bytes;
+    sets_.resize(num_sets);
+    for (auto &s : sets_)
+        s.ways.resize(assoc_);
+}
+
+size_t
+SectoredCache::setIndex(Addr line_addr) const
+{
+    // XOR-folded set hash (as GPUs and Accel-Sim use): without it,
+    // column-strided access patterns whose row pitch is a power of two
+    // concentrate into a few sets and conflict-thrash pathologically.
+    uint64_t line = line_addr / kLineSize;
+    const size_t n = sets_.size();
+    uint64_t h = line;
+    h ^= line / n;
+    h ^= line / (static_cast<uint64_t>(n) * n);
+    h ^= h >> 17;
+    return static_cast<size_t>(h % n);
+}
+
+AccessResult
+SectoredCache::access(Addr addr, bool is_write, bool allocate,
+                      EvictInfo *evict)
+{
+    ++accesses_;
+    ++useClock_;
+
+    const Addr line = lineBase(addr);
+    const int sector = static_cast<int>((addr - line) / kSectorSize);
+    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
+    Set &set = sets_[setIndex(line)];
+
+    for (auto &w : set.ways) {
+        if (w.valid && w.tag == line) {
+            w.lastUse = useClock_;
+            if (w.sectorValid & sbit) {
+                if (is_write)
+                    w.sectorDirty |= sbit;
+                ++hits_;
+                return AccessResult::Hit;
+            }
+            // Tag hit, sector absent: fill just the sector.
+            ++sectorMisses_;
+            if (allocate) {
+                w.sectorValid |= sbit;
+                if (is_write)
+                    w.sectorDirty |= sbit;
+            } else {
+                ++bypasses_;
+            }
+            return AccessResult::SectorMiss;
+        }
+    }
+
+    ++lineMisses_;
+    if (!allocate) {
+        ++bypasses_;
+        return AccessResult::Miss;
+    }
+
+    // Pick the LRU victim (preferring an invalid way).
+    Way *victim = &set.ways[0];
+    for (auto &w : set.ways) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (w.lastUse < victim->lastUse)
+            victim = &w;
+    }
+    if (victim->valid && evict) {
+        evict->evicted = true;
+        evict->lineAddr = victim->tag;
+        evict->dirtyMask = victim->sectorDirty;
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->sectorValid = sbit;
+    victim->sectorDirty = is_write ? sbit : 0;
+    victim->lastUse = useClock_;
+    return AccessResult::Miss;
+}
+
+bool
+SectoredCache::probe(Addr addr) const
+{
+    const Addr line = lineBase(addr);
+    const int sector = static_cast<int>((addr - line) / kSectorSize);
+    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
+    const Set &set = sets_[setIndex(line)];
+    for (const auto &w : set.ways) {
+        if (w.valid && w.tag == line)
+            return (w.sectorValid & sbit) != 0;
+    }
+    return false;
+}
+
+uint64_t
+SectoredCache::invalidateAll()
+{
+    uint64_t dirty = 0;
+    for (auto &s : sets_) {
+        for (auto &w : s.ways) {
+            if (w.valid) {
+                dirty += static_cast<uint64_t>(__builtin_popcount(
+                    w.sectorDirty));
+            }
+            w = Way{};
+        }
+    }
+    return dirty;
+}
+
+void
+SectoredCache::resetStats()
+{
+    accesses_ = 0;
+    hits_ = 0;
+    sectorMisses_ = 0;
+    lineMisses_ = 0;
+    bypasses_ = 0;
+}
+
+} // namespace ladm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sectored set-associative cache.
+ *
+ * Matches the NVIDIA-style organization Accel-Sim models: 128-byte lines
+ * tracked by tag, filled at 32-byte sector granularity. A lookup can
+ * therefore end three ways: full hit, sector miss (tag resident, sector
+ * absent -> fetch one sector), or line miss (allocate a victim way).
+ *
+ * The cache is purely functional; timing (hit latency, bank/crossbar
+ * occupancy) is applied by the owning simulator component. Insertion is a
+ * per-access decision so the NUMA policies (RTWICE / RONCE bypassing) can
+ * be expressed by the caller.
+ */
+
+#ifndef LADM_CACHE_CACHE_HH
+#define LADM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ladm
+{
+
+/** Outcome of one cache lookup. */
+enum class AccessResult
+{
+    Hit,        ///< tag and sector both present
+    SectorMiss, ///< tag present, requested sector absent
+    Miss,       ///< tag absent
+};
+
+/** Eviction side-effects of an allocating access. */
+struct EvictInfo
+{
+    bool evicted = false;     ///< a valid victim line was displaced
+    Addr lineAddr = 0;        ///< victim's line base address
+    uint8_t dirtyMask = 0;    ///< victim's dirty sectors (bit per sector)
+};
+
+class SectoredCache
+{
+  public:
+    /**
+     * @param size  total capacity in bytes
+     * @param assoc ways per set
+     * @param name  stat prefix
+     */
+    SectoredCache(Bytes size, int assoc, std::string name);
+
+    /**
+     * Look up @p addr (any byte address; the containing 32B sector is
+     * accessed).
+     *
+     * @param is_write  writes set the sector dirty bit
+     * @param allocate  on a miss, whether to insert (false = bypass)
+     * @param evict     optional out-param describing a displaced victim
+     */
+    AccessResult access(Addr addr, bool is_write, bool allocate,
+                        EvictInfo *evict = nullptr);
+
+    /** True iff addr's sector is currently present (no LRU update). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Invalidate everything (kernel-boundary software coherence of [51]).
+     * @return number of dirty sectors dropped (writeback traffic).
+     */
+    uint64_t invalidateAll();
+
+    // --- statistics ---------------------------------------------------------
+    uint64_t accesses() const { return accesses_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t sectorMisses() const { return sectorMisses_; }
+    uint64_t lineMisses() const { return lineMisses_; }
+    uint64_t bypasses() const { return bypasses_; }
+    double hitRate() const
+    {
+        return accesses_ ? static_cast<double>(hits_) / accesses_ : 0.0;
+    }
+
+    void resetStats();
+
+    size_t numSets() const { return sets_.size(); }
+    int assoc() const { return assoc_; }
+
+  private:
+    static constexpr int kSectorsPerLine =
+        static_cast<int>(kLineSize / kSectorSize);
+
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;              // line base address
+        uint8_t sectorValid = 0;   // bit per sector
+        uint8_t sectorDirty = 0;
+        uint64_t lastUse = 0;      // LRU timestamp
+    };
+
+    struct Set
+    {
+        std::vector<Way> ways;
+    };
+
+    size_t setIndex(Addr line_addr) const;
+
+    std::string name_;
+    int assoc_;
+    std::vector<Set> sets_;
+    uint64_t useClock_ = 0;
+
+    uint64_t accesses_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t sectorMisses_ = 0;
+    uint64_t lineMisses_ = 0;
+    uint64_t bypasses_ = 0;
+};
+
+} // namespace ladm
+
+#endif // LADM_CACHE_CACHE_HH

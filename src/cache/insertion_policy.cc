@@ -1,0 +1,18 @@
+#include "cache/insertion_policy.hh"
+
+namespace ladm
+{
+
+const char *
+toString(L2InsertPolicy p)
+{
+    switch (p) {
+      case L2InsertPolicy::RTwice:
+        return "RTWICE";
+      case L2InsertPolicy::ROnce:
+        return "RONCE";
+    }
+    return "?";
+}
+
+} // namespace ladm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * NUMA L2 insertion policies (Section III-E of the paper).
+ *
+ * Baseline "dynamic shared L2" [51] caches a remote datum twice: in the
+ * requester's L2 (LOCAL-REMOTE traffic) and in the home node's L2
+ * (REMOTE-LOCAL traffic) -- cache-remote-twice (RTWICE). Cache-remote-once
+ * (RONCE) bypasses insertion at the *home* L2 for requests arriving from
+ * remote nodes, leaving home capacity to local traffic; the requester-side
+ * copy is still inserted. Compiler-assisted Remote Bypassing (CRB) selects
+ * RONCE only for kernels the index analysis classifies as intra-thread
+ * locality (ITL); everything else keeps RTWICE.
+ */
+
+#ifndef LADM_CACHE_INSERTION_POLICY_HH
+#define LADM_CACHE_INSERTION_POLICY_HH
+
+#include <string>
+
+namespace ladm
+{
+
+enum class L2InsertPolicy
+{
+    RTwice, ///< insert at both requester-side and home-side L2
+    ROnce,  ///< insert at requester side only; home side bypasses
+};
+
+/**
+ * Should the *home-side* L2 allocate on a miss for this request?
+ *
+ * @param policy        active policy for the running kernel
+ * @param remote_origin request arrived from a different node than home
+ */
+inline bool
+homeSideAllocates(L2InsertPolicy policy, bool remote_origin)
+{
+    return policy == L2InsertPolicy::RTwice || !remote_origin;
+}
+
+/** Readable policy name for reports. */
+const char *toString(L2InsertPolicy p);
+
+} // namespace ladm
+
+#endif // LADM_CACHE_INSERTION_POLICY_HH

@@ -1,0 +1,20 @@
+#include "cache/traffic_class.hh"
+
+namespace ladm
+{
+
+const char *
+toString(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::LocalLocal:
+        return "LOCAL-LOCAL";
+      case TrafficClass::LocalRemote:
+        return "LOCAL-REMOTE";
+      case TrafficClass::RemoteLocal:
+        return "REMOTE-LOCAL";
+    }
+    return "?";
+}
+
+} // namespace ladm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * L2 traffic classification used by the Fig. 11 case study.
+ */
+
+#ifndef LADM_CACHE_TRAFFIC_CLASS_HH
+#define LADM_CACHE_TRAFFIC_CLASS_HH
+
+#include "common/types.hh"
+
+namespace ladm
+{
+
+/**
+ * Classification of an L2 access by where it was generated and where the
+ * backing DRAM lives (Section V-B):
+ *  - LocalLocal:   local SM, local DRAM.
+ *  - LocalRemote:  local SM, remote DRAM (requester-side view of a remote
+ *                  datum).
+ *  - RemoteLocal:  arrived from a remote node, local DRAM (home-side view).
+ */
+enum class TrafficClass
+{
+    LocalLocal = 0,
+    LocalRemote = 1,
+    RemoteLocal = 2,
+};
+
+constexpr int kNumTrafficClasses = 3;
+
+/** Classify an access observed at node @p here. */
+inline TrafficClass
+classifyTraffic(NodeId origin, NodeId home, NodeId here)
+{
+    if (origin == here)
+        return home == here ? TrafficClass::LocalLocal
+                            : TrafficClass::LocalRemote;
+    return TrafficClass::RemoteLocal;
+}
+
+const char *toString(TrafficClass c);
+
+} // namespace ladm
+
+#endif // LADM_CACHE_TRAFFIC_CLASS_HH

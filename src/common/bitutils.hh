@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small arithmetic helpers used across the memory system.
+ */
+
+#ifndef LADM_COMMON_BITUTILS_HH
+#define LADM_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+namespace ladm
+{
+
+/** Integer ceiling division; b must be nonzero. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round v up to the next multiple of align (align nonzero). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return ceilDiv(v, align) * align;
+}
+
+/** Round v down to a multiple of align (align nonzero). */
+constexpr uint64_t
+roundDown(uint64_t v, uint64_t align)
+{
+    return (v / align) * align;
+}
+
+/** True iff v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v >= 1. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace ladm
+
+#endif // LADM_COMMON_BITUTILS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic convention.
+ *
+ * - fatal():  the run cannot continue because of a user error (bad
+ *             configuration, inconsistent workload parameters). Exits with
+ *             status 1.
+ * - panic():  an internal invariant was violated (a bug in LADM itself).
+ *             Aborts so a debugger/core dump can catch it.
+ * - warn():   something is suspicious but the run continues.
+ * - inform(): plain status output.
+ */
+
+#ifndef LADM_COMMON_LOGGING_HH
+#define LADM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ladm
+{
+
+namespace detail
+{
+
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from stream-insertable pieces. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort the run due to a user-caused error. */
+#define ladm_fatal(...) \
+    ::ladm::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::ladm::detail::format(__VA_ARGS__))
+
+/** Abort the run due to an internal LADM bug. */
+#define ladm_panic(...) \
+    ::ladm::detail::panicImpl(__FILE__, __LINE__, \
+                              ::ladm::detail::format(__VA_ARGS__))
+
+/** Warn but continue. */
+#define ladm_warn(...) \
+    ::ladm::detail::warnImpl(::ladm::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define ladm_inform(...) \
+    ::ladm::detail::informImpl(::ladm::detail::format(__VA_ARGS__))
+
+/** panic() if the given invariant does not hold. */
+#define ladm_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::ladm::detail::panicImpl(__FILE__, __LINE__, \
+                ::ladm::detail::format("assertion failed: " #cond " ", \
+                                       ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace ladm
+
+#endif // LADM_COMMON_LOGGING_HH

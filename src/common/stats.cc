@@ -1,0 +1,76 @@
+#include "common/stats.hh"
+
+namespace ladm
+{
+
+Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
+    : bucketWidth_(bucket_width ? bucket_width : 1), buckets_(num_buckets, 0)
+{
+}
+
+void
+Histogram::sample(uint64_t v)
+{
+    size_t idx = static_cast<size_t>(v / bucketWidth_);
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+    ++total_;
+    sum_ += static_cast<double>(v);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    return i < buckets_.size() ? buckets_[i] : overflow_;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Average &
+StatGroup::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[k, c] : counters_)
+        c.reset();
+    for (auto &[k, a] : averages_)
+        a.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[k, c] : counters_)
+        os << name_ << "." << k << " " << c.value() << "\n";
+    for (const auto &[k, a] : averages_)
+        os << name_ << "." << k << " " << a.mean() << "\n";
+}
+
+} // namespace ladm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, means, and
+ * histograms grouped under a StatGroup for dump/reset at experiment
+ * boundaries. Inspired by gem5's stats package, reduced to the pieces the
+ * LADM experiments actually need.
+ */
+
+#ifndef LADM_COMMON_STATS_HH
+#define LADM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ladm
+{
+
+/** A monotonically accumulated scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(uint64_t v) { value_ += v; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+    void reset() { value_ = 0; }
+
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Running mean of sampled values. */
+class Average
+{
+  public:
+    void sample(double v) { sum_ += v; ++count_; }
+    void reset() { sum_ = 0; count_ = 0; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    uint64_t count() const { return count_; }
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(uint64_t bucket_width = 1, size_t num_buckets = 16);
+
+    void sample(uint64_t v);
+    void reset();
+
+    uint64_t bucketCount(size_t i) const;
+    size_t numBuckets() const { return buckets_.size(); }
+    uint64_t totalSamples() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+  private:
+    uint64_t bucketWidth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of counters for one simulated component. Components
+ * register their stats here; the experiment harness dumps the whole group.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Fetch (creating on first use) the counter with the given name. */
+    Counter &counter(const std::string &name);
+    /** Fetch (creating on first use) the running average with given name. */
+    Average &average(const std::string &name);
+
+    /** Sum of a counter, zero if never touched. */
+    uint64_t get(const std::string &name) const;
+
+    void reset();
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace ladm
+
+#endif // LADM_COMMON_STATS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used throughout LADM.
+ *
+ * The simulated machine is a hierarchy of GPUs and chiplets. The memory
+ * system treats each chiplet as one NUMA *node*: a node owns one HBM stack
+ * and one L2 partition. Node ids are flattened in GPU-major order, i.e.
+ * node = gpu * chipletsPerGpu + chiplet.
+ */
+
+#ifndef LADM_COMMON_TYPES_HH
+#define LADM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ladm
+{
+
+/** Simulation time in core clock cycles. */
+using Cycles = uint64_t;
+
+/** Data sizes in bytes. */
+using Bytes = uint64_t;
+
+/** Virtual or physical byte address within the single unified GPU space. */
+using Addr = uint64_t;
+
+/** Flattened NUMA node id (one node per chiplet), GPU-major. */
+using NodeId = int32_t;
+
+/** Discrete GPU id within the logical GPU. */
+using GpuId = int32_t;
+
+/** Chiplet id within one discrete GPU. */
+using ChipletId = int32_t;
+
+/** SM id, flattened system-wide (node-major). */
+using SmId = int32_t;
+
+/** Linearized threadblock id within a kernel grid (row-major: y * gdx + x). */
+using TbId = int64_t;
+
+/** Sentinel for "no node decided yet" (e.g. first-touch before any access). */
+constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel address. */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sector granularity: the unit of memory transfer and cache fill (bytes). */
+constexpr Bytes kSectorSize = 32;
+
+/** Cache line: 4 sectors, matching NVIDIA's 128B line / 32B sector scheme. */
+constexpr Bytes kLineSize = 128;
+
+} // namespace ladm
+
+#endif // LADM_COMMON_TYPES_HH

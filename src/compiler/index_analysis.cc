@@ -1,0 +1,115 @@
+#include "compiler/index_analysis.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+const char *
+toString(LocalityType t)
+{
+    switch (t) {
+      case LocalityType::NoLocality: return "NL";
+      case LocalityType::RowHoriz: return "RCL-row-h";
+      case LocalityType::ColHoriz: return "RCL-col-h";
+      case LocalityType::RowVert: return "RCL-row-v";
+      case LocalityType::ColVert: return "RCL-col-v";
+      case LocalityType::IntraThread: return "ITL";
+      case LocalityType::Unclassified: return "unclassified";
+    }
+    return "?";
+}
+
+int
+tableRow(LocalityType t)
+{
+    switch (t) {
+      case LocalityType::NoLocality: return 1;
+      case LocalityType::RowHoriz: return 2;
+      case LocalityType::ColHoriz: return 3;
+      case LocalityType::RowVert: return 4;
+      case LocalityType::ColVert: return 5;
+      case LocalityType::IntraThread: return 6;
+      case LocalityType::Unclassified: return 7;
+    }
+    return 0;
+}
+
+Bytes
+AccessClassification::strideBytes(const LaunchDims &dims,
+                                  Bytes elem_size) const
+{
+    if (strideExpr.isZero())
+        return 0;
+    int64_t elems = strideExpr.eval(dims.binding());
+    return static_cast<Bytes>(std::llabs(elems)) * elem_size;
+}
+
+AccessClassification
+classifyAccess(const Expr &idx, bool grid_2d)
+{
+    AccessClassification out;
+    const Expr variant = idx.loopVariant();
+    const Expr invariant = idx.loopInvariant();
+
+    // Row 6 special case: the loop-variant group is exactly 1 * m, i.e.
+    // each thread walks consecutive elements -> intra-thread locality.
+    // This is checked first so irregular CSR walks (dataDep + m) land here.
+    if (variant.isExactlyM()) {
+        out.type = LocalityType::IntraThread;
+        return out;
+    }
+
+    // Any remaining data-dependent component defeats the symbolic checks
+    // below (we cannot prove block-id (in)dependence of an opaque value).
+    if (idx.dependsOn(Var::DataDep)) {
+        out.type = LocalityType::Unclassified;
+        return out;
+    }
+
+    const bool dep_bx = invariant.dependsOn(Var::Bx);
+    const bool dep_by = invariant.dependsOn(Var::By);
+
+    // Row 1: the loop-invariant group pins a distinct start per
+    // threadblock in every grid dimension -> exclusive datablocks.
+    if (dep_bx && (!grid_2d || dep_by)) {
+        out.type = LocalityType::NoLocality;
+        if (!variant.isZero())
+            out.strideExpr = variant.divByM();
+        out.verticalMotion = out.strideExpr.dependsOn(Var::GDx);
+        return out;
+    }
+
+    if (grid_2d && (dep_bx != dep_by)) {
+        // Rows 2-5: one grid dimension's blocks share their start.
+        const bool row_shares = dep_by; // same by -> same start -> grid row
+        out.verticalMotion = variant.dependsOn(Var::GDx);
+        if (!variant.isZero())
+            out.strideExpr = variant.divByM();
+        if (row_shares) {
+            out.type = out.verticalMotion ? LocalityType::RowVert
+                                          : LocalityType::RowHoriz;
+        } else {
+            out.type = out.verticalMotion ? LocalityType::ColVert
+                                          : LocalityType::ColHoriz;
+        }
+        return out;
+    }
+
+    out.type = LocalityType::Unclassified;
+    return out;
+}
+
+bool
+usesSecondGridDim(const KernelDesc &kernel)
+{
+    for (const auto &a : kernel.accesses) {
+        if (a.index.dependsOn(Var::By) || a.index.dependsOn(Var::GDy))
+            return true;
+    }
+    return false;
+}
+
+} // namespace ladm

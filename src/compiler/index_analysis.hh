@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static threadblock-centric index analysis: Algorithm 1 / Table II.
+ *
+ * Splits every global-array index expression into its loop-variant and
+ * loop-invariant groups and matches them against the paper's seven
+ * mutually-exclusive locality types. The analysis is fully symbolic: the
+ * derived stride is kept as an expression over grid/block dims and is only
+ * evaluated at kernel-launch time, exactly as the paper's locality table
+ * stores "stride = gDim.x * bDim.x" (Fig. 5).
+ */
+
+#ifndef LADM_COMPILER_INDEX_ANALYSIS_HH
+#define LADM_COMPILER_INDEX_ANALYSIS_HH
+
+#include <string>
+
+#include "kernel/expr.hh"
+#include "kernel/kernel_desc.hh"
+
+namespace ladm
+{
+
+/** The seven rows of Table II. */
+enum class LocalityType
+{
+    NoLocality,    ///< row 1: exclusive datablocks, possibly strided
+    RowHoriz,      ///< row 2: row-locality, horizontally shared
+    ColHoriz,      ///< row 3: column-locality, horizontally shared
+    RowVert,       ///< row 4: row-locality, vertically shared
+    ColVert,       ///< row 5: column-locality, vertically shared
+    IntraThread,   ///< row 6: intra-thread (spatial per-thread) locality
+    Unclassified,  ///< row 7: none of the above
+};
+
+const char *toString(LocalityType t);
+
+/** 1-based Table II row number for reports. */
+int tableRow(LocalityType t);
+
+/** Result of classifying one access. */
+struct AccessClassification
+{
+    LocalityType type = LocalityType::Unclassified;
+    /**
+     * Threadblock stride in elements per loop iteration, symbolic over
+     * dims (rows 1-5 when the kernel loops; zero expression otherwise).
+     */
+    Expr strideExpr;
+    /** True iff the loop-variant group references gridDim.x (Algorithm 1
+     *  line 11): the threadblock moves vertically through the structure. */
+    bool verticalMotion = false;
+
+    /** Evaluate the stride in bytes under concrete launch dims. */
+    Bytes strideBytes(const LaunchDims &dims, Bytes elem_size) const;
+};
+
+/**
+ * Classify one index expression (Algorithm 1).
+ *
+ * @param idx     element-index expression in prime components
+ * @param grid_2d whether the kernel uses a 2-D threadblock grid; decided
+ *                statically from whether the kernel references by/gdy
+ */
+AccessClassification classifyAccess(const Expr &idx, bool grid_2d);
+
+/** Static 2-D-grid detection: any access mentioning by or gdy. */
+bool usesSecondGridDim(const KernelDesc &kernel);
+
+} // namespace ladm
+
+#endif // LADM_COMPILER_INDEX_ANALYSIS_HH

@@ -1,0 +1,120 @@
+#include "compiler/locality_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+void
+LocalityTable::compileKernel(const KernelDesc &kernel)
+{
+    const bool grid_2d = usesSecondGridDim(kernel);
+    kernel2d_.emplace_back(kernel.name, grid_2d);
+    int site = 0;
+    for (const auto &a : kernel.accesses) {
+        LocalityRow row;
+        row.kernel = kernel.name;
+        row.arg = a.arg;
+        row.accessSite = site++;
+        row.cls = classifyAccess(a.index, grid_2d);
+        row.elemSize = a.elemSize;
+        row.isWrite = a.isWrite;
+        row.note = a.note;
+        rows_.push_back(std::move(row));
+    }
+}
+
+std::vector<const LocalityRow *>
+LocalityTable::rowsFor(const std::string &kernel) const
+{
+    std::vector<const LocalityRow *> out;
+    for (const auto &r : rows_)
+        if (r.kernel == kernel)
+            out.push_back(&r);
+    return out;
+}
+
+std::vector<const LocalityRow *>
+LocalityTable::rowsFor(const std::string &kernel, int arg) const
+{
+    std::vector<const LocalityRow *> out;
+    for (const auto &r : rows_)
+        if (r.kernel == kernel && r.arg == arg)
+            out.push_back(&r);
+    return out;
+}
+
+const LocalityRow *
+LocalityTable::summaryRowFor(const std::string &kernel, int arg) const
+{
+    auto rows = rowsFor(kernel, arg);
+    if (rows.empty())
+        return nullptr;
+
+    const LocalityRow *best = nullptr;
+    for (const auto *r : rows) {
+        if (r->cls.type == LocalityType::Unclassified)
+            continue;
+        if (!best) {
+            best = r;
+            continue;
+        }
+        // Reads dominate the reuse pattern; prefer them over stores.
+        if (best->isWrite && !r->isWrite)
+            best = r;
+    }
+    if (!best)
+        best = rows.front(); // everything unclassified
+    return best;
+}
+
+std::optional<AccessClassification>
+LocalityTable::argSummary(const std::string &kernel, int arg) const
+{
+    const LocalityRow *row = summaryRowFor(kernel, arg);
+    if (!row)
+        return std::nullopt;
+    return row->cls;
+}
+
+void
+LocalityTable::bindArg(const std::string &kernel, int arg,
+                       uint64_t malloc_pc, Addr base, uint64_t num_pages)
+{
+    bool found = false;
+    for (auto &r : rows_) {
+        if (r.kernel == kernel && r.arg == arg) {
+            r.mallocPc = malloc_pc;
+            r.base = base;
+            r.numPages = num_pages;
+            found = true;
+        }
+    }
+    if (!found)
+        ladm_warn("bindArg: no locality rows for ", kernel, " arg ", arg);
+}
+
+bool
+LocalityTable::kernelIs2d(const std::string &kernel) const
+{
+    for (const auto &[name, is2d] : kernel2d_)
+        if (name == kernel)
+            return is2d;
+    return false;
+}
+
+void
+LocalityTable::dump(std::ostream &os) const
+{
+    for (const auto &r : rows_) {
+        os << r.kernel << " arg" << r.arg << " site" << r.accessSite
+           << " type=" << toString(r.cls.type)
+           << " row=" << tableRow(r.cls.type)
+           << " stride=" << r.cls.strideExpr.toString()
+           << (r.isWrite ? " W" : " R") << " " << r.note << "\n";
+    }
+}
+
+} // namespace ladm

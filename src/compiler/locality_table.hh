@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The locality table (Fig. 5): the compile-time artifact embedded in the
+ * executable, one row per (kernel, argument, access site), later completed
+ * by the runtime with the bound allocation's address and page count.
+ */
+
+#ifndef LADM_COMPILER_LOCALITY_TABLE_HH
+#define LADM_COMPILER_LOCALITY_TABLE_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "compiler/index_analysis.hh"
+#include "kernel/kernel_desc.hh"
+
+namespace ladm
+{
+
+/** One row of the locality table. */
+struct LocalityRow
+{
+    // --- filled statically by the compiler ---------------------------------
+    std::string kernel;
+    int arg = 0;
+    int accessSite = 0;              ///< index into KernelDesc::accesses
+    AccessClassification cls;
+    Bytes elemSize = 4;
+    bool isWrite = false;
+    std::string note;
+
+    // --- filled dynamically by the runtime (Fig. 5) ------------------------
+    uint64_t mallocPc = 0;
+    Addr base = kInvalidAddr;
+    uint64_t numPages = 0;
+};
+
+class LocalityTable
+{
+  public:
+    /** Run the static analysis over a kernel, appending its rows. */
+    void compileKernel(const KernelDesc &kernel);
+
+    /** All rows for one kernel. */
+    std::vector<const LocalityRow *> rowsFor(const std::string &kernel) const;
+
+    /** All rows for one (kernel, argument). */
+    std::vector<const LocalityRow *> rowsFor(const std::string &kernel,
+                                             int arg) const;
+
+    /**
+     * The representative row for one kernel argument: the classified
+     * access with the strongest claim (reads preferred over writes since
+     * they dominate reuse; earliest site breaks ties). Unclassified only
+     * if every site is unclassified. nullptr if the argument has no rows.
+     */
+    const LocalityRow *summaryRowFor(const std::string &kernel,
+                                     int arg) const;
+
+    /** Classification of summaryRowFor, as a value. */
+    std::optional<AccessClassification>
+    argSummary(const std::string &kernel, int arg) const;
+
+    /** Bind runtime allocation info into every row of (kernel, arg). */
+    void bindArg(const std::string &kernel, int arg, uint64_t malloc_pc,
+                 Addr base, uint64_t num_pages);
+
+    /** Whether the kernel uses a 2-D grid per the static detection. */
+    bool kernelIs2d(const std::string &kernel) const;
+
+    const std::vector<LocalityRow> &rows() const { return rows_; }
+
+    void dump(std::ostream &os) const;
+
+  private:
+    std::vector<LocalityRow> rows_;
+    std::vector<std::pair<std::string, bool>> kernel2d_;
+};
+
+} // namespace ladm
+
+#endif // LADM_COMPILER_LOCALITY_TABLE_HH

@@ -1,0 +1,383 @@
+#include "compiler/parser.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+// --- lexer --------------------------------------------------------------------
+
+enum class Tok
+{
+    Ident,
+    Number,
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Colon,
+    Equals,
+    End,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int64_t value = 0;
+    int line = 1;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) { advance(); }
+
+    const Token &peek() const { return tok_; }
+
+    Token
+    next()
+    {
+        Token t = tok_;
+        advance();
+        return t;
+    }
+
+  private:
+    void
+    advance()
+    {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '#') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+        tok_.line = line_;
+        if (pos_ >= src_.size()) {
+            tok_ = {Tok::End, "", 0, line_};
+            return;
+        }
+        const char c = src_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t end = pos_;
+            int64_t v = 0;
+            while (end < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(src_[end]))) {
+                v = v * 10 + (src_[end] - '0');
+                ++end;
+            }
+            tok_ = {Tok::Number, src_.substr(pos_, end - pos_), v, line_};
+            pos_ = end;
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t end = pos_;
+            auto ident_char = [&](char ch) {
+                return std::isalnum(static_cast<unsigned char>(ch)) ||
+                       ch == '_' || ch == '.';
+            };
+            while (end < src_.size() && ident_char(src_[end]))
+                ++end;
+            tok_ = {Tok::Ident, src_.substr(pos_, end - pos_), 0, line_};
+            pos_ = end;
+            return;
+        }
+        const auto single = [&](Tok k) {
+            tok_ = {k, std::string(1, c), 0, line_};
+            ++pos_;
+        };
+        switch (c) {
+          case '+': single(Tok::Plus); return;
+          case '-': single(Tok::Minus); return;
+          case '*': single(Tok::Star); return;
+          case '(': single(Tok::LParen); return;
+          case ')': single(Tok::RParen); return;
+          case '[': single(Tok::LBracket); return;
+          case ']': single(Tok::RBracket); return;
+          case '{': single(Tok::LBrace); return;
+          case '}': single(Tok::RBrace); return;
+          case ',': single(Tok::Comma); return;
+          case ';': single(Tok::Semicolon); return;
+          case ':': single(Tok::Colon); return;
+          case '=': single(Tok::Equals); return;
+          default:
+            ladm_fatal("kernel parse error at line ", line_,
+                       ": unexpected character '", std::string(1, c),
+                       "'");
+        }
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    Token tok_{Tok::End, "", 0, 1};
+};
+
+// --- parser -------------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : lex_(src) {}
+
+    KernelDesc
+    parseKernel()
+    {
+        expectIdent("kernel");
+        KernelDesc k;
+        k.name = expect(Tok::Ident).text;
+        expect(Tok::LParen);
+        if (lex_.peek().kind != Tok::RParen) {
+            for (;;) {
+                const std::string p = expect(Tok::Ident).text;
+                if (params_.count(p))
+                    fail("duplicate parameter '" + p + "'");
+                params_[p] = static_cast<int>(params_.size());
+                if (lex_.peek().kind != Tok::Comma)
+                    break;
+                lex_.next();
+            }
+        }
+        expect(Tok::RParen);
+        k.numArgs = static_cast<int>(params_.size());
+        expect(Tok::LBrace);
+        parseItems(k, /*in_loop=*/false);
+        expect(Tok::RBrace);
+        return k;
+    }
+
+    Expr
+    parseBareExpr()
+    {
+        Expr e = parseExpr();
+        if (lex_.peek().kind != Tok::End)
+            fail("trailing input after expression");
+        return e;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        ladm_fatal("kernel parse error at line ", lex_.peek().line, ": ",
+                   msg);
+    }
+
+    Token
+    expect(Tok kind)
+    {
+        if (lex_.peek().kind != kind)
+            fail("unexpected token '" + lex_.peek().text + "'");
+        return lex_.next();
+    }
+
+    void
+    expectIdent(const std::string &word)
+    {
+        const Token t = expect(Tok::Ident);
+        if (t.text != word)
+            fail("expected '" + word + "', got '" + t.text + "'");
+    }
+
+    void
+    parseItems(KernelDesc &k, bool in_loop)
+    {
+        while (lex_.peek().kind == Tok::Ident) {
+            const std::string head = lex_.peek().text;
+            if (head == "let") {
+                lex_.next();
+                const std::string name = expect(Tok::Ident).text;
+                expect(Tok::Equals);
+                const Expr value = parseExpr();
+                expect(Tok::Semicolon);
+                lets_[name] = value;
+            } else if (head == "loop") {
+                if (in_loop)
+                    fail("nested loops are not part of the analysis; "
+                         "fold inner loops into the access stride");
+                if (sawLoop_)
+                    fail("only one outer loop per kernel");
+                sawLoop_ = true;
+                lex_.next();
+                loopVar_ = expect(Tok::Ident).text;
+                expect(Tok::LBrace);
+                parseItems(k, /*in_loop=*/true);
+                expect(Tok::RBrace);
+                loopVar_.clear();
+            } else if (head == "read" || head == "write") {
+                lex_.next();
+                ArrayAccess a;
+                a.isWrite = head == "write";
+                const Token arr = expect(Tok::Ident);
+                const auto it = params_.find(arr.text);
+                if (it == params_.end())
+                    fail("'" + arr.text + "' is not a kernel parameter");
+                a.arg = it->second;
+                expect(Tok::LBracket);
+                a.index = parseExpr();
+                a.note = arr.text + "[...]";
+                expect(Tok::RBracket);
+                a.elemSize = 4;
+                if (lex_.peek().kind == Tok::Colon) {
+                    lex_.next();
+                    const std::string ty = expect(Tok::Ident).text;
+                    if (ty == "f32" || ty == "i32")
+                        a.elemSize = 4;
+                    else if (ty == "f64" || ty == "i64")
+                        a.elemSize = 8;
+                    else
+                        fail("unknown type '" + ty + "'");
+                }
+                expect(Tok::Semicolon);
+                a.freq = in_loop ? AccessFreq::PerIteration
+                                 : AccessFreq::Once;
+                k.accesses.push_back(std::move(a));
+            } else {
+                fail("expected 'let', 'loop', 'read' or 'write', got '" +
+                     head + "'");
+            }
+        }
+    }
+
+    // expr := term (('+'|'-') term)*
+    Expr
+    parseExpr()
+    {
+        Expr e = parseTerm();
+        for (;;) {
+            if (lex_.peek().kind == Tok::Plus) {
+                lex_.next();
+                e = e + parseTerm();
+            } else if (lex_.peek().kind == Tok::Minus) {
+                lex_.next();
+                e = e - parseTerm();
+            } else {
+                return e;
+            }
+        }
+    }
+
+    // term := factor ('*' factor)*
+    Expr
+    parseTerm()
+    {
+        Expr e = parseFactor();
+        while (lex_.peek().kind == Tok::Star) {
+            lex_.next();
+            e = e * parseFactor();
+        }
+        return e;
+    }
+
+    Expr
+    parseFactor()
+    {
+        const Token t = lex_.peek();
+        switch (t.kind) {
+          case Tok::Number:
+            lex_.next();
+            return Expr(t.value);
+          case Tok::Minus:
+            lex_.next();
+            return -parseFactor();
+          case Tok::LParen: {
+            lex_.next();
+            Expr e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+          }
+          case Tok::Ident: {
+            lex_.next();
+            return resolve(t.text);
+          }
+          default:
+            fail("unexpected token '" + t.text + "' in expression");
+        }
+    }
+
+    /** Backward substitution: lets are symbolic, resolved on use. */
+    Expr
+    resolve(const std::string &name)
+    {
+        if (!loopVar_.empty() && name == loopVar_)
+            return Expr(Var::M);
+        if (const auto it = lets_.find(name); it != lets_.end())
+            return it->second;
+        if (const auto v = primeVar(name))
+            return Expr(*v);
+        if (name == "dataDep")
+            return Expr::dataDep();
+        // A kernel parameter used inside an index is a data-dependent
+        // load (the X[Y[tid]] shape).
+        if (params_.count(name))
+            return Expr::dataDep();
+        fail("unknown identifier '" + name + "'");
+    }
+
+    static std::optional<Var>
+    primeVar(const std::string &name)
+    {
+        static const std::map<std::string, Var> vars = {
+            {"threadIdx.x", Var::Tx}, {"tx", Var::Tx},
+            {"threadIdx.y", Var::Ty}, {"ty", Var::Ty},
+            {"blockIdx.x", Var::Bx},  {"bx", Var::Bx},
+            {"blockIdx.y", Var::By},  {"by", Var::By},
+            {"blockDim.x", Var::BDx}, {"bdx", Var::BDx},
+            {"blockDim.y", Var::BDy}, {"bdy", Var::BDy},
+            {"gridDim.x", Var::GDx},  {"gdx", Var::GDx},
+            {"gridDim.y", Var::GDy},  {"gdy", Var::GDy},
+        };
+        const auto it = vars.find(name);
+        if (it == vars.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    Lexer lex_;
+    std::map<std::string, int> params_;
+    std::map<std::string, Expr> lets_;
+    std::string loopVar_;
+    bool sawLoop_ = false;
+};
+
+} // namespace
+
+KernelDesc
+parseKernel(const std::string &source)
+{
+    Parser p(source);
+    return p.parseKernel();
+}
+
+Expr
+parseIndexExpr(const std::string &source)
+{
+    Parser p(source);
+    return p.parseBareExpr();
+}
+
+} // namespace ladm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Front-end for the index analysis: a small kernel-description language
+ * whose accesses are written the way they appear in CUDA source, with
+ * the backward substitution and algebraic simplification of Fig. 6
+ * performed by the parser.
+ *
+ * Grammar (newline-insensitive; '#' starts a line comment):
+ *
+ *   kernel   := 'kernel' ident '(' ident (',' ident)* ')' '{' item* '}'
+ *   item     := let | access | loop
+ *   let      := 'let' ident '=' expr ';'
+ *   loop     := 'loop' ident '{' item* '}'            (outer loop, one per
+ *                                                      kernel; its counter
+ *                                                      becomes m)
+ *   access   := ('read' | 'write') ident '[' expr ']' (':' type)? ';'
+ *   type     := 'f32' | 'f64' | 'i32' | 'i64'
+ *   expr     := term (('+' | '-') term)*
+ *   term     := factor ('*' factor)*
+ *   factor   := number | ident | '(' expr ')' | '-' factor
+ *
+ * Identifiers resolve, in order, to: the loop counter; a prior `let`
+ * binding (substituted symbolically); a prime variable (threadIdx.x/y,
+ * blockIdx.x/y, blockDim.x/y, gridDim.x/y, or the short forms tx ty bx
+ * by bdx bdy gdx gdy); the builtin `dataDep` (an opaque data-dependent
+ * value); or a kernel parameter used as an opaque value (also dataDep,
+ * matching how the paper's analysis treats X[Y[tid]]).
+ *
+ * Example (the Fig. 6 matrix multiply):
+ *
+ *   kernel sgemm(A, B, C) {
+ *       let W   = gridDim.x * blockDim.x;
+ *       let Row = blockIdx.y * 16 + threadIdx.y;
+ *       let Col = blockIdx.x * 16 + threadIdx.x;
+ *       loop m {
+ *           read A[Row * W + m * 16 + threadIdx.x] : f32;
+ *           read B[(m * 16 + threadIdx.y) * W + Col] : f32;
+ *       }
+ *       write C[Row * W + Col] : f32;
+ *   }
+ */
+
+#ifndef LADM_COMPILER_PARSER_HH
+#define LADM_COMPILER_PARSER_HH
+
+#include <string>
+
+#include "kernel/kernel_desc.hh"
+
+namespace ladm
+{
+
+/**
+ * Parse one kernel description.
+ *
+ * Accesses outside the loop body get AccessFreq::Once; accesses inside
+ * are per-iteration. Argument indices follow the parameter list order.
+ * fatal()s with a line number on malformed input (user error).
+ */
+KernelDesc parseKernel(const std::string &source);
+
+/**
+ * Parse a single index expression with no let-bindings; convenient for
+ * tests and interactive exploration.
+ */
+Expr parseIndexExpr(const std::string &source);
+
+} // namespace ladm
+
+#endif // LADM_COMPILER_PARSER_HH

@@ -1,0 +1,98 @@
+#include "config/presets.hh"
+
+namespace ladm
+{
+namespace presets
+{
+
+SystemConfig
+multiGpu4x4()
+{
+    SystemConfig c;
+    c.name = "multi-gpu-4x4";
+    c.numGpus = 4;
+    c.chipletsPerGpu = 4;
+    c.smsPerChiplet = 16;
+    c.topology = Topology::Hierarchical;
+    c.l2SizePerChiplet = 1024 * 1024;     // 16MB total
+    c.memBwPerChipletGBs = 180.0;         // 720 GB/s per GPU
+    c.intraChipletXbarGBs = 720.0;
+    c.interChipletRingGBs = 720.0;
+    c.interGpuLinkGBs = 180.0;
+    return c;
+}
+
+SystemConfig
+monolithic256()
+{
+    SystemConfig c;
+    c.name = "monolithic-256";
+    c.numGpus = 1;
+    c.chipletsPerGpu = 1;
+    c.smsPerChiplet = 256;
+    c.topology = Topology::Monolithic;
+    // Same aggregate resources as multiGpu4x4: 16MB L2, 2880 GB/s DRAM.
+    c.l2SizePerChiplet = 16 * 1024 * 1024;
+    c.l2BanksPerChiplet = 256;
+    c.memBwPerChipletGBs = 2880.0;
+    c.intraChipletXbarGBs = 11200.0;
+    return c;
+}
+
+SystemConfig
+multiGpuFlat(int num_gpus, double link_gbs)
+{
+    SystemConfig c;
+    c.name = "xbar-" + std::to_string(static_cast<int>(link_gbs)) + "GBs";
+    c.numGpus = num_gpus;
+    c.chipletsPerGpu = 1;
+    c.smsPerChiplet = 64;
+    c.topology = Topology::Crossbar;
+    // One node aggregates 4 chiplets' worth of L2 and DRAM.
+    c.l2SizePerChiplet = 4 * 1024 * 1024;
+    c.l2BanksPerChiplet = 64;
+    c.memBwPerChipletGBs = 720.0;
+    c.intraChipletXbarGBs = 2880.0;
+    c.interGpuLinkGBs = link_gbs;
+    return c;
+}
+
+SystemConfig
+mcmRing(int num_chiplets, double ring_gbs)
+{
+    SystemConfig c;
+    c.name = "ring-" + std::to_string(static_cast<int>(ring_gbs)) + "GBs";
+    c.numGpus = 1;
+    c.chipletsPerGpu = num_chiplets;
+    c.smsPerChiplet = 64;
+    c.topology = Topology::Ring;
+    c.l2SizePerChiplet = 4 * 1024 * 1024;
+    c.l2BanksPerChiplet = 64;
+    c.memBwPerChipletGBs = 720.0;
+    c.intraChipletXbarGBs = 2880.0;
+    c.interChipletRingGBs = ring_gbs;
+    // On-package links are short: cheaper hops than a discrete switch.
+    c.ringHopLatencyCycles = 16;
+    return c;
+}
+
+SystemConfig
+dgx4()
+{
+    SystemConfig c;
+    c.name = "dgx-4gpu";
+    c.numGpus = 4;
+    c.chipletsPerGpu = 1;
+    c.smsPerChiplet = 80;
+    c.topology = Topology::Crossbar;
+    c.l2SizePerChiplet = 6 * 1024 * 1024;
+    c.l2BanksPerChiplet = 96;
+    c.memBwPerChipletGBs = 900.0;   // V100-class HBM2
+    c.intraChipletXbarGBs = 3600.0;
+    c.interGpuLinkGBs = 150.0;      // NVLink 2.0-class
+    c.pageSize = 4096;              // cudaMemAdvise granularity in IV-C
+    return c;
+}
+
+} // namespace presets
+} // namespace ladm

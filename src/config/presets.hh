@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named system configurations used by the paper's experiments.
+ */
+
+#ifndef LADM_CONFIG_PRESETS_HH
+#define LADM_CONFIG_PRESETS_HH
+
+#include "config/system_config.hh"
+
+namespace ladm
+{
+namespace presets
+{
+
+/**
+ * The paper's primary evaluation machine (Table III): 4 GPUs x 4 chiplets,
+ * 16 SMs per chiplet (256 total), hierarchical ring + switch interconnect.
+ */
+SystemConfig multiGpu4x4();
+
+/**
+ * Hypothetical monolithic GPU with the same SM count (256) and aggregate
+ * memory bandwidth; no NUMA penalty. The normalization baseline of
+ * Figs. 4 and 9.
+ */
+SystemConfig monolithic256();
+
+/**
+ * Flat multi-GPU system: n nodes of 64 SMs joined by an NVSwitch-like
+ * crossbar with the given per-link bandwidth (Fig. 4 "xbar" points).
+ */
+SystemConfig multiGpuFlat(int num_gpus, double link_gbs);
+
+/**
+ * Flat MCM-GPU: n chiplets of 64 SMs on one package ring with the given
+ * per-GPU ring bandwidth in GB/s (Fig. 4 "ring" points: 1400, 2800).
+ */
+SystemConfig mcmRing(int num_chiplets, double ring_gbs);
+
+/**
+ * DGX-1-like 4-GPU box used for the Section IV-C hardware validation:
+ * flat 4-GPU crossbar with NVLink-class links and big per-GPU L2.
+ */
+SystemConfig dgx4();
+
+} // namespace presets
+} // namespace ladm
+
+#endif // LADM_CONFIG_PRESETS_HH

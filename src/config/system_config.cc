@@ -1,0 +1,35 @@
+#include "config/system_config.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+void
+SystemConfig::validate() const
+{
+    if (numGpus < 1 || chipletsPerGpu < 1 || smsPerChiplet < 1)
+        ladm_fatal("system '", name, "': all organization counts must be >=1");
+    if (topology == Topology::Monolithic && numNodes() != 1)
+        ladm_fatal("system '", name, "': monolithic topology requires "
+                   "exactly one node, got ", numNodes());
+    if (topology == Topology::Hierarchical && chipletsPerGpu < 2 &&
+        numGpus < 2) {
+        ladm_fatal("system '", name, "': hierarchical topology needs more "
+                   "than one node");
+    }
+    if (!isPowerOfTwo(pageSize) || pageSize < kLineSize)
+        ladm_fatal("system '", name, "': pageSize must be a power of two "
+                   ">= line size, got ", pageSize);
+    if (l2SizePerChiplet % (static_cast<Bytes>(l2Assoc) * kLineSize) != 0)
+        ladm_fatal("system '", name, "': L2 size must divide evenly into "
+                   "assoc * line sets");
+    if (clockGhz <= 0.0 || memBwPerChipletGBs <= 0.0)
+        ladm_fatal("system '", name, "': clock and memory bandwidth must be "
+                   "positive");
+    if (warpSize < 1 || warpSlotsPerSm < 1)
+        ladm_fatal("system '", name, "': warp parameters must be >=1");
+}
+
+} // namespace ladm

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SystemConfig: every hardware parameter of the simulated hierarchical
+ * NUMA-GPU (Table III of the paper), plus derived helpers.
+ *
+ * The machine is numGpus discrete GPUs joined by an inter-GPU switch; each
+ * GPU holds chipletsPerGpu chiplets joined by an on-package ring; each
+ * chiplet holds smsPerChiplet SMs, one L2 partition and one HBM stack.
+ * One chiplet == one NUMA node for placement purposes.
+ */
+
+#ifndef LADM_CONFIG_SYSTEM_CONFIG_HH
+#define LADM_CONFIG_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace ladm
+{
+
+/** Interconnect topology joining the NUMA nodes. */
+enum class Topology
+{
+    /** Single node; every access is local (hypothetical monolithic GPU). */
+    Monolithic,
+    /** Flat crossbar/switch between all nodes (NVSwitch-like). */
+    Crossbar,
+    /** Flat bi-directional ring between all nodes (MCM-like). */
+    Ring,
+    /** Ring of chiplets within each GPU + crossbar between GPUs (Fig. 1). */
+    Hierarchical,
+};
+
+/** All hardware parameters of one simulated system. */
+struct SystemConfig
+{
+    std::string name = "multi-gpu-4x4";
+
+    // --- organization -----------------------------------------------------
+    int numGpus = 4;
+    int chipletsPerGpu = 4;
+    int smsPerChiplet = 16;
+    Topology topology = Topology::Hierarchical;
+
+    // --- SM ---------------------------------------------------------------
+    double clockGhz = 1.4;
+    int warpSize = 32;
+    int warpSlotsPerSm = 64;
+    int maxResidentTbsPerSm = 16;
+    /** Core-model cycles between two dependent memory ops of one warp. */
+    Cycles computeGapCycles = 4;
+    /**
+     * Loop iterations a warp may have in flight: real kernels issue the
+     * next tile's loads while the previous iteration's are outstanding
+     * (scoreboarding / software pipelining). Depth 1 = fully blocking.
+     */
+    int warpPipelineDepth = 3;
+
+    // --- caches -----------------------------------------------------------
+    Bytes l1SizePerSm = 64 * 1024;
+    int l1Assoc = 4;
+    Cycles l1LatencyCycles = 28;
+
+    Bytes l2SizePerChiplet = 1024 * 1024;
+    int l2Assoc = 16;
+    int l2BanksPerChiplet = 16;
+    Cycles l2LatencyCycles = 120;
+    /**
+     * Dynamic shared L2 with remote caching [51]: the requester-side L2
+     * may hold remote-homed lines. Disabling it reverts to a memory-side
+     * L2 that only caches its own HBM's data (the ablation behind the
+     * paper's "remote caching improves GEMM by 4.8x" observation).
+     */
+    bool remoteCachingL2 = true;
+
+    // --- memory -----------------------------------------------------------
+    Bytes pageSize = 4096;
+    double memBwPerChipletGBs = 180.0;
+    Cycles dramLatencyCycles = 220;
+    /** HBM pseudo-channels per chiplet sharing memBwPerChipletGBs. */
+    int dramChannelsPerChiplet = 8;
+
+    // --- reactive page migration (off by default; the CPU-NUMA baseline
+    //     Section II-A argues against) --------------------------------------
+    bool pageMigration = false;
+    uint32_t migrationThreshold = 64;
+    Cycles migrationLatencyCycles = 5000;
+
+    /**
+     * Software L2 coherence [51]: invalidate all caches at kernel
+     * boundaries. Setting false models an HMG-style hardware-coherent
+     * hierarchy [66] that preserves inter-kernel locality.
+     */
+    bool flushL2BetweenKernels = true;
+
+    // --- UVM oversubscription (Section VI future work) ---------------------
+    /**
+     * Device-resident capacity per node; 0 disables the host-memory
+     * model. When data exceeds it, pages fault in from host memory over
+     * the host link, evicting the oldest resident pages (FIFO).
+     */
+    Bytes hbmCapacityPerNode = 0;
+    /** Host link (PCIe/NVLink-to-host) bandwidth shared by all nodes. */
+    double hostLinkGBs = 32.0;
+    /**
+     * Fixed stall for a *reactive* (demand) host fault; proactively
+     * placed pages stream in at host-link bandwidth without it, the
+     * LASP-prefetch extension the paper sketches in Section VI.
+     */
+    Cycles hostFaultCycles = 28000;
+
+    // --- interconnect bandwidths (GB/s) ------------------------------------
+    /** Aggregate SM<->L2 crossbar within one chiplet. */
+    double intraChipletXbarGBs = 720.0;
+    /** Per-GPU inter-chiplet ring bandwidth. */
+    double interChipletRingGBs = 720.0;
+    /** Per-link inter-GPU switch bandwidth (each direction). */
+    double interGpuLinkGBs = 180.0;
+    /** Aggregate crossbar bandwidth of the monolithic configuration. */
+    double monolithicXbarGBs = 11200.0;
+
+    // --- interconnect latencies -------------------------------------------
+    Cycles ringHopLatencyCycles = 32;
+    Cycles switchLatencyCycles = 128;
+
+    // --- UVM --------------------------------------------------------------
+    /**
+     * Cost of servicing a first-touch page fault from system memory
+     * (the paper cites 20-50 microseconds of SM stall). Zero models the
+     * "Batch+FT-optimal" configuration used in Fig. 4.
+     */
+    Cycles pageFaultCycles = 0;
+
+    // --- derived ------------------------------------------------------------
+    int numNodes() const { return numGpus * chipletsPerGpu; }
+    int totalSms() const { return numNodes() * smsPerChiplet; }
+
+    NodeId nodeOfSm(SmId sm) const { return sm / smsPerChiplet; }
+    GpuId gpuOfNode(NodeId n) const { return n / chipletsPerGpu; }
+    ChipletId chipletOfNode(NodeId n) const { return n % chipletsPerGpu; }
+    NodeId nodeOf(GpuId g, ChipletId c) const
+    {
+        return g * chipletsPerGpu + c;
+    }
+
+    /** Convert a GB/s figure to bytes per core cycle. */
+    double bytesPerCycle(double gbs) const { return gbs / clockGhz; }
+
+    /** Sanity-check parameter consistency; fatal() on user error. */
+    void validate() const;
+};
+
+} // namespace ladm
+
+#endif // LADM_CONFIG_SYSTEM_CONFIG_HH

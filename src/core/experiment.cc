@@ -1,0 +1,88 @@
+#include "core/experiment.hh"
+
+#include "common/logging.hh"
+#include "sim/gpu_system.hh"
+
+namespace ladm
+{
+
+RunMetrics
+runExperiment(Workload &workload, PolicyBundle &bundle,
+              const SystemConfig &cfg, int launches)
+{
+    ladm_assert(launches >= 1, "need at least one launch");
+    GpuSystem sys(cfg);
+    MallocRegistry reg(cfg.pageSize);
+    workload.allocateAll(reg);
+
+    KernelRunStats ks;
+    ks.startCycle = 0;
+    LaunchPlan plan;
+    for (int l = 0; l < launches; ++l) {
+        plan = bundle.prepare(workload.kernel(), workload.dims(),
+                              workload.argPcs(), reg,
+                              sys.mem().pageTable(), cfg);
+        ladm_assert(plan.scheduler, "policy bundle produced no scheduler");
+
+        auto trace = workload.makeTrace(reg);
+        const auto queues = plan.scheduler->assign(workload.dims(), cfg);
+        const KernelRunStats k = sys.runKernel(
+            workload.dims(), *trace, queues, plan.policy,
+            /*flush_caches=*/l == 0 || cfg.flushL2BetweenKernels);
+        ks.endCycle = k.endCycle;
+        ks.warpSteps += k.warpSteps;
+        ks.sectorAccesses += k.sectorAccesses;
+        ks.warpInstrs += k.warpInstrs;
+        ks.tbCount += k.tbCount;
+    }
+
+    const MemorySystem &mem = sys.mem();
+    RunMetrics m;
+    m.workload = workload.name();
+    m.policy = bundle.name();
+    m.system = cfg.name;
+    m.scheduler = plan.scheduler->name();
+    m.insertPolicy = plan.policy;
+    m.cycles = ks.cycles();
+    m.tbCount = static_cast<uint64_t>(ks.tbCount);
+    m.sectorAccesses = ks.sectorAccesses;
+    m.warpInstrs = ks.warpInstrs;
+    m.fetchLocal = mem.fetchLocal();
+    m.fetchRemote = mem.fetchRemote();
+    m.offChipPct = mem.offChipFraction() * 100.0;
+    m.interNodeBytes = mem.network().interNodeBytes();
+    m.interGpuBytes = mem.network().interGpuBytes();
+    m.l1HitRate = mem.l1Accesses()
+                      ? static_cast<double>(mem.l1Hits()) /
+                            mem.l1Accesses()
+                      : 0.0;
+    m.l2HitRate = mem.l2Accesses()
+                      ? static_cast<double>(mem.l2Hits()) /
+                            mem.l2Accesses()
+                      : 0.0;
+    const double kilo_instr = ks.warpInstrs / 1000.0;
+    m.l2Mpki = kilo_instr > 0.0
+                   ? (mem.fetchLocal() + mem.fetchRemote()) / kilo_instr
+                   : 0.0;
+    m.uvmFaults = mem.uvmFaults();
+    for (int c = 0; c < kNumTrafficClasses; ++c) {
+        const auto tc = static_cast<TrafficClass>(c);
+        m.classAccesses[c] = mem.classAccesses(tc);
+        m.classHitRate[c] =
+            m.classAccesses[c]
+                ? static_cast<double>(mem.classHits(tc)) /
+                      m.classAccesses[c]
+                : 0.0;
+    }
+    return m;
+}
+
+RunMetrics
+runExperiment(Workload &workload, Policy policy, const SystemConfig &cfg,
+              int launches)
+{
+    auto bundle = makeBundle(policy);
+    return runExperiment(workload, *bundle, cfg, launches);
+}
+
+} // namespace ladm

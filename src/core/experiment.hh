@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Experiment driver: run one (workload, policy, system) combination on a
+ * fresh simulated machine and collect the metrics the paper reports.
+ */
+
+#ifndef LADM_CORE_EXPERIMENT_HH
+#define LADM_CORE_EXPERIMENT_HH
+
+#include "config/system_config.hh"
+#include "core/metrics.hh"
+#include "core/policy_bundle.hh"
+#include "workloads/workload.hh"
+
+namespace ladm
+{
+
+/**
+ * Execute @p workload under @p bundle on a machine configured by @p cfg.
+ * Every run uses a fresh GpuSystem and MallocRegistry, so results are
+ * deterministic and independent.
+ *
+ * @param launches times the kernel is launched back to back (iterative
+ *                 workloads). Between launches the L2s are invalidated
+ *                 iff cfg.flushL2BetweenKernels (the software-coherence
+ *                 cost of [51]; disabling models HMG-style hardware
+ *                 coherence [66]). Placement and scheduling decisions
+ *                 are re-derived per launch, as the runtime would.
+ */
+RunMetrics runExperiment(Workload &workload, PolicyBundle &bundle,
+                         const SystemConfig &cfg, int launches = 1);
+
+/** Convenience: build the bundle from the Policy enum and run. */
+RunMetrics runExperiment(Workload &workload, Policy policy,
+                         const SystemConfig &cfg, int launches = 1);
+
+} // namespace ladm
+
+#endif // LADM_CORE_EXPERIMENT_HH

@@ -1,0 +1,47 @@
+#include "core/metrics.hh"
+
+#include <sstream>
+
+namespace ladm
+{
+
+std::ostream &
+operator<<(std::ostream &os, const RunMetrics &m)
+{
+    os << m.workload << " on " << m.system << " under " << m.policy
+       << " (sched " << m.scheduler << ", " << toString(m.insertPolicy)
+       << "): " << m.cycles << " cycles, off-chip " << m.offChipPct
+       << "%, L2 hit " << m.l2HitRate << ", MPKI " << m.l2Mpki;
+    return os;
+}
+
+std::string
+csvHeader()
+{
+    return "workload,policy,system,scheduler,insert_policy,cycles,"
+           "tb_count,sector_accesses,warp_instrs,fetch_local,"
+           "fetch_remote,offchip_pct,inter_node_bytes,inter_gpu_bytes,"
+           "l1_hit_rate,l2_hit_rate,l2_mpki,uvm_faults,"
+           "acc_local_local,acc_local_remote,acc_remote_local,"
+           "hit_local_local,hit_local_remote,hit_remote_local";
+}
+
+std::string
+csvRow(const RunMetrics &m)
+{
+    std::ostringstream os;
+    os << m.workload << ',' << m.policy << ',' << m.system << ','
+       << m.scheduler << ',' << toString(m.insertPolicy) << ','
+       << m.cycles << ',' << m.tbCount << ',' << m.sectorAccesses << ','
+       << m.warpInstrs << ',' << m.fetchLocal << ',' << m.fetchRemote
+       << ',' << m.offChipPct << ',' << m.interNodeBytes << ','
+       << m.interGpuBytes << ',' << m.l1HitRate << ',' << m.l2HitRate
+       << ',' << m.l2Mpki << ',' << m.uvmFaults;
+    for (int c = 0; c < kNumTrafficClasses; ++c)
+        os << ',' << m.classAccesses[c];
+    for (int c = 0; c < kNumTrafficClasses; ++c)
+        os << ',' << m.classHitRate[c];
+    return os.str();
+}
+
+} // namespace ladm

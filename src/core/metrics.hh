@@ -1,0 +1,70 @@
+/**
+ * @file
+ * RunMetrics: everything the paper's figures report about one run.
+ */
+
+#ifndef LADM_CORE_METRICS_HH
+#define LADM_CORE_METRICS_HH
+
+#include <array>
+#include <ostream>
+#include <string>
+
+#include "cache/insertion_policy.hh"
+#include "cache/traffic_class.hh"
+#include "common/types.hh"
+
+namespace ladm
+{
+
+struct RunMetrics
+{
+    std::string workload;
+    std::string policy;
+    std::string system;
+    std::string scheduler;
+    L2InsertPolicy insertPolicy = L2InsertPolicy::RTwice;
+
+    Cycles cycles = 0;
+    uint64_t tbCount = 0;
+    uint64_t sectorAccesses = 0;
+    double warpInstrs = 0.0;
+
+    /** Requester-side L2 misses served locally / remotely. */
+    uint64_t fetchLocal = 0;
+    uint64_t fetchRemote = 0;
+    /** Percent of fetches leaving the chiplet (Fig. 10 metric). */
+    double offChipPct = 0.0;
+    Bytes interNodeBytes = 0;
+    Bytes interGpuBytes = 0;
+
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+    /** Requester-side L2 sector misses per kilo warp instruction. */
+    double l2Mpki = 0.0;
+    uint64_t uvmFaults = 0;
+
+    /** Per-traffic-class L2 accesses and hit rates (Fig. 11). */
+    std::array<uint64_t, kNumTrafficClasses> classAccesses{};
+    std::array<double, kNumTrafficClasses> classHitRate{};
+
+    /** Performance of this run relative to @p baseline (cycles ratio). */
+    double
+    speedupOver(const RunMetrics &baseline) const
+    {
+        return cycles ? static_cast<double>(baseline.cycles) / cycles
+                      : 0.0;
+    }
+};
+
+std::ostream &operator<<(std::ostream &os, const RunMetrics &m);
+
+/** Column header matching csvRow(), for machine-readable results. */
+std::string csvHeader();
+
+/** One comma-separated row of every metric. */
+std::string csvRow(const RunMetrics &m);
+
+} // namespace ladm
+
+#endif // LADM_CORE_METRICS_HH

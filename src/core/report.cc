@@ -1,0 +1,55 @@
+#include "core/report.hh"
+
+#include <iomanip>
+
+namespace ladm
+{
+
+void
+writeDetailedReport(std::ostream &os, const GpuSystem &sys,
+                    const RunMetrics &m)
+{
+    const SystemConfig &cfg = sys.config();
+    const MemorySystem &mem = sys.mem();
+
+    os << "run: " << m.workload << " under " << m.policy << " on "
+       << m.system << "\n";
+    os << "  scheduler " << m.scheduler << ", L2 policy "
+       << toString(m.insertPolicy) << ", " << m.cycles << " cycles, "
+       << m.tbCount << " TBs, " << m.sectorAccesses << " sector accesses\n";
+    os << "  off-chip " << std::fixed << std::setprecision(1)
+       << m.offChipPct << "% (" << m.fetchRemote << " of "
+       << m.fetchLocal + m.fetchRemote << " fetches), inter-GPU "
+       << m.interGpuBytes / 1024 << " KiB of " << m.interNodeBytes / 1024
+       << " KiB inter-node\n";
+    os << "  L1 hit " << std::setprecision(1) << 100.0 * m.l1HitRate
+       << "%, L2 hit " << 100.0 * m.l2HitRate << "%, MPKI "
+       << std::setprecision(0) << m.l2Mpki << ", UVM faults "
+       << m.uvmFaults << ", migrations " << mem.pageMigrations() << "\n";
+
+    os << "\n  traffic classes:\n";
+    for (int c = 0; c < kNumTrafficClasses; ++c) {
+        os << "    " << std::left << std::setw(13)
+           << toString(static_cast<TrafficClass>(c)) << std::right
+           << std::setw(12) << m.classAccesses[c] << " accesses, hit "
+           << std::setprecision(1) << 100.0 * m.classHitRate[c] << "%\n";
+    }
+
+    os << "\n  per node (gpu.chiplet): l2 accesses / hit% | dram "
+          "accesses / busy | mapped MiB\n";
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        const auto &l2 = mem.l2(n);
+        os << "    " << cfg.gpuOfNode(n) << "." << cfg.chipletOfNode(n)
+           << ": " << std::setw(10) << l2.accesses() << " / "
+           << std::setw(5) << std::setprecision(1)
+           << 100.0 * l2.hitRate() << "% | " << std::setw(10)
+           << mem.dramAccesses(n) << " / " << std::setw(10)
+           << mem.dramBusyCycles(n) << " | " << std::setw(8)
+           << std::setprecision(2)
+           << static_cast<double>(
+                  mem.pageTable().bytesOnNode(n)) / (1 << 20)
+           << "\n";
+    }
+}
+
+} // namespace ladm

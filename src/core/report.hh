@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Detailed per-run reporting: everything RunMetrics aggregates, broken
+ * out per node and per traffic class — the view an architect uses to
+ * find the hot link or the thrashing partition.
+ */
+
+#ifndef LADM_CORE_REPORT_HH
+#define LADM_CORE_REPORT_HH
+
+#include <ostream>
+
+#include "core/metrics.hh"
+#include "sim/gpu_system.hh"
+
+namespace ladm
+{
+
+/**
+ * Write a human-readable per-node report of @p sys's memory system
+ * (L2 accesses/hit rates, DRAM accesses/busy cycles, page-table bytes
+ * per node) plus the run's traffic-class breakdown.
+ */
+void writeDetailedReport(std::ostream &os, const GpuSystem &sys,
+                         const RunMetrics &m);
+
+} // namespace ladm
+
+#endif // LADM_CORE_REPORT_HH

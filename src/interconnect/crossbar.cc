@@ -1,0 +1,37 @@
+#include "interconnect/crossbar.hh"
+
+namespace ladm
+{
+
+CrossbarNet::CrossbarNet(const SystemConfig &cfg)
+    : Network(cfg), switchLatency_(cfg.switchLatencyCycles)
+{
+    const int n = cfg.numNodes();
+    const double bpc = cfg.bytesPerCycle(cfg.interGpuLinkGBs);
+    egress_.reserve(n);
+    ingress_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        egress_.emplace_back("xbar.egress" + std::to_string(i), bpc, 0);
+        ingress_.emplace_back("xbar.ingress" + std::to_string(i), bpc, 0);
+    }
+}
+
+Cycles
+CrossbarNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
+{
+    Cycles delay = egress_[src].book(now, bytes);
+    delay += ingress_[dst].book(now, bytes);
+    return delay + switchLatency_;
+}
+
+void
+CrossbarNet::reset()
+{
+    Network::reset();
+    for (auto &l : egress_)
+        l.reset();
+    for (auto &l : ingress_)
+        l.reset();
+}
+
+} // namespace ladm

@@ -1,0 +1,64 @@
+#include "interconnect/hierarchical.hh"
+
+namespace ladm
+{
+
+HierarchicalNet::HierarchicalNet(const SystemConfig &cfg)
+    : Network(cfg), switchLatency_(cfg.switchLatencyCycles)
+{
+    const double ring_bpc =
+        cfg.bytesPerCycle(cfg.interChipletRingGBs) / 2.0;
+    const double link_bpc = cfg.bytesPerCycle(cfg.interGpuLinkGBs);
+    rings_.reserve(cfg.numGpus);
+    for (int g = 0; g < cfg.numGpus; ++g) {
+        rings_.emplace_back(cfg.chipletsPerGpu, ring_bpc,
+                            cfg.ringHopLatencyCycles,
+                            "gpu" + std::to_string(g) + ".ring");
+        gpuEgress_.emplace_back("gpu" + std::to_string(g) + ".egress",
+                                link_bpc, 0);
+        gpuIngress_.emplace_back("gpu" + std::to_string(g) + ".ingress",
+                                 link_bpc, 0);
+    }
+}
+
+Cycles
+HierarchicalNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
+{
+    const GpuId sg = cfg_.gpuOfNode(src);
+    const GpuId dg = cfg_.gpuOfNode(dst);
+    const int sc = cfg_.chipletOfNode(src);
+    const int dc = cfg_.chipletOfNode(dst);
+
+    if (sg == dg)
+        return rings_[sg].routeDelay(now, sc, dc, bytes);
+
+    Cycles delay = rings_[sg].routeDelay(now, sc, kPortChiplet, bytes);
+    delay += gpuEgress_[sg].book(now, bytes);
+    delay += gpuIngress_[dg].book(now, bytes);
+    delay += switchLatency_;
+    delay += rings_[dg].routeDelay(now, kPortChiplet, dc, bytes);
+    return delay;
+}
+
+void
+HierarchicalNet::reset()
+{
+    Network::reset();
+    for (auto &r : rings_)
+        r.reset();
+    for (auto &l : gpuEgress_)
+        l.reset();
+    for (auto &l : gpuIngress_)
+        l.reset();
+}
+
+Bytes
+HierarchicalNet::switchBytes() const
+{
+    Bytes total = 0;
+    for (const auto &l : gpuEgress_)
+        total += l.bytesSent();
+    return total;
+}
+
+} // namespace ladm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A named unidirectional link: bandwidth server + fixed latency, with byte
+ * accounting for the traffic reports.
+ */
+
+#ifndef LADM_INTERCONNECT_LINK_HH
+#define LADM_INTERCONNECT_LINK_HH
+
+#include <string>
+
+#include "common/bandwidth_server.hh"
+#include "common/types.hh"
+
+namespace ladm
+{
+
+class Link
+{
+  public:
+    Link() = default;
+
+    Link(std::string name, double bytes_per_cycle, Cycles latency)
+        : name_(std::move(name)), server_(bytes_per_cycle, latency)
+    {
+    }
+
+    /**
+     * Reserve capacity for @p bytes issued at @p now; returns the delay
+     * this link contributes (see BandwidthServer ordering contract).
+     */
+    Cycles
+    book(Cycles now, Bytes bytes)
+    {
+        return server_.book(now, bytes);
+    }
+
+    Bytes bytesSent() const { return server_.totalBytes(); }
+    Cycles busyCycles() const { return server_.busyCycles(); }
+    const std::string &name() const { return name_; }
+
+    void reset() { server_.reset(); }
+
+  private:
+    std::string name_;
+    BandwidthServer server_{1.0, 0};
+};
+
+} // namespace ladm
+
+#endif // LADM_INTERCONNECT_LINK_HH

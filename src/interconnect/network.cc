@@ -1,0 +1,47 @@
+#include "interconnect/network.hh"
+
+#include "common/logging.hh"
+#include "interconnect/crossbar.hh"
+#include "interconnect/hierarchical.hh"
+#include "interconnect/ring.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+/** Degenerate fabric for the monolithic configuration. */
+class MonolithicNet : public Network
+{
+  public:
+    explicit MonolithicNet(const SystemConfig &cfg) : Network(cfg) {}
+
+  protected:
+    Cycles
+    delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes) override
+    {
+        ladm_panic("monolithic system routed ", bytes, " bytes from node ",
+                   src, " to node ", dst);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Network>
+makeNetwork(const SystemConfig &cfg)
+{
+    switch (cfg.topology) {
+      case Topology::Monolithic:
+        return std::make_unique<MonolithicNet>(cfg);
+      case Topology::Crossbar:
+        return std::make_unique<CrossbarNet>(cfg);
+      case Topology::Ring:
+        return std::make_unique<RingNet>(cfg);
+      case Topology::Hierarchical:
+        return std::make_unique<HierarchicalNet>(cfg);
+    }
+    ladm_panic("unknown topology");
+}
+
+} // namespace ladm

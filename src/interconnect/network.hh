@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Network: the abstract inter-node fabric joining NUMA nodes (chiplets).
+ *
+ * Concrete topologies: crossbar (NVSwitch-like flat multi-GPU), ring
+ * (MCM-GPU package), and the hierarchical ring-of-chiplets +
+ * switch-of-GPUs fabric of Fig. 1. A monolithic system has a single node
+ * and never routes.
+ *
+ * All byte accounting for the paper's off-chip-traffic results lives here:
+ * interNodeBytes counts every chiplet-boundary crossing, interGpuBytes the
+ * subset that also crosses a GPU boundary.
+ */
+
+#ifndef LADM_INTERCONNECT_NETWORK_HH
+#define LADM_INTERCONNECT_NETWORK_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "config/system_config.hh"
+
+namespace ladm
+{
+
+class Network
+{
+  public:
+    explicit Network(const SystemConfig &cfg) : cfg_(cfg) {}
+    virtual ~Network() = default;
+
+    /**
+     * Reserve the path from @p src to @p dst for @p bytes issued at
+     * @p now (every hop is booked at @p now; see the BandwidthServer
+     * ordering contract).
+     *
+     * @return the traversal delay (0 when src == dst).
+     */
+    Cycles
+    routeDelay(Cycles now, NodeId src, NodeId dst, Bytes bytes)
+    {
+        if (src == dst)
+            return 0;
+        interNodeBytes_ += bytes;
+        if (cfg_.gpuOfNode(src) != cfg_.gpuOfNode(dst))
+            interGpuBytes_ += bytes;
+        return delayImpl(now, src, dst, bytes);
+    }
+
+    Bytes interNodeBytes() const { return interNodeBytes_; }
+    Bytes interGpuBytes() const { return interGpuBytes_; }
+
+    virtual void reset()
+    {
+        interNodeBytes_ = 0;
+        interGpuBytes_ = 0;
+    }
+
+  protected:
+    virtual Cycles delayImpl(Cycles now, NodeId src, NodeId dst,
+                             Bytes bytes) = 0;
+
+    const SystemConfig cfg_;
+
+  private:
+    Bytes interNodeBytes_ = 0;
+    Bytes interGpuBytes_ = 0;
+};
+
+/** Build the topology named by cfg.topology. */
+std::unique_ptr<Network> makeNetwork(const SystemConfig &cfg);
+
+} // namespace ladm
+
+#endif // LADM_INTERCONNECT_NETWORK_HH

@@ -1,0 +1,72 @@
+#include "interconnect/ring.hh"
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+RingFabric::RingFabric(int num_nodes, double seg_bytes_per_cycle,
+                       Cycles hop_latency, const std::string &name)
+    : n_(num_nodes), hopLatency_(hop_latency)
+{
+    ladm_assert(num_nodes >= 2, "ring needs >= 2 nodes");
+    cw_.reserve(n_);
+    ccw_.reserve(n_);
+    for (int i = 0; i < n_; ++i) {
+        cw_.emplace_back(name + ".cw" + std::to_string(i),
+                         seg_bytes_per_cycle, 0);
+        ccw_.emplace_back(name + ".ccw" + std::to_string(i),
+                          seg_bytes_per_cycle, 0);
+    }
+}
+
+Cycles
+RingFabric::routeDelay(Cycles now, int src, int dst, Bytes bytes)
+{
+    if (src == dst)
+        return 0;
+    int fwd = (dst - src + n_) % n_;  // hops going clockwise
+    int bwd = n_ - fwd;
+    Cycles delay = 0;
+    if (fwd <= bwd) {
+        for (int i = 0; i < fwd; ++i)
+            delay += cw_[(src + i) % n_].book(now, bytes) + hopLatency_;
+    } else {
+        for (int i = 0; i < bwd; ++i)
+            delay += ccw_[(src - i + n_) % n_].book(now, bytes) +
+                     hopLatency_;
+    }
+    return delay;
+}
+
+void
+RingFabric::reset()
+{
+    for (auto &l : cw_)
+        l.reset();
+    for (auto &l : ccw_)
+        l.reset();
+}
+
+RingNet::RingNet(const SystemConfig &cfg)
+    : Network(cfg),
+      ring_(cfg.numNodes(),
+            cfg.bytesPerCycle(cfg.interChipletRingGBs) / 2.0,
+            cfg.ringHopLatencyCycles, "ring")
+{
+}
+
+Cycles
+RingNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
+{
+    return ring_.routeDelay(now, src, dst, bytes);
+}
+
+void
+RingNet::reset()
+{
+    Network::reset();
+    ring_.reset();
+}
+
+} // namespace ladm

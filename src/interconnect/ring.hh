@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bi-directional ring fabric for MCM-GPU packages.
+ *
+ * Each direction has one bandwidth server per segment (node i -> i+1 or
+ * i -> i-1); a transfer takes the shorter direction and occupies every
+ * segment on its path in sequence, paying the hop latency per segment.
+ * Per-direction segment bandwidth is half the quoted per-GPU ring figure.
+ */
+
+#ifndef LADM_INTERCONNECT_RING_HH
+#define LADM_INTERCONNECT_RING_HH
+
+#include <vector>
+
+#include "interconnect/link.hh"
+#include "interconnect/network.hh"
+
+namespace ladm
+{
+
+/**
+ * Standalone ring over an arbitrary contiguous node group; reused by the
+ * hierarchical fabric for each GPU's chiplet ring.
+ */
+class RingFabric
+{
+  public:
+    /**
+     * @param num_nodes ring size
+     * @param seg_bytes_per_cycle per-direction segment bandwidth
+     * @param hop_latency per-segment latency
+     */
+    RingFabric(int num_nodes, double seg_bytes_per_cycle,
+               Cycles hop_latency, const std::string &name);
+
+    /** Traversal delay between local indices [0, numNodes); every
+     *  segment is booked at @p now. */
+    Cycles routeDelay(Cycles now, int src, int dst, Bytes bytes);
+
+    void reset();
+
+  private:
+    int n_;
+    Cycles hopLatency_;
+    std::vector<Link> cw_;  // segment i: node i -> i+1 (mod n)
+    std::vector<Link> ccw_; // segment i: node i -> i-1 (mod n)
+};
+
+/** Flat ring topology across all nodes. */
+class RingNet : public Network
+{
+  public:
+    explicit RingNet(const SystemConfig &cfg);
+
+    void reset() override;
+
+  protected:
+    Cycles delayImpl(Cycles now, NodeId src, NodeId dst,
+                     Bytes bytes) override;
+
+  private:
+    RingFabric ring_;
+};
+
+} // namespace ladm
+
+#endif // LADM_INTERCONNECT_RING_HH

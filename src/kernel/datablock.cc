@@ -1,0 +1,55 @@
+#include "kernel/datablock.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+Bytes
+datablockSize(const ArrayAccess &access, const LaunchDims &dims)
+{
+    const Expr &idx = access.index;
+    if (idx.dependsOn(Var::DataDep))
+        return 0;
+    ladm_assert(idx.degreeIn(Var::Tx) <= 1 && idx.degreeIn(Var::Ty) <= 1,
+                "non-affine thread index: ", idx.toString());
+
+    // Per-thread coefficients with dims bound and ids/m zeroed.
+    const int64_t f00 = idx.eval(dims.binding(0, 0));
+    const int64_t ctx = idx.eval(dims.binding(1, 0)) - f00;
+    const int64_t cty = idx.eval(dims.binding(0, 1)) - f00;
+
+    const int64_t span = std::llabs(ctx) * (dims.block.x - 1) +
+                         std::llabs(cty) * (dims.block.y - 1);
+    return static_cast<Bytes>(span + 1) * access.elemSize;
+}
+
+Bytes
+tbStrideBytes(const ArrayAccess &access, const LaunchDims &dims)
+{
+    if (dims.loopTrips == 0)
+        return 0;
+    Expr variant = access.index.loopVariant();
+    if (variant.isZero())
+        return 0;
+    if (variant.dependsOn(Var::DataDep))
+        return 0;
+    Expr stride = variant.divByM();
+    int64_t elems = stride.eval(dims.binding());
+    return static_cast<Bytes>(std::llabs(elems)) * access.elemSize;
+}
+
+Bytes
+tbStartOffset(const ArrayAccess &access, const LaunchDims &dims, int64_t bx,
+              int64_t by)
+{
+    Expr invariant = access.index.loopInvariant();
+    int64_t elems = invariant.eval(dims.binding(0, 0, bx, by));
+    ladm_assert(elems >= 0, "negative start offset for ",
+                access.index.toString());
+    return static_cast<Bytes>(elems) * access.elemSize;
+}
+
+} // namespace ladm

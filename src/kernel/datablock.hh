@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Datablock geometry (Section III-B).
+ *
+ * A *datablock* is the region of one data structure accessed by one
+ * threadblock during one iteration of the kernel's outermost loop. Its
+ * size feeds the alignment-aware scheduler's minimum batch (Eq. 2); the
+ * distance between successive datablocks of the same threadblock is the
+ * stride that drives stride-aware placement (Eq. 1).
+ */
+
+#ifndef LADM_KERNEL_DATABLOCK_HH
+#define LADM_KERNEL_DATABLOCK_HH
+
+#include "common/types.hh"
+#include "kernel/kernel_desc.hh"
+
+namespace ladm
+{
+
+/**
+ * Size in bytes of the datablock of @p access under @p dims: the index
+ * span covered by the threads of one block at fixed (bx, by, m), times
+ * the element size. Returns 0 for data-dependent accesses (no static
+ * datablock exists).
+ */
+Bytes datablockSize(const ArrayAccess &access, const LaunchDims &dims);
+
+/**
+ * The threadblock stride of @p access in *bytes*: how far the datablock
+ * moves per outer-loop iteration (loop-variant group divided by m,
+ * Algorithm 1 lines 5/13, scaled by element size). 0 when the kernel has
+ * no loop or the access is loop-invariant.
+ */
+Bytes tbStrideBytes(const ArrayAccess &access, const LaunchDims &dims);
+
+/**
+ * Byte offset (from the array base) of the first element the threadblock
+ * (bx, by) touches through @p access: the loop-invariant group evaluated
+ * at tx = ty = 0, m = 0. Used to couple stride-aware placement with the
+ * alignment-aware scheduler. Panics on data-dependent accesses.
+ */
+Bytes tbStartOffset(const ArrayAccess &access, const LaunchDims &dims,
+                    int64_t bx, int64_t by);
+
+} // namespace ladm
+
+#endif // LADM_KERNEL_DATABLOCK_HH

@@ -1,0 +1,245 @@
+#include "kernel/expr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+Expr::Expr(int64_t c)
+{
+    if (c != 0) {
+        Term t;
+        t.coeff = c;
+        terms_.push_back(t);
+    }
+}
+
+Expr::Expr(Var v)
+{
+    Term t;
+    t.coeff = 1;
+    t.exp[static_cast<int>(v)] = 1;
+    terms_.push_back(t);
+}
+
+void
+Expr::normalize()
+{
+    std::sort(terms_.begin(), terms_.end(),
+              [](const Term &a, const Term &b) { return a.exp < b.exp; });
+    std::vector<Term> out;
+    for (const auto &t : terms_) {
+        if (!out.empty() && out.back().sameMonomial(t))
+            out.back().coeff += t.coeff;
+        else
+            out.push_back(t);
+    }
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const Term &t) { return t.coeff == 0; }),
+              out.end());
+    terms_ = std::move(out);
+}
+
+Expr
+Expr::operator+(const Expr &o) const
+{
+    Expr r;
+    r.terms_ = terms_;
+    r.terms_.insert(r.terms_.end(), o.terms_.begin(), o.terms_.end());
+    r.normalize();
+    return r;
+}
+
+Expr
+Expr::operator-() const
+{
+    Expr r = *this;
+    for (auto &t : r.terms_)
+        t.coeff = -t.coeff;
+    return r;
+}
+
+Expr
+Expr::operator-(const Expr &o) const
+{
+    return *this + (-o);
+}
+
+Expr
+Expr::operator*(const Expr &o) const
+{
+    Expr r;
+    for (const auto &a : terms_) {
+        for (const auto &b : o.terms_) {
+            Term t;
+            t.coeff = a.coeff * b.coeff;
+            for (int i = 0; i < kNumVars; ++i) {
+                int e = a.exp[i] + b.exp[i];
+                ladm_assert(e <= 255, "monomial degree overflow");
+                t.exp[i] = static_cast<uint8_t>(e);
+            }
+            r.terms_.push_back(t);
+        }
+    }
+    r.normalize();
+    return r;
+}
+
+bool
+Expr::dependsOn(Var v) const
+{
+    for (const auto &t : terms_)
+        if (t.hasVar(v))
+            return true;
+    return false;
+}
+
+Expr
+Expr::loopVariant() const
+{
+    Expr r;
+    for (const auto &t : terms_)
+        if (t.hasVar(Var::M))
+            r.terms_.push_back(t);
+    return r;
+}
+
+Expr
+Expr::loopInvariant() const
+{
+    Expr r;
+    for (const auto &t : terms_)
+        if (!t.hasVar(Var::M))
+            r.terms_.push_back(t);
+    return r;
+}
+
+Expr
+Expr::divByM() const
+{
+    Expr r;
+    for (const auto &t : terms_) {
+        ladm_assert(t.hasVar(Var::M),
+                    "divByM on a term without the induction variable: ",
+                    toString());
+        Term q = t;
+        --q.exp[static_cast<int>(Var::M)];
+        r.terms_.push_back(q);
+    }
+    r.normalize();
+    return r;
+}
+
+bool
+Expr::isExactlyM() const
+{
+    if (terms_.size() != 1)
+        return false;
+    const Term &t = terms_[0];
+    if (t.coeff != 1)
+        return false;
+    for (int i = 0; i < kNumVars; ++i) {
+        uint8_t want = (i == static_cast<int>(Var::M)) ? 1 : 0;
+        if (t.exp[i] != want)
+            return false;
+    }
+    return true;
+}
+
+int64_t
+Expr::eval(const Binding &b) const
+{
+    int64_t sum = 0;
+    for (const auto &t : terms_) {
+        ladm_assert(!t.hasVar(Var::DataDep),
+                    "cannot evaluate a data-dependent expression: ",
+                    toString());
+        int64_t v = t.coeff;
+        for (int i = 0; i < kNumVars; ++i) {
+            for (int e = 0; e < t.exp[i]; ++e)
+                v *= b[i];
+        }
+        sum += v;
+    }
+    return sum;
+}
+
+int
+Expr::degreeIn(Var v) const
+{
+    int d = 0;
+    for (const auto &t : terms_)
+        d = std::max<int>(d, t.exp[static_cast<int>(v)]);
+    return d;
+}
+
+const char *
+varName(Var v)
+{
+    switch (v) {
+      case Var::Tx: return "tx";
+      case Var::Ty: return "ty";
+      case Var::Bx: return "bx";
+      case Var::By: return "by";
+      case Var::BDx: return "bdx";
+      case Var::BDy: return "bdy";
+      case Var::GDx: return "gdx";
+      case Var::GDy: return "gdy";
+      case Var::M: return "m";
+      case Var::DataDep: return "data";
+    }
+    return "?";
+}
+
+std::string
+Expr::toString() const
+{
+    if (terms_.empty())
+        return "0";
+    std::string s;
+    bool first = true;
+    for (const auto &t : terms_) {
+        if (!first)
+            s += t.coeff >= 0 ? " + " : " - ";
+        else if (t.coeff < 0)
+            s += "-";
+        int64_t mag = t.coeff >= 0 ? t.coeff : -t.coeff;
+        bool printed = false;
+        if (mag != 1 || t.isConstant()) {
+            s += std::to_string(mag);
+            printed = true;
+        }
+        for (int i = 0; i < kNumVars; ++i) {
+            for (int e = 0; e < t.exp[i]; ++e) {
+                if (printed)
+                    s += "*";
+                s += varName(static_cast<Var>(i));
+                printed = true;
+            }
+        }
+        first = false;
+    }
+    return s;
+}
+
+Binding
+makeBinding(int64_t tx, int64_t ty, int64_t bx, int64_t by, int64_t bdx,
+            int64_t bdy, int64_t gdx, int64_t gdy, int64_t m)
+{
+    Binding b{};
+    b[static_cast<int>(Var::Tx)] = tx;
+    b[static_cast<int>(Var::Ty)] = ty;
+    b[static_cast<int>(Var::Bx)] = bx;
+    b[static_cast<int>(Var::By)] = by;
+    b[static_cast<int>(Var::BDx)] = bdx;
+    b[static_cast<int>(Var::BDy)] = bdy;
+    b[static_cast<int>(Var::GDx)] = gdx;
+    b[static_cast<int>(Var::GDy)] = gdy;
+    b[static_cast<int>(Var::M)] = m;
+    b[static_cast<int>(Var::DataDep)] = 0;
+    return b;
+}
+
+} // namespace ladm

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Symbolic index expressions over the CUDA "prime variables".
+ *
+ * The paper's index analysis (Section III-C) operates on global-array
+ * index expressions expanded into *prime components*: thread ids, block
+ * ids, block dims, grid dims, the outer-loop induction variable, and
+ * constants. This module provides exactly that representation -- a
+ * multivariate integer polynomial -- plus the queries Algorithm 1 needs:
+ * loop-variant/-invariant splitting, variable dependence, division by the
+ * induction variable, and evaluation/differencing once the launch binds
+ * the dims.
+ *
+ * Data-dependent components (e.g. the X[Y[tid]] pattern) are modelled by
+ * the opaque DataDep variable: it can never be proven (in)dependent of a
+ * block id, which is what makes such accesses fall through to the
+ * Unclassified row of Table II unless they match the ITL special case.
+ */
+
+#ifndef LADM_KERNEL_EXPR_HH
+#define LADM_KERNEL_EXPR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ladm
+{
+
+/** The prime variables of the CUDA programming model. */
+enum class Var : uint8_t
+{
+    Tx,      ///< threadIdx.x
+    Ty,      ///< threadIdx.y
+    Bx,      ///< blockIdx.x
+    By,      ///< blockIdx.y
+    BDx,     ///< blockDim.x
+    BDy,     ///< blockDim.y
+    GDx,     ///< gridDim.x
+    GDy,     ///< gridDim.y
+    M,       ///< outer-loop induction variable
+    DataDep, ///< opaque data-dependent value (irregular indexing)
+};
+
+constexpr int kNumVars = 10;
+
+/** Concrete values for every prime variable at evaluation time. */
+using Binding = std::array<int64_t, kNumVars>;
+
+class Expr
+{
+  public:
+    /** One monomial: coeff * product(var^exp). */
+    struct Term
+    {
+        int64_t coeff = 0;
+        std::array<uint8_t, kNumVars> exp{};
+
+        bool operator==(const Term &o) const = default;
+
+        bool sameMonomial(const Term &o) const { return exp == o.exp; }
+        bool hasVar(Var v) const
+        {
+            return exp[static_cast<int>(v)] > 0;
+        }
+        bool isConstant() const
+        {
+            for (auto e : exp)
+                if (e)
+                    return false;
+            return true;
+        }
+    };
+
+    /** The zero expression. */
+    Expr() = default;
+
+    /** Implicit lift of an integer constant. */
+    Expr(int64_t c); // NOLINT(google-explicit-constructor)
+
+    /** Implicit lift of a prime variable. */
+    Expr(Var v); // NOLINT(google-explicit-constructor)
+
+    Expr operator+(const Expr &o) const;
+    Expr operator-(const Expr &o) const;
+    Expr operator*(const Expr &o) const;
+    Expr operator-() const;
+
+    bool operator==(const Expr &o) const { return terms_ == o.terms_; }
+
+    /** True iff the expression has no terms (identically zero). */
+    bool isZero() const { return terms_.empty(); }
+
+    /** True iff any term contains @p v. */
+    bool dependsOn(Var v) const;
+
+    /** Terms containing the induction variable M. */
+    Expr loopVariant() const;
+
+    /** Terms free of the induction variable M. */
+    Expr loopInvariant() const;
+
+    /**
+     * Divide by M: every term must contain M at least once. Used to derive
+     * the threadblock stride from the loop-variant group (Algorithm 1).
+     * @return the quotient; panics if some term lacks M.
+     */
+    Expr divByM() const;
+
+    /** True iff the expression is exactly the single monomial 1 * M. */
+    bool isExactlyM() const;
+
+    /**
+     * Evaluate under @p b. Panics on a DataDep term: opaque values cannot
+     * be evaluated, only reasoned about symbolically.
+     */
+    int64_t eval(const Binding &b) const;
+
+    /**
+     * Max degree of @p v over all terms (0 = independent). Affine
+     * expressions have degree <= 1 in each thread variable.
+     */
+    int degreeIn(Var v) const;
+
+    /** Printable canonical form, e.g. "4*bx*bdx + tx + 16*m". */
+    std::string toString() const;
+
+    const std::vector<Term> &terms() const { return terms_; }
+
+    /** The opaque data-dependent symbol as an expression. */
+    static Expr dataDep() { return Expr(Var::DataDep); }
+
+  private:
+    void normalize();
+
+    std::vector<Term> terms_; // canonical: sorted by monomial, no zeros
+};
+
+/** Mixed-mode arithmetic so `2 * bx + tx` reads naturally in the DSL. */
+inline Expr operator+(int64_t c, const Expr &e) { return Expr(c) + e; }
+inline Expr operator-(int64_t c, const Expr &e) { return Expr(c) - e; }
+inline Expr operator*(int64_t c, const Expr &e) { return Expr(c) * e; }
+
+namespace dsl
+{
+/** Ready-made variable expressions for writing kernels tersely. */
+inline const Expr tx{Var::Tx};
+inline const Expr ty{Var::Ty};
+inline const Expr bx{Var::Bx};
+inline const Expr by{Var::By};
+inline const Expr bdx{Var::BDx};
+inline const Expr bdy{Var::BDy};
+inline const Expr gdx{Var::GDx};
+inline const Expr gdy{Var::GDy};
+inline const Expr m{Var::M};
+} // namespace dsl
+
+/** Build a Binding; dims default to 1 and ids to 0. */
+Binding makeBinding(int64_t tx = 0, int64_t ty = 0, int64_t bx = 0,
+                    int64_t by = 0, int64_t bdx = 1, int64_t bdy = 1,
+                    int64_t gdx = 1, int64_t gdy = 1, int64_t m = 0);
+
+const char *varName(Var v);
+
+} // namespace ladm
+
+#endif // LADM_KERNEL_EXPR_HH

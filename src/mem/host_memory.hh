@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Host-memory residency model for UVM oversubscription (the Section VI
+ * extension): each node can hold a bounded number of device-resident
+ * pages; the rest live in host memory behind a shared host link.
+ *
+ * Proactively placed pages (LASP knows where every page belongs before
+ * the kernel runs) stream in at link bandwidth; demand faults
+ * additionally pay the fixed fault stall. Eviction is FIFO -- the oldest
+ * resident page leaves first, approximating "evict the pages of
+ * finished threadblocks".
+ */
+
+#ifndef LADM_MEM_HOST_MEMORY_HH
+#define LADM_MEM_HOST_MEMORY_HH
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bandwidth_server.hh"
+#include "common/types.hh"
+#include "mem/address.hh"
+
+namespace ladm
+{
+
+class HostMemory
+{
+  public:
+    /**
+     * @param nodes            node count
+     * @param capacity         device-resident bytes per node
+     * @param link_bpc         host link bandwidth (bytes/cycle)
+     * @param fault_cycles     fixed stall on demand (reactive) faults
+     * @param page_size        transfer unit
+     */
+    HostMemory(int nodes, Bytes capacity, double link_bpc,
+               Cycles fault_cycles, Bytes page_size,
+               int fault_concurrency = 8)
+        : capacityPages_(capacity / page_size), link_(link_bpc, 0),
+          handler_(static_cast<double>(fault_concurrency) /
+                       std::max<Cycles>(fault_cycles, 1),
+                   0),
+          faultCycles_(fault_cycles), pageSize_(page_size),
+          resident_(nodes), fifo_(nodes)
+    {
+    }
+
+    /**
+     * Ensure @p addr's page is device-resident at @p node.
+     *
+     * @param proactive the page had been placed before this access (LASP
+     *                  prefetch), so only link bandwidth is charged
+     * @return the delay this access absorbs (0 when already resident)
+     */
+    Cycles
+    ensureResident(Cycles now, Addr addr, NodeId node, bool proactive)
+    {
+        auto &set = resident_[node];
+        const uint64_t page = pageOf(addr, pageSize_);
+        if (set.count(page))
+            return 0;
+
+        Cycles d = link_.book(now, pageSize_);
+        if (!proactive) {
+            // Demand faults pay the fixed handler latency AND serialize
+            // through the fault handler's limited concurrency -- the
+            // reason reactive paging collapses under oversubscription.
+            d += faultCycles_ + handler_.book(now, 1);
+        }
+        ++(proactive ? prefetches_ : demandFaults_);
+
+        set.insert(page);
+        fifo_[node].push_back(page);
+        while (fifo_[node].size() > capacityPages_) {
+            set.erase(fifo_[node].front());
+            fifo_[node].pop_front();
+            ++evictions_;
+        }
+        return d;
+    }
+
+    uint64_t demandFaults() const { return demandFaults_; }
+    uint64_t prefetches() const { return prefetches_; }
+    uint64_t evictions() const { return evictions_; }
+
+    void
+    reset()
+    {
+        for (auto &s : resident_)
+            s.clear();
+        for (auto &f : fifo_)
+            f.clear();
+        link_.reset();
+        handler_.reset();
+        demandFaults_ = 0;
+        prefetches_ = 0;
+        evictions_ = 0;
+    }
+
+  private:
+    uint64_t capacityPages_;
+    BandwidthServer link_;
+    BandwidthServer handler_; // "bytes" = faults; rate = conc/faultCycles
+    Cycles faultCycles_;
+    Bytes pageSize_;
+    std::vector<std::unordered_set<uint64_t>> resident_;
+    std::vector<std::deque<uint64_t>> fifo_;
+    uint64_t demandFaults_ = 0;
+    uint64_t prefetches_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace ladm
+
+#endif // LADM_MEM_HOST_MEMORY_HH

@@ -1,0 +1,116 @@
+#include "mem/page_table.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+PageTable::PageTable(Bytes page_size) : pageSize_(page_size)
+{
+    ladm_assert(isPowerOfTwo(page_size), "page size must be a power of two");
+}
+
+void
+PageTable::carve(Addr start, Addr end)
+{
+    // A run beginning strictly before `start` may straddle it: keep its
+    // head, and if it extends past `end`, re-insert its tail. Runs
+    // beginning at or after `start` are handled by the erase loop below
+    // (using upper_bound here would catch a run whose key equals `start`
+    // and shrink it into a degenerate empty run that later blocks the
+    // emplace of the new mapping).
+    auto it = runs_.lower_bound(start);
+    if (it != runs_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end > start) {
+            Run old = prev->second;
+            prev->second.end = start;
+            if (old.end > end)
+                runs_.emplace(end, Run{old.end, old.node});
+        }
+    }
+    while (it != runs_.end() && it->first < end) {
+        if (it->second.end > end) {
+            // Straddles end: shrink from the left.
+            Run tail{it->second.end, it->second.node};
+            it = runs_.erase(it);
+            runs_.emplace(end, tail);
+            break;
+        }
+        it = runs_.erase(it);
+    }
+}
+
+void
+PageTable::place(Addr addr, Bytes size, NodeId node)
+{
+    if (size == 0)
+        return;
+    placeAligned(roundDown(addr, pageSize_),
+                 roundUp(addr + size, pageSize_), node);
+}
+
+void
+PageTable::placeSubPage(Addr addr, Bytes size, NodeId node)
+{
+    if (size == 0)
+        return;
+    placeAligned(roundDown(addr, kSectorSize),
+                 roundUp(addr + size, kSectorSize), node);
+}
+
+void
+PageTable::placeAligned(Addr start, Addr end, NodeId node)
+{
+    ladm_assert(node != kInvalidNode, "cannot place on the invalid node");
+    carve(start, end);
+
+    // Merge with identical-node neighbours.
+    auto next = runs_.lower_bound(start);
+    if (next != runs_.end() && next->first == end &&
+        next->second.node == node) {
+        end = next->second.end;
+        runs_.erase(next);
+    }
+    if (!runs_.empty()) {
+        auto prev = runs_.upper_bound(start);
+        if (prev != runs_.begin()) {
+            --prev;
+            if (prev->second.end == start && prev->second.node == node) {
+                prev->second.end = end;
+                return;
+            }
+        }
+    }
+    runs_.emplace(start, Run{end, node});
+}
+
+NodeId
+PageTable::lookup(Addr addr) const
+{
+    auto it = runs_.upper_bound(addr);
+    if (it == runs_.begin())
+        return kInvalidNode;
+    --it;
+    return addr < it->second.end ? it->second.node : kInvalidNode;
+}
+
+void
+PageTable::clear()
+{
+    runs_.clear();
+}
+
+Bytes
+PageTable::bytesOnNode(NodeId node) const
+{
+    Bytes total = 0;
+    for (const auto &[start, run] : runs_) {
+        if (run.node == node)
+            total += run.end - start;
+    }
+    return total;
+}
+
+} // namespace ladm

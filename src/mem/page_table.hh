@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PageTable: virtual address -> home NUMA node mapping.
+ *
+ * Stored as an interval map (start address -> run) because proactive
+ * placement writes large contiguous runs; first-touch placement inserts
+ * single-page runs on demand. Adjacent runs with the same node are merged,
+ * so lookups stay O(log #runs) even for large allocations.
+ */
+
+#ifndef LADM_MEM_PAGE_TABLE_HH
+#define LADM_MEM_PAGE_TABLE_HH
+
+#include <cstddef>
+#include <map>
+
+#include "common/types.hh"
+
+namespace ladm
+{
+
+class PageTable
+{
+  public:
+    explicit PageTable(Bytes page_size = 4096);
+
+    /**
+     * Map [addr, addr+size) to @p node. The range is expanded outward to
+     * page boundaries. Overwrites any previous mapping of the range.
+     */
+    void place(Addr addr, Bytes size, NodeId node);
+
+    /**
+     * Map [addr, addr+size) to @p node at *sector* granularity, without
+     * page rounding. This models hardware sub-page address interleaving
+     * (the mechanism CODA proposes [36]); ordinary software placement
+     * must use place().
+     */
+    void placeSubPage(Addr addr, Bytes size, NodeId node);
+
+    /** Home node of @p addr, or kInvalidNode if the page is unmapped. */
+    NodeId lookup(Addr addr) const;
+
+    /** True iff the page containing @p addr has a home node. */
+    bool isMapped(Addr addr) const { return lookup(addr) != kInvalidNode; }
+
+    /** Drop every mapping. */
+    void clear();
+
+    /** Number of distinct mapped runs (post-merge); exposed for testing. */
+    size_t numRuns() const { return runs_.size(); }
+
+    /** Total mapped bytes resident on @p node. */
+    Bytes bytesOnNode(NodeId node) const;
+
+    Bytes pageSize() const { return pageSize_; }
+
+  private:
+    struct Run
+    {
+        Addr end;     // exclusive
+        NodeId node;
+    };
+
+    /** Erase any mapping overlapping [start, end), splitting runs. */
+    void carve(Addr start, Addr end);
+
+    /** Shared insertion body for place()/placeSubPage(). */
+    void placeAligned(Addr start, Addr end, NodeId node);
+
+    Bytes pageSize_;
+    std::map<Addr, Run> runs_; // key = inclusive start
+};
+
+} // namespace ladm
+
+#endif // LADM_MEM_PAGE_TABLE_HH

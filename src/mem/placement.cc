@@ -1,0 +1,109 @@
+#include "mem/placement.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "config/system_config.hh"
+
+namespace ladm
+{
+
+std::vector<NodeId>
+allNodes(int n)
+{
+    std::vector<NodeId> v(n);
+    for (int i = 0; i < n; ++i)
+        v[i] = i;
+    return v;
+}
+
+void
+placeInterleaved(PageTable &pt, Addr base, Bytes size,
+                 const std::vector<NodeId> &nodes, Bytes granule)
+{
+    ladm_assert(!nodes.empty(), "need at least one node");
+    granule = roundUp(std::max<Bytes>(granule, 1), pt.pageSize());
+    const size_t n = nodes.size();
+    size_t idx = 0;
+    for (Addr a = roundDown(base, pt.pageSize()); a < base + size;
+         a += granule) {
+        Bytes len = std::min<Bytes>(granule, base + size - a);
+        pt.place(a, len, nodes[idx]);
+        idx = (idx + 1) % n;
+    }
+}
+
+void
+placeInterleavedSubPage(PageTable &pt, Addr base, Bytes size,
+                        const std::vector<NodeId> &nodes, Bytes granule)
+{
+    ladm_assert(!nodes.empty(), "need at least one node");
+    granule = roundUp(std::max<Bytes>(granule, 1), kSectorSize);
+    const size_t n = nodes.size();
+    size_t idx = 0;
+    for (Addr a = roundDown(base, kSectorSize); a < base + size;
+         a += granule) {
+        Bytes len = std::min<Bytes>(granule, base + size - a);
+        pt.placeSubPage(a, len, nodes[idx]);
+        idx = (idx + 1) % n;
+    }
+}
+
+void
+placeContiguousChunks(PageTable &pt, Addr base, Bytes size,
+                      const std::vector<NodeId> &nodes, Bytes align_bytes)
+{
+    ladm_assert(!nodes.empty(), "need at least one node");
+    const size_t n = nodes.size();
+    Bytes chunk = ceilDiv(size, n);
+    chunk = roundUp(chunk, pt.pageSize());
+    if (align_bytes > 0)
+        chunk = roundUp(chunk, align_bytes);
+
+    Addr a = base;
+    for (size_t i = 0; i < n && a < base + size; ++i) {
+        Bytes len = std::min<Bytes>(chunk, base + size - a);
+        // The final node absorbs any residue from alignment rounding.
+        if (i == n - 1)
+            len = base + size - a;
+        pt.place(a, len, nodes[i]);
+        a += len;
+    }
+}
+
+Bytes
+strideInterleaveGranule(Bytes stride_bytes, int num_nodes, Bytes page_size)
+{
+    ladm_assert(num_nodes > 0, "need at least one node");
+    if (stride_bytes == 0)
+        return page_size;
+    Bytes per_node = ceilDiv(stride_bytes, num_nodes);
+    return roundUp(std::max<Bytes>(per_node, 1), page_size);
+}
+
+void
+placeHierarchical(PageTable &pt, Addr base, Bytes size,
+                  const SystemConfig &sys, Bytes granule, Bytes align_bytes)
+{
+    const int gpus = sys.numGpus;
+    const int chiplets = sys.chipletsPerGpu;
+    Bytes gpu_chunk = roundUp(ceilDiv(size, gpus), pt.pageSize());
+    if (align_bytes > 0)
+        gpu_chunk = roundUp(gpu_chunk, align_bytes);
+
+    Addr a = base;
+    for (int g = 0; g < gpus && a < base + size; ++g) {
+        Bytes len = std::min<Bytes>(gpu_chunk, base + size - a);
+        if (g == gpus - 1)
+            len = base + size - a;
+        std::vector<NodeId> local(chiplets);
+        for (int c = 0; c < chiplets; ++c)
+            local[c] = sys.nodeOf(g, c);
+        if (granule != 0)
+            placeInterleaved(pt, a, len, local, granule);
+        else
+            placeContiguousChunks(pt, a, len, local, align_bytes);
+        a += len;
+    }
+}
+
+} // namespace ladm

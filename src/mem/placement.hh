@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Page-placement mechanisms.
+ *
+ * This module provides the *mechanisms* every evaluated technique is built
+ * from; the *policy* decisions (which mechanism, with which parameters,
+ * for which allocation) live in the runtime layer (LASP) and in the
+ * baseline policy bundles:
+ *
+ *  - interleaved placement at an arbitrary granule (round-robin page
+ *    interleave [79], CODA sub-page interleave [36], LASP stride-aware and
+ *    column-based placement via Eq. 1),
+ *  - contiguous chunking (kernel-wide data partitioning [51], LASP
+ *    row-based placement aligned to data rows),
+ *  - hierarchical two-level variants of both (chunks to GPUs, then the
+ *    inner mechanism across the chiplets of each GPU),
+ *  - first-touch (reactive; see mem/uvm.hh).
+ */
+
+#ifndef LADM_MEM_PLACEMENT_HH
+#define LADM_MEM_PLACEMENT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/address.hh"
+#include "mem/page_table.hh"
+
+namespace ladm
+{
+
+struct SystemConfig;
+
+/**
+ * Interleave [base, base+size) across @p nodes round-robin at @p granule
+ * bytes. The granule is rounded up to a whole number of pages. Node i gets
+ * granules i, i+N, i+2N, ...
+ */
+void placeInterleaved(PageTable &pt, Addr base, Bytes size,
+                      const std::vector<NodeId> &nodes, Bytes granule);
+
+/**
+ * Interleave at sector granularity without page rounding: the hardware
+ * sub-page address mapping CODA proposes [36]. Only meaningful on a
+ * machine modelled as having that hardware.
+ */
+void placeInterleavedSubPage(PageTable &pt, Addr base, Bytes size,
+                             const std::vector<NodeId> &nodes,
+                             Bytes granule);
+
+/**
+ * Split [base, base+size) into nodes.size() contiguous page-aligned chunks;
+ * chunk i goes to nodes[i]. If @p align_bytes is nonzero, chunk boundaries
+ * are additionally aligned down to a multiple of it (used to keep whole
+ * data-structure rows on one node).
+ */
+void placeContiguousChunks(PageTable &pt, Addr base, Bytes size,
+                           const std::vector<NodeId> &nodes,
+                           Bytes align_bytes = 0);
+
+/**
+ * LASP stride-aware interleaving granule (Equation 1 of the paper):
+ * the contiguous bytes each node owns so that a threadblock striding by
+ * @p stride_bytes revisits its own node every iteration, rounded up to
+ * whole pages.
+ */
+Bytes strideInterleaveGranule(Bytes stride_bytes, int num_nodes,
+                              Bytes page_size);
+
+/**
+ * Hierarchical two-level placement: the allocation is first split into
+ * numGpus contiguous chunks; each chunk is then placed across that GPU's
+ * chiplet nodes either interleaved at @p granule (granule != 0) or as
+ * contiguous sub-chunks (granule == 0, alignment @p align_bytes).
+ */
+void placeHierarchical(PageTable &pt, Addr base, Bytes size,
+                       const SystemConfig &sys, Bytes granule,
+                       Bytes align_bytes = 0);
+
+/** The node list [0, n) in natural order. */
+std::vector<NodeId> allNodes(int n);
+
+} // namespace ladm
+
+#endif // LADM_MEM_PLACEMENT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unified Virtual Memory first-touch model.
+ *
+ * Under Batch+FT [5], pages are not placed at allocation time; the first
+ * access from any node page-faults the page in from system memory and homes
+ * it at the faulting node, stalling the requesting SM for tens of
+ * microseconds. The paper's "Batch+FT-optimal" configuration assumes this
+ * fault costs zero cycles; both variants are supported via faultCycles.
+ */
+
+#ifndef LADM_MEM_UVM_HH
+#define LADM_MEM_UVM_HH
+
+#include "common/types.hh"
+#include "mem/page_table.hh"
+
+namespace ladm
+{
+
+class Uvm
+{
+  public:
+    /**
+     * @param fault_cycles SM-visible stall per page fault (0 = optimal)
+     */
+    explicit Uvm(Cycles fault_cycles) : faultCycles_(fault_cycles) {}
+
+    /**
+     * Resolve the home node of @p addr, faulting the page to
+     * @p toucher_node if it is unmapped.
+     *
+     * @param[out] stall extra cycles the requester must absorb (0 on a
+     *                   regular translation, faultCycles on first touch)
+     * @return the page's home node after resolution
+     */
+    NodeId
+    touch(PageTable &pt, Addr addr, NodeId toucher_node, Cycles &stall)
+    {
+        NodeId home = pt.lookup(addr);
+        if (home != kInvalidNode) {
+            stall = 0;
+            return home;
+        }
+        pt.place(addr, 1, toucher_node);
+        ++faults_;
+        stall = faultCycles_;
+        return toucher_node;
+    }
+
+    uint64_t faults() const { return faults_; }
+    void reset() { faults_ = 0; }
+
+  private:
+    Cycles faultCycles_;
+    uint64_t faults_ = 0;
+};
+
+} // namespace ladm
+
+#endif // LADM_MEM_UVM_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * LadmRuntime: the LASP runtime system plus CRB (Fig. 5 end-to-end flow).
+ *
+ * The compile() phase runs the static index analysis and fills the
+ * locality table. On every kernel launch, prepareLaunch() binds the
+ * kernel's pointer arguments to their allocations (MallocPC matching),
+ * proactively places each data structure per its detected locality type,
+ * selects one threadblock scheduler -- breaking data-structure
+ * disagreements in favor of the *larger* structure (Section III-D2) --
+ * and picks the L2 insertion policy via compiler-assisted remote-request
+ * bypassing (RONCE for ITL kernels, RTWICE otherwise).
+ */
+
+#ifndef LADM_RUNTIME_LADM_RUNTIME_HH
+#define LADM_RUNTIME_LADM_RUNTIME_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/insertion_policy.hh"
+#include "compiler/locality_table.hh"
+#include "config/system_config.hh"
+#include "mem/page_table.hh"
+#include "runtime/malloc_registry.hh"
+#include "sched/scheduler.hh"
+
+namespace ladm
+{
+
+/** Everything the execution layer needs to run one kernel. */
+struct LaunchPlan
+{
+    std::shared_ptr<TbScheduler> scheduler;
+    L2InsertPolicy policy = L2InsertPolicy::RTwice;
+    /** Per-argument placement descriptions, for reports. */
+    std::vector<std::string> notes;
+    /** Why this scheduler won the tie-break. */
+    std::string schedulerReason;
+};
+
+class LadmRuntime
+{
+  public:
+    explicit LadmRuntime(const SystemConfig &sys) : sys_(sys) {}
+
+    /** Static compilation pass over a kernel (fills the locality table). */
+    void compile(const KernelDesc &kernel) { table_.compileKernel(kernel); }
+
+    /**
+     * Prepare one launch: bind args, place data, pick scheduler + policy.
+     *
+     * @param kernel   the (previously compiled) kernel
+     * @param dims     launch geometry
+     * @param arg_pcs  MallocPC of the allocation behind each argument
+     * @param reg      allocation registry
+     * @param pt       page table to place into
+     */
+    LaunchPlan prepareLaunch(const KernelDesc &kernel,
+                             const LaunchDims &dims,
+                             const std::vector<uint64_t> &arg_pcs,
+                             const MallocRegistry &reg, PageTable &pt);
+
+    const LocalityTable &table() const { return table_; }
+
+    // --- ablation knobs -----------------------------------------------------
+    /** Force RTWICE or RONCE instead of the CRB decision. */
+    void setForcedPolicy(std::optional<L2InsertPolicy> p)
+    {
+        forcedPolicy_ = p;
+    }
+    /** Disable the larger-structure tie-break (first classified arg wins). */
+    void setTieBreakLargest(bool v) { tieBreakLargest_ = v; }
+
+  private:
+    SystemConfig sys_;
+    LocalityTable table_;
+    std::optional<L2InsertPolicy> forcedPolicy_;
+    bool tieBreakLargest_ = true;
+};
+
+} // namespace ladm
+
+#endif // LADM_RUNTIME_LADM_RUNTIME_HH

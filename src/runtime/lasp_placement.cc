@@ -1,0 +1,176 @@
+#include "runtime/lasp_placement.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "kernel/datablock.hh"
+#include "mem/placement.hh"
+#include "sched/binding.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+/**
+ * Row-based placement for horizontally-moving shared accesses (Table II
+ * rows 2-3): the strip that sharing group g walks starts at that group's
+ * loop-invariant offset; successive group starts bound the strips. Each
+ * strip goes to nodeOfGroup(g), the same map the binding scheduler uses.
+ */
+std::string
+placeRowStrips(PageTable &pt, const SystemConfig &sys,
+               const Allocation &alloc, const ArrayAccess &access,
+               const LaunchDims &dims, bool group_is_row)
+{
+    const int64_t groups = group_is_row ? dims.grid.y : dims.grid.x;
+    if (groups <= 1) {
+        placeContiguousChunks(pt, alloc.base, alloc.size,
+                              allNodes(sys.numNodes()), 0);
+        return "row-based (degenerate: kernel-wide chunks)";
+    }
+
+    // Group starts must be monotone for strips to tile the structure; if
+    // the expression says otherwise, fall back to kernel-wide chunks.
+    std::vector<Bytes> starts(groups);
+    for (int64_t g = 0; g < groups; ++g) {
+        const int64_t bx = group_is_row ? 0 : g;
+        const int64_t by = group_is_row ? g : 0;
+        starts[g] = tbStartOffset(access, dims, bx, by);
+        if (g > 0 && starts[g] <= starts[g - 1]) {
+            placeContiguousChunks(pt, alloc.base, alloc.size,
+                                  allNodes(sys.numNodes()), 0);
+            return "row-based (non-monotone starts: kernel-wide chunks)";
+        }
+    }
+    // Guard against degenerate strips (e.g. a transposed output whose
+    // group starts are only a few elements apart): if the strips would be
+    // wildly unbalanced, the mapping is not really row-based.
+    const Bytes mean_strip = alloc.size / groups;
+    const Bytes last_strip = alloc.size - starts[groups - 1];
+    if (last_strip > 4 * mean_strip) {
+        placeContiguousChunks(pt, alloc.base, alloc.size,
+                              allNodes(sys.numNodes()), 0);
+        return "row-based (unbalanced strips: kernel-wide chunks)";
+    }
+
+    for (int64_t g = 0; g < groups; ++g) {
+        const Bytes start = starts[g];
+        if (start >= alloc.size)
+            break;
+        const Bytes end =
+            (g + 1 < groups) ? std::min<Bytes>(starts[g + 1], alloc.size)
+                             : alloc.size;
+        pt.place(alloc.base + start, end - start,
+                 nodeOfGroup(g, groups, sys));
+    }
+    // Leading bytes before the first strip (if any) join group 0's node.
+    if (starts[0] > 0)
+        pt.place(alloc.base, starts[0], nodeOfGroup(0, groups, sys));
+    return "row-based strips over " + std::to_string(groups) + " groups";
+}
+
+/**
+ * Page-exact co-placement for no-stride NL structures: invert the affine
+ * loop-invariant start offset to find which threadblock owns each page,
+ * then home the page on that threadblock's node.
+ */
+std::string
+placeByTbMap(PageTable &pt, const SystemConfig &sys,
+             const Allocation &alloc, const ArrayAccess &access,
+             const LaunchDims &dims, const std::vector<NodeId> &tb_node,
+             Bytes stride_bytes)
+{
+    const int64_t c0 =
+        static_cast<int64_t>(tbStartOffset(access, dims, 0, 0));
+    const int64_t cbx =
+        static_cast<int64_t>(tbStartOffset(access, dims, 1, 0)) - c0;
+    const int64_t cby =
+        dims.grid.y > 1
+            ? static_cast<int64_t>(tbStartOffset(access, dims, 0, 1)) - c0
+            : 0;
+    if (cbx < 0 || cby < 0 || (cbx == 0 && cby == 0)) {
+        placeContiguousChunks(pt, alloc.base, alloc.size,
+                              allNodes(sys.numNodes()), 0);
+        return "co-placement not invertible: kernel-wide chunks";
+    }
+
+    const Bytes page = pt.pageSize();
+    for (Bytes off = 0; off < alloc.size; off += page) {
+        // With a threadblock stride, the structure tiles into
+        // stride-sized slabs all owned by the same grid of starts
+        // (the datablock of iteration m sits at start + m*stride).
+        // Ownership is probed at the page's midpoint so the majority
+        // owner wins when a datablock or slab boundary falls mid-page.
+        int64_t o = static_cast<int64_t>(off + page / 2) - c0;
+        if (stride_bytes > 0 && o >= 0)
+            o %= static_cast<int64_t>(stride_bytes);
+        int64_t by = 0;
+        int64_t rem = o;
+        if (cby > 0) {
+            by = std::clamp<int64_t>(o / cby, 0, dims.grid.y - 1);
+            rem = o - by * cby;
+        }
+        int64_t bx = 0;
+        if (cbx > 0)
+            bx = std::clamp<int64_t>(rem / cbx, 0, dims.grid.x - 1);
+        pt.place(alloc.base + off, page, tb_node[dims.tbId(bx, by)]);
+    }
+    return "co-placed with owning threadblocks (page-exact)";
+}
+
+} // namespace
+
+std::string
+laspPlaceArg(PageTable &pt, const SystemConfig &sys,
+             const Allocation &alloc, const AccessClassification &cls,
+             const ArrayAccess &access, const LaunchDims &dims,
+             const std::vector<NodeId> &tb_node)
+{
+    const int n = sys.numNodes();
+    const Bytes page = pt.pageSize();
+
+    switch (cls.type) {
+      case LocalityType::NoLocality: {
+        // Stride-aware placement, generalized: every datablock of every
+        // iteration (the structure tiles into stride-sized slabs) is
+        // touched by exactly one threadblock, so home each page with its
+        // owner under the scheduler that actually won the tie-break.
+        // This realizes Eq. 1's intent exactly even when the stride is
+        // not divisible by nodes x pageSize (where literal round-robin
+        // interleaving at the Eq. 1 granule would drift); the Eq. 1
+        // granule still sizes the align-aware scheduler's batches.
+        const Bytes stride = cls.strideBytes(dims, access.elemSize);
+        return placeByTbMap(pt, sys, alloc, access, dims, tb_node,
+                            stride);
+      }
+
+      case LocalityType::RowHoriz:
+        return placeRowStrips(pt, sys, alloc, access, dims,
+                              /*group_is_row=*/true);
+      case LocalityType::ColHoriz:
+        return placeRowStrips(pt, sys, alloc, access, dims,
+                              /*group_is_row=*/false);
+
+      case LocalityType::RowVert:
+      case LocalityType::ColVert: {
+        // Vertical motion: the per-iteration stride is the structure's
+        // row width; Eq. 1 interleaving puts each column chunk on the
+        // node of the grid group that shares it.
+        const Bytes row_width = cls.strideBytes(dims, access.elemSize);
+        const Bytes g = strideInterleaveGranule(row_width, n, page);
+        placeInterleaved(pt, alloc.base, alloc.size, allNodes(n), g);
+        return "column-based RR, granule " + std::to_string(g);
+      }
+
+      case LocalityType::IntraThread:
+      case LocalityType::Unclassified:
+        placeContiguousChunks(pt, alloc.base, alloc.size, allNodes(n), 0);
+        return "kernel-wide contiguous chunks";
+    }
+    ladm_panic("unhandled locality type");
+}
+
+} // namespace ladm

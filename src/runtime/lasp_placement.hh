@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LASP data placement (Section III-D1): given the compiler's
+ * classification of how a kernel accesses one data structure, write the
+ * page-table mapping that co-locates each datablock with the node whose
+ * threadblocks will touch it.
+ *
+ * Table II placement actions:
+ *  - row 1  (no locality):      stride-aware round-robin at the Eq. 1
+ *                               granule; page-granularity round-robin when
+ *                               there is no stride; kernel-wide contiguous
+ *                               chunks for 2-D (stencil-style) grids where
+ *                               contiguity preserves adjacency locality.
+ *  - rows 2-3 (horizontal motion): row-based placement -- the contiguous
+ *                               strip each sharing group (grid row or
+ *                               column) walks goes to that group's node.
+ *  - rows 4-5 (vertical motion):   column-based placement -- round-robin
+ *                               interleave at Eq. 1 with the structure's
+ *                               row width as the stride, which lands each
+ *                               column chunk on its sharing group's node.
+ *  - rows 6-7 (ITL/unclassified):  kernel-wide contiguous chunks.
+ */
+
+#ifndef LADM_RUNTIME_LASP_PLACEMENT_HH
+#define LADM_RUNTIME_LASP_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/index_analysis.hh"
+#include "config/system_config.hh"
+#include "kernel/kernel_desc.hh"
+#include "mem/address.hh"
+#include "mem/page_table.hh"
+
+namespace ladm
+{
+
+/**
+ * Place allocation @p alloc for the launch described by @p dims according
+ * to classification @p cls of its representative access @p access.
+ *
+ * @param tb_node the chosen scheduler's TB -> node map; LASP co-places
+ *                every no-stride NL structure page-exactly with the
+ *                threadblocks that touch it, whatever scheduler won the
+ *                tie-break.
+ * @return a human-readable description of the decision (for reports).
+ */
+std::string laspPlaceArg(PageTable &pt, const SystemConfig &sys,
+                         const Allocation &alloc,
+                         const AccessClassification &cls,
+                         const ArrayAccess &access, const LaunchDims &dims,
+                         const std::vector<NodeId> &tb_node);
+
+} // namespace ladm
+
+#endif // LADM_RUNTIME_LASP_PLACEMENT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MallocRegistry: the simulated cudaMallocManaged() bookkeeping.
+ *
+ * Each call site is identified by its MallocPC; the registry assigns
+ * page-aligned virtual ranges in the unified address space and lets the
+ * runtime bind locality-table rows (compiled against argument indices) to
+ * concrete allocations, exactly the binding Fig. 5 describes.
+ */
+
+#ifndef LADM_RUNTIME_MALLOC_REGISTRY_HH
+#define LADM_RUNTIME_MALLOC_REGISTRY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/address.hh"
+
+namespace ladm
+{
+
+class MallocRegistry
+{
+  public:
+    /**
+     * @param page_size  alignment granularity for new allocations
+     * @param guard      unmapped gap left between allocations so placement
+     *                   bugs surface as unmapped accesses, not silent
+     *                   cross-structure hits
+     */
+    explicit MallocRegistry(Bytes page_size = 4096,
+                            Bytes guard = 1 << 20);
+
+    /** Allocate @p size bytes for call site @p malloc_pc. */
+    Addr mallocManaged(uint64_t malloc_pc, Bytes size,
+                       const std::string &name);
+
+    /** Allocation registered under @p malloc_pc; fatal if absent. */
+    const Allocation &byPc(uint64_t malloc_pc) const;
+
+    /** Allocation containing @p addr, or nullptr. */
+    const Allocation *byAddr(Addr addr) const;
+
+    const std::vector<Allocation> &all() const { return allocs_; }
+    Bytes totalBytes() const;
+
+  private:
+    Bytes pageSize_;
+    Bytes guard_;
+    Addr next_;
+    std::vector<Allocation> allocs_;
+};
+
+} // namespace ladm
+
+#endif // LADM_RUNTIME_MALLOC_REGISTRY_HH

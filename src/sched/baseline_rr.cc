@@ -1,0 +1,17 @@
+#include "sched/baseline_rr.hh"
+
+namespace ladm
+{
+
+std::vector<std::vector<TbId>>
+BaselineRrScheduler::assign(const LaunchDims &dims,
+                            const SystemConfig &sys) const
+{
+    std::vector<std::vector<TbId>> q(sys.numNodes());
+    const int n = sys.numNodes();
+    for (TbId tb = 0; tb < dims.numTbs(); ++tb)
+        q[tb % n].push_back(tb);
+    return q;
+}
+
+} // namespace ladm

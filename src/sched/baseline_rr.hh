@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Baseline fine-grained round-robin scheduler (adopted from [79]):
+ * TB i runs on node i mod N. Oblivious to pages, strides, and hierarchy.
+ */
+
+#ifndef LADM_SCHED_BASELINE_RR_HH
+#define LADM_SCHED_BASELINE_RR_HH
+
+#include "sched/scheduler.hh"
+
+namespace ladm
+{
+
+class BaselineRrScheduler : public TbScheduler
+{
+  public:
+    std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+
+    std::string name() const override { return "baseline-rr"; }
+};
+
+} // namespace ladm
+
+#endif // LADM_SCHED_BASELINE_RR_HH

@@ -1,0 +1,27 @@
+#include "sched/batched_rr.hh"
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+BatchedRrScheduler::BatchedRrScheduler(int64_t batch, std::string label)
+    : batch_(batch), label_(std::move(label))
+{
+    ladm_assert(batch >= 1, "batch must be >= 1");
+}
+
+std::vector<std::vector<TbId>>
+BatchedRrScheduler::assign(const LaunchDims &dims,
+                           const SystemConfig &sys) const
+{
+    std::vector<std::vector<TbId>> q(sys.numNodes());
+    const int n = sys.numNodes();
+    for (TbId tb = 0; tb < dims.numTbs(); ++tb) {
+        const int64_t b = tb / batch_;
+        q[b % n].push_back(tb);
+    }
+    return q;
+}
+
+} // namespace ladm

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Batched round-robin scheduler: contiguous batches of TBs dealt to nodes
+ * in round-robin order.
+ *
+ * With a fixed batch (4-8) this is the Batch+FT scheduler of MCM-GPU [5].
+ * With a page-aligned batch computed from the threadblock data width it is
+ * CODA's alignment-aware scheduler [36]. With the dynamic batch of Eq. 2
+ * (pageSize / datablockSize, possibly scaled to the stride-aware placement
+ * granule) it is LASP's alignment-aware scheduler. The batch -> node map
+ * is periodic (batch k -> node k mod N), which is what couples it to
+ * round-robin interleaved data placement.
+ */
+
+#ifndef LADM_SCHED_BATCHED_RR_HH
+#define LADM_SCHED_BATCHED_RR_HH
+
+#include "sched/scheduler.hh"
+
+namespace ladm
+{
+
+class BatchedRrScheduler : public TbScheduler
+{
+  public:
+    /**
+     * @param batch TBs per batch (>= 1)
+     * @param label name shown in reports
+     */
+    explicit BatchedRrScheduler(int64_t batch,
+                                std::string label = "batched-rr");
+
+    std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+
+    std::string name() const override { return label_; }
+
+    int64_t batch() const { return batch_; }
+
+  private:
+    int64_t batch_;
+    std::string label_;
+};
+
+} // namespace ladm
+
+#endif // LADM_SCHED_BATCHED_RR_HH

@@ -1,0 +1,46 @@
+#include "sched/binding.hh"
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+NodeId
+nodeOfGroup(int64_t group, int64_t num_groups, const SystemConfig &sys)
+{
+    ladm_assert(group >= 0 && group < num_groups, "group ", group,
+                " out of range [0, ", num_groups, ")");
+    const int64_t n = sys.numNodes();
+    int64_t node = group * n / num_groups;
+    if (node >= n)
+        node = n - 1;
+    return static_cast<NodeId>(node);
+}
+
+std::vector<std::vector<TbId>>
+RowBindingScheduler::assign(const LaunchDims &dims,
+                            const SystemConfig &sys) const
+{
+    std::vector<std::vector<TbId>> q(sys.numNodes());
+    for (int64_t by = 0; by < dims.grid.y; ++by) {
+        const NodeId node = nodeOfGroup(by, dims.grid.y, sys);
+        for (int64_t bx = 0; bx < dims.grid.x; ++bx)
+            q[node].push_back(dims.tbId(bx, by));
+    }
+    return q;
+}
+
+std::vector<std::vector<TbId>>
+ColBindingScheduler::assign(const LaunchDims &dims,
+                            const SystemConfig &sys) const
+{
+    std::vector<std::vector<TbId>> q(sys.numNodes());
+    for (int64_t bx = 0; bx < dims.grid.x; ++bx) {
+        const NodeId node = nodeOfGroup(bx, dims.grid.x, sys);
+        for (int64_t by = 0; by < dims.grid.y; ++by)
+            q[node].push_back(dims.tbId(bx, by));
+    }
+    return q;
+}
+
+} // namespace ladm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Row- and column-binding schedulers (Table II rows 2-5) and the shared
+ * group -> node maps that keep threadblock scheduling and data placement
+ * coupled.
+ *
+ * The hierarchical-affinity rule (Section III-D2) assigns contiguous
+ * groups of grid rows (or columns) to the same discrete GPU. We realize it
+ * with a proportional contiguous map at both hierarchy levels (adjacent
+ * groups share a chiplet, nearby groups share a GPU) instead of the
+ * paper's round-robin dealing across chiplets within a GPU: contiguity
+ * preserves the same locality properties while keeping the data-placement
+ * <-> scheduling coupling exact, because LASP's row/column-based *data*
+ * placement uses this very map, so a data row always lands with the
+ * threadblock row that reads it (documented as a substitution in
+ * DESIGN.md).
+ */
+
+#ifndef LADM_SCHED_BINDING_HH
+#define LADM_SCHED_BINDING_HH
+
+#include "sched/scheduler.hh"
+
+namespace ladm
+{
+
+/**
+ * Node owning sharing-group @p group of @p num_groups total (a group is
+ * one grid row for row binding, one grid column for column binding).
+ * Proportional contiguous chunking: node = group * N / num_groups.
+ */
+NodeId nodeOfGroup(int64_t group, int64_t num_groups,
+                   const SystemConfig &sys);
+
+/** All TBs with the same blockIdx.y run on nodeOfGroup(by, gridDim.y). */
+class RowBindingScheduler : public TbScheduler
+{
+  public:
+    std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+
+    std::string name() const override { return "row-binding"; }
+};
+
+/** All TBs with the same blockIdx.x run on nodeOfGroup(bx, gridDim.x). */
+class ColBindingScheduler : public TbScheduler
+{
+  public:
+    std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+
+    std::string name() const override { return "col-binding"; }
+};
+
+} // namespace ladm
+
+#endif // LADM_SCHED_BINDING_HH

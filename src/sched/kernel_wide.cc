@@ -1,0 +1,25 @@
+#include "sched/kernel_wide.hh"
+
+#include "common/bitutils.hh"
+
+namespace ladm
+{
+
+std::vector<std::vector<TbId>>
+KernelWideScheduler::assign(const LaunchDims &dims,
+                            const SystemConfig &sys) const
+{
+    const int n = sys.numNodes();
+    std::vector<std::vector<TbId>> q(n);
+    const int64_t total = dims.numTbs();
+    const int64_t chunk = static_cast<int64_t>(ceilDiv(total, n));
+    for (TbId tb = 0; tb < total; ++tb) {
+        int64_t node = tb / chunk;
+        if (node >= n)
+            node = n - 1;
+        q[node].push_back(tb);
+    }
+    return q;
+}
+
+} // namespace ladm

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Kernel-wide grid partitioning (Milic et al. [51]): the linearized grid
+ * is split into N contiguous chunks, one per node. Also LASP's fallback
+ * for intra-thread-locality and unclassified kernels (Table II rows 6-7)
+ * and its contiguous-launch choice for stencil-style kernels, where
+ * minimizing grid cuts minimizes boundary traffic.
+ */
+
+#ifndef LADM_SCHED_KERNEL_WIDE_HH
+#define LADM_SCHED_KERNEL_WIDE_HH
+
+#include "sched/scheduler.hh"
+
+namespace ladm
+{
+
+class KernelWideScheduler : public TbScheduler
+{
+  public:
+    std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+
+    std::string name() const override { return "kernel-wide"; }
+};
+
+} // namespace ladm
+
+#endif // LADM_SCHED_KERNEL_WIDE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * TbScheduler: assignment of a kernel's threadblocks to NUMA nodes.
+ *
+ * A scheduler receives the launch geometry and the machine shape and
+ * returns one ordered TB queue per node; the execution engine dispatches
+ * from a node's queue to its SMs dynamically. Every technique the paper
+ * evaluates is one of these (or a per-kernel choice among them made by the
+ * LASP runtime).
+ */
+
+#ifndef LADM_SCHED_SCHEDULER_HH
+#define LADM_SCHED_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/system_config.hh"
+#include "kernel/kernel_desc.hh"
+
+namespace ladm
+{
+
+class TbScheduler
+{
+  public:
+    virtual ~TbScheduler() = default;
+
+    /**
+     * Assign every TB of the launch to a node.
+     * @return per-node ordered TB queues covering each TB exactly once.
+     */
+    virtual std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys) const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Flattened TB -> node map (derived from assign()). */
+    std::vector<NodeId>
+    nodeMap(const LaunchDims &dims, const SystemConfig &sys) const
+    {
+        std::vector<NodeId> map(dims.numTbs(), 0);
+        const auto queues = assign(dims, sys);
+        for (size_t n = 0; n < queues.size(); ++n)
+            for (const TbId tb : queues[n])
+                map[tb] = static_cast<NodeId>(n);
+        return map;
+    }
+};
+
+} // namespace ladm
+
+#endif // LADM_SCHED_SCHEDULER_HH

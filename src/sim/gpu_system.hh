@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GpuSystem: one simulated machine instance -- configuration, memory
+ * system, and a running clock across kernel launches.
+ */
+
+#ifndef LADM_SIM_GPU_SYSTEM_HH
+#define LADM_SIM_GPU_SYSTEM_HH
+
+#include <vector>
+
+#include "cache/insertion_policy.hh"
+#include "config/system_config.hh"
+#include "sim/kernel_engine.hh"
+#include "sim/memory_system.hh"
+#include "sim/trace_source.hh"
+
+namespace ladm
+{
+
+class GpuSystem
+{
+  public:
+    explicit GpuSystem(const SystemConfig &cfg)
+        : cfg_(cfg), mem_(cfg), engine_(cfg_, mem_)
+    {
+    }
+
+    /**
+     * Run one kernel to completion.
+     *
+     * @param dims         launch geometry
+     * @param trace        workload access generator
+     * @param node_queues  per-node TB assignment from the scheduler
+     * @param policy       L2 insertion policy for this kernel (CRB output)
+     * @param flush_caches software-coherence invalidation at the boundary
+     */
+    KernelRunStats
+    runKernel(const LaunchDims &dims, TraceSource &trace,
+              const std::vector<std::vector<TbId>> &node_queues,
+              L2InsertPolicy policy, bool flush_caches = true)
+    {
+        if (flush_caches)
+            mem_.flushCaches();
+        mem_.setInsertPolicy(policy);
+        KernelRunStats s = engine_.run(dims, trace, node_queues, now_);
+        now_ = s.endCycle;
+        return s;
+    }
+
+    MemorySystem &mem() { return mem_; }
+    const MemorySystem &mem() const { return mem_; }
+    const SystemConfig &config() const { return cfg_; }
+    Cycles now() const { return now_; }
+
+  private:
+    SystemConfig cfg_;
+    MemorySystem mem_;
+    KernelEngine engine_;
+    Cycles now_ = 0;
+};
+
+} // namespace ladm
+
+#endif // LADM_SIM_GPU_SYSTEM_HH

@@ -1,0 +1,168 @@
+#include "sim/kernel_engine.hh"
+
+#include <array>
+#include <queue>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+struct WarpState
+{
+    TbId tb = 0;
+    int warpInTb = 0;
+    SmId sm = 0;
+    int64_t step = 0;
+    /** Completion times of the last in-flight steps (pipeline window). */
+    std::array<Cycles, 4> doneRing{};
+};
+
+struct SmState
+{
+    int residentTbs = 0;
+    int freeWarpSlots = 0;
+};
+
+/** Min-heap entry: next action time of a warp slot. */
+struct Event
+{
+    Cycles time;
+    uint32_t warp;
+
+    bool operator>(const Event &o) const { return time > o.time; }
+};
+
+} // namespace
+
+KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
+    : cfg_(cfg), mem_(mem)
+{
+}
+
+KernelRunStats
+KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
+                  const std::vector<std::vector<TbId>> &node_queues,
+                  Cycles start)
+{
+    const int num_nodes = cfg_.numNodes();
+    ladm_assert(static_cast<int>(node_queues.size()) == num_nodes,
+                "scheduler produced ", node_queues.size(),
+                " node queues for ", num_nodes, " nodes");
+
+    const int warps_per_tb =
+        static_cast<int>(ceilDiv(dims.threadsPerTb(), cfg_.warpSize));
+    if (warps_per_tb > cfg_.warpSlotsPerSm) {
+        ladm_fatal("threadblock needs ", warps_per_tb,
+                   " warps but an SM has only ", cfg_.warpSlotsPerSm,
+                   " slots");
+    }
+
+    int64_t assigned = 0;
+    for (const auto &q : node_queues)
+        assigned += static_cast<int64_t>(q.size());
+    ladm_assert(assigned == dims.numTbs(), "scheduler assigned ", assigned,
+                " TBs, launch has ", dims.numTbs());
+
+    KernelRunStats stats;
+    stats.startCycle = start;
+    stats.endCycle = start;
+    stats.tbCount = dims.numTbs();
+
+    // Per-node dispatch cursor and per-TB remaining-warp counts.
+    std::vector<size_t> cursor(num_nodes, 0);
+    std::vector<int> tb_warps_left(dims.numTbs(), 0);
+
+    std::vector<SmState> sms(cfg_.totalSms());
+    for (auto &s : sms)
+        s.freeWarpSlots = cfg_.warpSlotsPerSm;
+
+    std::vector<WarpState> warps;
+    std::vector<uint32_t> free_warps;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+
+    auto admit = [&](SmId sm, Cycles now) {
+        const NodeId node = cfg_.nodeOfSm(sm);
+        auto &q = node_queues[node];
+        SmState &st = sms[sm];
+        while (st.residentTbs < cfg_.maxResidentTbsPerSm &&
+               st.freeWarpSlots >= warps_per_tb && cursor[node] < q.size()) {
+            const TbId tb = q[cursor[node]++];
+            ++st.residentTbs;
+            st.freeWarpSlots -= warps_per_tb;
+            tb_warps_left[tb] = warps_per_tb;
+            for (int w = 0; w < warps_per_tb; ++w) {
+                uint32_t slot;
+                if (!free_warps.empty()) {
+                    slot = free_warps.back();
+                    free_warps.pop_back();
+                } else {
+                    slot = static_cast<uint32_t>(warps.size());
+                    warps.emplace_back();
+                }
+                warps[slot] = WarpState{tb, w, sm, 0, {}};
+                pq.push(Event{now, slot});
+            }
+        }
+    };
+
+    for (SmId sm = 0; sm < cfg_.totalSms(); ++sm)
+        admit(sm, start);
+
+    const int depth = std::clamp(cfg_.warpPipelineDepth, 1, 4);
+
+    std::vector<MemAccess> buf;
+    while (!pq.empty()) {
+        const Event ev = pq.top();
+        pq.pop();
+        WarpState &w = warps[ev.warp];
+
+        buf.clear();
+        if (!trace.warpStep(w.tb, w.warpInTb, w.step, buf)) {
+            // Warp retired; pipelined steps may still be outstanding, so
+            // the warp is done only when the newest completion lands.
+            Cycles fin = ev.time;
+            for (const Cycles d : w.doneRing)
+                fin = std::max(fin, d);
+            SmState &st = sms[w.sm];
+            ++st.freeWarpSlots;
+            free_warps.push_back(ev.warp);
+            if (--tb_warps_left[w.tb] == 0) {
+                --st.residentTbs;
+                admit(w.sm, fin);
+            }
+            stats.endCycle = std::max(stats.endCycle, fin);
+            continue;
+        }
+
+        Cycles done = ev.time;
+        for (const auto &a : buf)
+            done = std::max(done, mem_.access(ev.time, w.sm, a.addr,
+                                              a.write));
+        stats.totalStepLatency += done - ev.time;
+        stats.maxStepLatency = std::max(stats.maxStepLatency,
+                                        done - ev.time);
+        stats.sectorAccesses += buf.size();
+        ++stats.warpSteps;
+        // A warp may run `depth` loop iterations ahead of the oldest
+        // outstanding one: the next step issues once the step `depth`
+        // iterations back has completed (scoreboard dependence), but no
+        // earlier than the compute gap after this issue.
+        w.doneRing[w.step % depth] = done;
+        const Cycles dep = w.doneRing[(w.step + 1) % depth];
+        ++w.step;
+        const Cycles next = std::max(ev.time + cfg_.computeGapCycles,
+                                     dep + cfg_.computeGapCycles);
+        pq.push(Event{next, ev.warp});
+    }
+
+    stats.warpInstrs =
+        static_cast<double>(stats.warpSteps) * trace.instrsPerStep();
+    return stats;
+}
+
+} // namespace ladm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * KernelEngine: event-driven execution of one kernel launch.
+ *
+ * The engine walks every threadblock's warps through their trace steps
+ * (see sim/trace_source.hh) with the machine's real concurrency limits:
+ * warp slots and resident-TB limits per SM, dynamic TB dispatch within a
+ * node (an SM pulls the next block from its node's queue as soon as one
+ * retires), and memory timing from MemorySystem. The only events are warp
+ * wake-ups, kept in a min-heap so shared bandwidth servers observe
+ * requests in global time order.
+ */
+
+#ifndef LADM_SIM_KERNEL_ENGINE_HH
+#define LADM_SIM_KERNEL_ENGINE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "config/system_config.hh"
+#include "kernel/kernel_desc.hh"
+#include "sim/memory_system.hh"
+#include "sim/trace_source.hh"
+
+namespace ladm
+{
+
+/** Outcome of one kernel execution. */
+struct KernelRunStats
+{
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+    uint64_t warpSteps = 0;
+    uint64_t sectorAccesses = 0;
+    double warpInstrs = 0.0;
+    int64_t tbCount = 0;
+    /** Aggregate warp-step service time (diagnostics). */
+    Cycles totalStepLatency = 0;
+    Cycles maxStepLatency = 0;
+
+    Cycles cycles() const { return endCycle - startCycle; }
+};
+
+class KernelEngine
+{
+  public:
+    KernelEngine(const SystemConfig &cfg, MemorySystem &mem);
+
+    /**
+     * Execute a kernel to completion.
+     *
+     * @param dims        launch geometry
+     * @param trace       workload access generator
+     * @param node_queues per-node ordered TB lists from the scheduler;
+     *                    must cover every TB exactly once
+     * @param start       cycle at which the launch begins
+     */
+    KernelRunStats run(const LaunchDims &dims, TraceSource &trace,
+                       const std::vector<std::vector<TbId>> &node_queues,
+                       Cycles start);
+
+  private:
+    const SystemConfig &cfg_;
+    MemorySystem &mem_;
+};
+
+} // namespace ladm
+
+#endif // LADM_SIM_KERNEL_ENGINE_HH

@@ -1,0 +1,313 @@
+#include "sim/memory_system.hh"
+
+#include "common/logging.hh"
+#include "mem/address.hh"
+
+namespace ladm
+{
+
+MemorySystem::MemorySystem(const SystemConfig &cfg)
+    : cfg_(cfg), pageTable_(cfg.pageSize), uvm_(cfg.pageFaultCycles),
+      net_(makeNetwork(cfg)),
+      migration_(cfg.migrationThreshold, cfg.migrationLatencyCycles,
+                 cfg.pageSize)
+{
+    cfg_.validate();
+    const int nodes = cfg_.numNodes();
+    const int sms = cfg_.totalSms();
+    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
+
+    l1_.reserve(sms);
+    for (int s = 0; s < sms; ++s)
+        l1_.emplace_back(cfg_.l1SizePerSm, cfg_.l1Assoc,
+                         "l1.sm" + std::to_string(s));
+
+    l2_.reserve(nodes);
+    dram_.reserve(static_cast<size_t>(nodes) * channels);
+    xbar_.reserve(nodes);
+    pending_.resize(nodes);
+    pendingSweepAt_.assign(nodes, 1u << 20);
+    const double chan_bpc =
+        cfg_.bytesPerCycle(cfg_.memBwPerChipletGBs) / channels;
+    const double xbar_bpc = cfg_.bytesPerCycle(cfg_.intraChipletXbarGBs);
+    for (int n = 0; n < nodes; ++n) {
+        l2_.emplace_back(cfg_.l2SizePerChiplet, cfg_.l2Assoc,
+                         "l2.node" + std::to_string(n));
+        for (int c = 0; c < channels; ++c)
+            dram_.emplace_back(chan_bpc, cfg_.dramLatencyCycles);
+        xbar_.emplace_back(xbar_bpc, Cycles{0});
+    }
+    if (cfg_.hbmCapacityPerNode > 0) {
+        host_ = std::make_unique<HostMemory>(
+            nodes, cfg_.hbmCapacityPerNode,
+            cfg_.bytesPerCycle(cfg_.hostLinkGBs), cfg_.hostFaultCycles,
+            cfg_.pageSize);
+    }
+}
+
+Dram &
+MemorySystem::dramFor(NodeId node, Addr addr)
+{
+    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
+    // Channel-interleave at line granularity with a spreading hash.
+    const uint64_t line = addr / kLineSize;
+    const size_t chan =
+        static_cast<size_t>((line ^ (line >> 7)) % channels);
+    return dram_[static_cast<size_t>(node) * channels + chan];
+}
+
+uint64_t
+MemorySystem::dramAccesses(NodeId n) const
+{
+    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
+    uint64_t v = 0;
+    for (int c = 0; c < channels; ++c)
+        v += dram_[static_cast<size_t>(n) * channels + c].accesses();
+    return v;
+}
+
+Cycles
+MemorySystem::dramBusyCycles(NodeId n) const
+{
+    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
+    Cycles v = 0;
+    for (int c = 0; c < channels; ++c)
+        v += dram_[static_cast<size_t>(n) * channels + c].busyCycles();
+    return v;
+}
+
+void
+MemorySystem::countClass(NodeId origin, NodeId home, NodeId here, bool hit)
+{
+    const int c = static_cast<int>(classifyTraffic(origin, home, here));
+    ++clsAcc_[c];
+    if (hit)
+        ++clsHit_[c];
+}
+
+void
+MemorySystem::handleEviction(Cycles now, NodeId node, const EvictInfo &ev)
+{
+    if (!ev.evicted || ev.dirtyMask == 0)
+        return;
+    const int dirty = __builtin_popcount(ev.dirtyMask);
+    writebackSectors_ += dirty;
+    const Bytes bytes = static_cast<Bytes>(dirty) * kSectorSize;
+    NodeId home = pageTable_.lookup(ev.lineAddr);
+    if (home == kInvalidNode)
+        home = node;
+    // Fire-and-forget: the writeback consumes bandwidth but nobody waits.
+    if (home != node)
+        net_->routeDelay(now, node, home, bytes);
+    dramFor(home, ev.lineAddr).book(now, bytes);
+}
+
+Cycles
+MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
+{
+    // The issue time `now` is globally monotone (the engine processes
+    // warp events in time order), so every bandwidth resource along the
+    // path is booked at `now` and contributes a delay; see the ordering
+    // contract in common/bandwidth_server.hh. Booking downstream
+    // resources at their actual (future) arrival times instead would
+    // interleave non-monotone timestamps and manufacture phantom
+    // serialization.
+    addr = sectorBase(addr);
+    const NodeId node = cfg_.nodeOfSm(sm);
+
+    // L1: reads allocate; writes are write-through no-allocate (GPU L1s
+    // do not hold dirty global data).
+    if (!write) {
+        ++l1Accesses_;
+        if (l1_[sm].access(addr, false, true) == AccessResult::Hit) {
+            ++l1Hits_;
+            return now + cfg_.l1LatencyCycles;
+        }
+    }
+    Cycles delay = cfg_.l1LatencyCycles;
+
+    // SM <-> L2 crossbar within the chiplet.
+    {
+        const Cycles d = xbar_[node].book(now, kSectorSize);
+        delayXbar_ += d;
+        delay += d;
+    }
+
+    // Outstanding-miss merge (MSHR): if this sector is already in flight
+    // from this node, ride along.
+    auto &pend = pending_[node];
+    if (auto it = pend.find(addr); it != pend.end()) {
+        if (it->second > now + delay) {
+            ++mshrMerges_;
+            return it->second;
+        }
+        pend.erase(it);
+    }
+
+    // Requester-side L2: the dynamic shared L2 [51] caches whatever its
+    // own SMs touch; without remote caching it only holds local-homed
+    // lines (memory-side L2).
+    const NodeId mapped_home = pageTable_.lookup(addr);
+    const bool req_alloc = cfg_.remoteCachingL2 ||
+                           mapped_home == kInvalidNode ||
+                           mapped_home == node;
+    EvictInfo ev;
+    const AccessResult r2 = l2_[node].access(addr, write, req_alloc, &ev);
+    if (r2 == AccessResult::Hit) {
+        const NodeId home =
+            mapped_home == kInvalidNode ? node : mapped_home;
+        countClass(node, home, node, true);
+        return now + delay + cfg_.l2LatencyCycles;
+    }
+
+    Cycles fault_stall = 0;
+    const NodeId home = uvm_.touch(pageTable_, addr, node, fault_stall);
+    delay += fault_stall + cfg_.l2LatencyCycles;
+    countClass(node, home, node, false);
+    handleEviction(now, node, ev);
+
+    if (cfg_.pageMigration) {
+        delay += migration_.onFetch(pageTable_, *net_, now, addr, node,
+                                    home);
+    }
+
+    if (host_) {
+        // Oversubscription: the page must be device-resident at its
+        // home. A page that was already mapped before this access was
+        // placed proactively (LASP prefetch); an unmapped one is being
+        // first-touched right now, i.e. a reactive demand fault.
+        delay += host_->ensureResident(
+            now, addr, home, /*proactive=*/mapped_home != kInvalidNode);
+    }
+
+    if (home == node) {
+        ++fetchLocal_;
+        const Cycles d = dramFor(node, addr).book(now, kSectorSize);
+        delayDram_ += d;
+        delay += d;
+    } else {
+        ++fetchRemote_;
+        // Read: small request out, sector back. Write: sector out, ack
+        // back.
+        {
+            const Cycles d = net_->routeDelay(now, node, home,
+                                              write ? kSectorSize
+                                                    : kCtrlBytes);
+            delayNet_ += d;
+            delay += d;
+        }
+
+        const bool alloc = homeSideAllocates(policy_, true);
+        EvictInfo ev_home;
+        const AccessResult r3 = l2_[home].access(addr, write, alloc,
+                                                 &ev_home);
+        countClass(node, home, home, r3 == AccessResult::Hit);
+        handleEviction(now, home, ev_home);
+        delay += cfg_.l2LatencyCycles;
+        if (r3 != AccessResult::Hit) {
+            const Cycles d = dramFor(home, addr).book(now, kSectorSize);
+            delayDram_ += d;
+            delay += d;
+        }
+
+        {
+            const Cycles d = net_->routeDelay(now, home, node,
+                                              write ? kCtrlBytes
+                                                    : kSectorSize);
+            delayNet_ += d;
+            delay += d;
+        }
+    }
+
+    // Bound the outstanding-miss table: expired entries are dead
+    // weight. The sweep is amortized -- after each pass the next
+    // watermark doubles from whatever survived, so a table full of
+    // still-in-flight entries cannot trigger an O(n) scan per access.
+    if (pend.size() >= pendingSweepAt_[node]) {
+        for (auto it = pend.begin(); it != pend.end();) {
+            if (it->second <= now)
+                it = pend.erase(it);
+            else
+                ++it;
+        }
+        pendingSweepAt_[node] =
+            std::max<size_t>(2 * pend.size(), 1u << 20);
+    }
+    const Cycles done = now + delay;
+    pend[addr] = done;
+    return done;
+}
+
+void
+MemorySystem::flushCaches()
+{
+    for (auto &c : l1_)
+        writebackSectors_ += c.invalidateAll();
+    for (auto &c : l2_)
+        writebackSectors_ += c.invalidateAll();
+    for (auto &p : pending_)
+        p.clear();
+}
+
+double
+MemorySystem::offChipFraction() const
+{
+    const uint64_t total = fetchLocal_ + fetchRemote_;
+    return total ? static_cast<double>(fetchRemote_) / total : 0.0;
+}
+
+uint64_t
+MemorySystem::l2Accesses() const
+{
+    uint64_t v = 0;
+    for (const auto &c : l2_)
+        v += c.accesses();
+    return v;
+}
+
+uint64_t
+MemorySystem::l2Hits() const
+{
+    uint64_t v = 0;
+    for (const auto &c : l2_)
+        v += c.hits();
+    return v;
+}
+
+uint64_t
+MemorySystem::l2SectorMisses() const
+{
+    uint64_t v = 0;
+    for (const auto &c : l2_)
+        v += c.sectorMisses() + c.lineMisses();
+    return v;
+}
+
+void
+MemorySystem::resetStats()
+{
+    fetchLocal_ = 0;
+    fetchRemote_ = 0;
+    l1Hits_ = 0;
+    l1Accesses_ = 0;
+    mshrMerges_ = 0;
+    writebackSectors_ = 0;
+    delayXbar_ = 0;
+    delayNet_ = 0;
+    delayDram_ = 0;
+    clsAcc_.fill(0);
+    clsHit_.fill(0);
+    uvm_.reset();
+    migration_.reset();
+    if (host_)
+        host_->reset();
+    for (auto &c : l1_)
+        c.resetStats();
+    for (auto &c : l2_)
+        c.resetStats();
+    // Note: bandwidth servers and the network keep cumulative byte counts;
+    // they are owned per-experiment so a fresh MemorySystem is the usual
+    // way to reset them fully.
+}
+
+} // namespace ladm

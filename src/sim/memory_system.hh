@@ -1,0 +1,164 @@
+/**
+ * @file
+ * MemorySystem: the full NUMA memory path of the simulated machine.
+ *
+ * Request flow (dynamic shared L2 with remote caching, after Milic [51]):
+ *
+ *   SM --L1--> chiplet crossbar --> local L2 partition
+ *        hit: done
+ *        miss: translate (UVM first-touch may fault) -> home node
+ *              home == local:  local HBM
+ *              home != local:  request over fabric -> home L2
+ *                              (insertion policy: RTWICE caches it,
+ *                               RONCE bypasses) -> home HBM on miss
+ *                              -> data response back over fabric
+ *
+ * Timing is computed forward through bandwidth servers at issue; the
+ * caller (the execution engine) is handed the completion cycle. All the
+ * traffic accounting for Figs. 10/11 lives here.
+ */
+
+#ifndef LADM_SIM_MEMORY_SYSTEM_HH
+#define LADM_SIM_MEMORY_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/insertion_policy.hh"
+#include "cache/traffic_class.hh"
+#include "common/bandwidth_server.hh"
+#include "common/types.hh"
+#include "config/system_config.hh"
+#include "interconnect/network.hh"
+#include "mem/dram.hh"
+#include "mem/host_memory.hh"
+#include "mem/migration.hh"
+#include "mem/page_table.hh"
+#include "mem/uvm.hh"
+
+namespace ladm
+{
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemConfig &cfg);
+
+    /**
+     * Issue a sector access from SM @p sm at cycle @p now.
+     * @return completion cycle of the access.
+     */
+    Cycles access(Cycles now, SmId sm, Addr addr, bool write);
+
+    /** Set the L2 insertion policy for the next kernel (CRB decision). */
+    void setInsertPolicy(L2InsertPolicy p) { policy_ = p; }
+    L2InsertPolicy insertPolicy() const { return policy_; }
+
+    /**
+     * Kernel-boundary software coherence: invalidate every L1 and L2 and
+     * drop outstanding-miss tracking (the inter-kernel locality loss the
+     * paper attributes to [51]'s scheme).
+     */
+    void flushCaches();
+
+    /** The page table placement policies write into. */
+    PageTable &pageTable() { return pageTable_; }
+    const PageTable &pageTable() const { return pageTable_; }
+
+    // --- statistics ---------------------------------------------------------
+    /** Requester-side L2 misses served by local HBM. */
+    uint64_t fetchLocal() const { return fetchLocal_; }
+    /** Requester-side L2 misses that crossed a chiplet boundary. */
+    uint64_t fetchRemote() const { return fetchRemote_; }
+    /** Fraction [0,1] of fetches that left the node (Fig. 10 metric). */
+    double offChipFraction() const;
+
+    uint64_t l2Accesses() const;
+    uint64_t l2Hits() const;
+    uint64_t l2SectorMisses() const;
+    uint64_t l1Hits() const { return l1Hits_; }
+    uint64_t l1Accesses() const { return l1Accesses_; }
+    uint64_t uvmFaults() const { return uvm_.faults(); }
+    uint64_t mshrMerges() const { return mshrMerges_; }
+    Cycles delayXbar() const { return delayXbar_; }
+    Cycles delayNet() const { return delayNet_; }
+    Cycles delayDram() const { return delayDram_; }
+
+    /** Per-traffic-class L2 accesses / hits (Fig. 11). */
+    uint64_t classAccesses(TrafficClass c) const
+    {
+        return clsAcc_[static_cast<int>(c)];
+    }
+    uint64_t classHits(TrafficClass c) const
+    {
+        return clsHit_[static_cast<int>(c)];
+    }
+
+    const Network &network() const { return *net_; }
+    const SectoredCache &l2(NodeId n) const { return l2_[n]; }
+    /** Aggregate DRAM accesses / busy cycles over a node's channels. */
+    uint64_t dramAccesses(NodeId n) const;
+    Cycles dramBusyCycles(NodeId n) const;
+    uint64_t pageMigrations() const { return migration_.migrations(); }
+    uint64_t hostDemandFaults() const
+    {
+        return host_ ? host_->demandFaults() : 0;
+    }
+    uint64_t hostPrefetches() const
+    {
+        return host_ ? host_->prefetches() : 0;
+    }
+    uint64_t hostEvictions() const
+    {
+        return host_ ? host_->evictions() : 0;
+    }
+
+    /** Reset all statistics (not cache contents). */
+    void resetStats();
+
+  private:
+    void handleEviction(Cycles now, NodeId node, const EvictInfo &ev);
+    void countClass(NodeId origin, NodeId home, NodeId here, bool hit);
+
+    const SystemConfig cfg_;
+    PageTable pageTable_;
+    Uvm uvm_;
+    Dram &dramFor(NodeId node, Addr addr);
+
+    std::vector<SectoredCache> l1_;     // per SM
+    std::vector<SectoredCache> l2_;     // per node
+    std::vector<Dram> dram_;            // per node x channel
+    std::vector<BandwidthServer> xbar_; // per node SM<->L2 crossbar
+    MigrationEngine migration_;
+    std::unique_ptr<HostMemory> host_; // oversubscription model (opt.)
+    std::unique_ptr<Network> net_;
+    L2InsertPolicy policy_ = L2InsertPolicy::RTwice;
+
+    /** Outstanding-miss table per node: sector -> data-ready cycle. */
+    std::vector<std::unordered_map<Addr, Cycles>> pending_;
+    /** Per-node size watermark for the amortized pending-table sweep. */
+    std::vector<size_t> pendingSweepAt_;
+
+    /** Control-message size for remote read requests / write acks. */
+    static constexpr Bytes kCtrlBytes = 8;
+
+    uint64_t fetchLocal_ = 0;
+    uint64_t fetchRemote_ = 0;
+    /** Aggregate delay contributed by each path component (diagnostics). */
+    Cycles delayXbar_ = 0;
+    Cycles delayNet_ = 0;
+    Cycles delayDram_ = 0;
+    uint64_t l1Hits_ = 0;
+    uint64_t l1Accesses_ = 0;
+    uint64_t mshrMerges_ = 0;
+    uint64_t writebackSectors_ = 0;
+    std::array<uint64_t, kNumTrafficClasses> clsAcc_{};
+    std::array<uint64_t, kNumTrafficClasses> clsHit_{};
+};
+
+} // namespace ladm
+
+#endif // LADM_SIM_MEMORY_SYSTEM_HH

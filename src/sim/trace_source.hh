@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The interface between workload models and the execution engine.
+ *
+ * A workload presents each threadblock as a set of warps; each warp
+ * executes a sequence of *steps* (one step = one iteration of the kernel's
+ * outermost loop for that warp). A step yields the coalesced 32-byte
+ * sector accesses the warp issues in that iteration; the engine issues
+ * them concurrently, waits for the slowest, charges the compute gap, and
+ * advances to the next step.
+ */
+
+#ifndef LADM_SIM_TRACE_SOURCE_HH
+#define LADM_SIM_TRACE_SOURCE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ladm
+{
+
+/** One coalesced sector access issued by a warp. */
+struct MemAccess
+{
+    Addr addr = 0;      ///< any byte address inside the target sector
+    bool write = false;
+};
+
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the accesses of step @p step of warp @p warp of threadblock
+     * @p tb into @p out (cleared by the caller).
+     *
+     * @return true if the step exists (out may legitimately be empty --
+     *         a compute-only iteration); false when the warp has retired
+     *         all of its steps.
+     */
+    virtual bool warpStep(TbId tb, int warp, int64_t step,
+                          std::vector<MemAccess> &out) = 0;
+
+    /**
+     * Average dynamic warp instructions represented by one step; used
+     * only for the MPKI characterization stat (Table IV), not timing.
+     */
+    virtual double instrsPerStep() const { return 10.0; }
+};
+
+} // namespace ladm
+
+#endif // LADM_SIM_TRACE_SOURCE_HH

@@ -1,0 +1,170 @@
+#include "workloads/access_gen.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "mem/address.hh"
+#include "workloads/workload.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+/** Reject monomials mixing a thread id with a block id or the loop var:
+ *  those would make lane offsets depend on (bx, by, m). */
+void
+checkSeparable(const Expr &idx)
+{
+    for (const auto &t : idx.terms()) {
+        const bool thread = t.hasVar(Var::Tx) || t.hasVar(Var::Ty);
+        const bool outer = t.hasVar(Var::Bx) || t.hasVar(Var::By) ||
+                           t.hasVar(Var::M);
+        ladm_assert(!(thread && outer),
+                    "index mixes thread and block/loop ids in one term: ",
+                    idx.toString());
+    }
+}
+
+} // namespace
+
+AffineTraceSource::AffineTraceSource(const KernelDesc &kernel,
+                                     const LaunchDims &dims,
+                                     std::vector<Allocation> args)
+    : dims_(dims)
+{
+    warpsPerTb_ = static_cast<int>(ceilDiv(dims.threadsPerTb(), 32));
+    steps_ = std::max<int64_t>(1, dims.loopTrips);
+
+    int per_iter_sites = 0;
+    for (const auto &a : kernel.accesses) {
+        ladm_assert(a.arg >= 0 && a.arg < static_cast<int>(args.size()),
+                    "access arg out of range");
+
+        Site s;
+        s.base = args[a.arg].base;
+        s.size = args[a.arg].size;
+        s.elemSize = a.elemSize;
+        s.write = a.isWrite;
+        s.perIter = a.perIteration();
+        s.index = a.index;
+        s.scatter = a.index.dependsOn(Var::DataDep);
+        if (s.perIter)
+            ++per_iter_sites;
+        if (s.scatter) {
+            sites_.push_back(std::move(s));
+            continue;
+        }
+        checkSeparable(a.index);
+
+        // Precompute per-warp lane byte offsets (relative to lane 0).
+        s.laneOffsets.resize(warpsPerTb_);
+        const int64_t threads = dims.threadsPerTb();
+        for (int w = 0; w < warpsPerTb_; ++w) {
+            const int64_t tid0 = static_cast<int64_t>(w) * 32;
+            const Binding b0 = dims.binding(tid0 % dims.block.x,
+                                            tid0 / dims.block.x);
+            const int64_t a0 = a.index.eval(b0);
+            auto &offs = s.laneOffsets[w];
+            for (int64_t l = 1; l < 32 && tid0 + l < threads; ++l) {
+                const int64_t tid = tid0 + l;
+                const Binding bl = dims.binding(tid % dims.block.x,
+                                                tid / dims.block.x);
+                const int64_t delta =
+                    (a.index.eval(bl) - a0) *
+                    static_cast<int64_t>(a.elemSize);
+                offs.push_back(delta);
+            }
+        }
+        sites_.push_back(std::move(s));
+    }
+    // Rough dynamic-instruction weight per step: address math + loads
+    // plus the loop bookkeeping. Only used for the MPKI report.
+    instrsPerStep_ = 4.0 + 2.0 * per_iter_sites;
+}
+
+namespace
+{
+
+/** splitmix64-style hash for deterministic scatter addresses. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+AffineTraceSource::emitSite(const Site &site, TbId tb, int warp, int64_t m,
+                            std::vector<MemAccess> &out) const
+{
+    if (site.scatter) {
+        // Data-dependent scatter/gather: a short burst of pseudo-random
+        // sectors inside the structure (partial coalescing assumed).
+        const uint64_t sectors = site.size / kSectorSize;
+        uint64_t h = mix((static_cast<uint64_t>(tb) << 20) ^
+                         (static_cast<uint64_t>(warp) << 14) ^
+                         static_cast<uint64_t>(m));
+        for (int i = 0; i < 4; ++i) {
+            h = mix(h);
+            const Addr sec = site.base + (h % sectors) * kSectorSize;
+            out.push_back({sec, site.write});
+        }
+        return;
+    }
+    const int64_t tid0 = static_cast<int64_t>(warp) * 32;
+    const Binding b = dims_.binding(tid0 % dims_.block.x,
+                                    tid0 / dims_.block.x, dims_.bxOf(tb),
+                                    dims_.byOf(tb), m);
+    const Addr a0 =
+        site.base + static_cast<Addr>(site.index.eval(b)) * site.elemSize;
+
+    const size_t first = out.size();
+    out.push_back({sectorBase(a0), site.write});
+    for (const int64_t delta : site.laneOffsets[warp]) {
+        const Addr sec = sectorBase(a0 + delta);
+        bool dup = false;
+        for (size_t i = first; i < out.size(); ++i) {
+            if (out[i].addr == sec) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            out.push_back({sec, site.write});
+    }
+}
+
+bool
+AffineTraceSource::warpStep(TbId tb, int warp, int64_t step,
+                            std::vector<MemAccess> &out)
+{
+    if (step >= steps_)
+        return false;
+    const bool last = (step == steps_ - 1);
+    for (const auto &site : sites_) {
+        if (site.perIter)
+            emitSite(site, tb, warp, step, out);
+        else if (last)
+            emitSite(site, tb, warp, step, out);
+    }
+    return true;
+}
+
+std::unique_ptr<TraceSource>
+BasicWorkload::makeTrace(const MallocRegistry &reg)
+{
+    std::vector<Allocation> args;
+    for (const uint64_t pc : argPcs())
+        args.push_back(reg.byPc(pc));
+    return std::make_unique<AffineTraceSource>(kernel_, dims_,
+                                               std::move(args));
+}
+
+} // namespace ladm

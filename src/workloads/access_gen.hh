@@ -1,0 +1,75 @@
+/**
+ * @file
+ * AffineTraceSource: warp-level access generation straight from a
+ * kernel's symbolic index expressions.
+ *
+ * Because every supported expression is affine in the thread ids with
+ * dim-only coefficients, the byte offsets between a warp's lanes are
+ * constant across (bx, by, m). They are precomputed once per
+ * (access site, warp position); each step then needs a single polynomial
+ * evaluation for lane 0 plus a cheap sector dedup over the lane offsets.
+ */
+
+#ifndef LADM_WORKLOADS_ACCESS_GEN_HH
+#define LADM_WORKLOADS_ACCESS_GEN_HH
+
+#include <vector>
+
+#include "kernel/kernel_desc.hh"
+#include "mem/address.hh"
+#include "sim/trace_source.hh"
+
+namespace ladm
+{
+
+class AffineTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param kernel kernel descriptor (affine accesses must be affine in
+     *               tx/ty and free of thread-id x loop-id cross terms;
+     *               accesses whose index contains DataDep are generated
+     *               as a small burst of deterministic pseudo-random
+     *               sectors within the argument's allocation, modelling
+     *               scatter/gather behind partial coalescing)
+     * @param dims   launch geometry
+     * @param args   allocation behind each kernel argument
+     */
+    AffineTraceSource(const KernelDesc &kernel, const LaunchDims &dims,
+                      std::vector<Allocation> args);
+
+    bool warpStep(TbId tb, int warp, int64_t step,
+                  std::vector<MemAccess> &out) override;
+
+    double instrsPerStep() const override { return instrsPerStep_; }
+
+    int warpsPerTb() const { return warpsPerTb_; }
+    int64_t stepsPerWarp() const { return steps_; }
+
+  private:
+    struct Site
+    {
+        Addr base = 0;
+        Bytes size = 0;
+        Bytes elemSize = 4;
+        bool write = false;
+        bool perIter = true;
+        bool scatter = false; ///< data-dependent: random sectors
+        Expr index;
+        /** Per warp-in-TB: unique lane byte offsets relative to lane 0. */
+        std::vector<std::vector<int64_t>> laneOffsets;
+    };
+
+    void emitSite(const Site &site, TbId tb, int warp, int64_t m,
+                  std::vector<MemAccess> &out) const;
+
+    LaunchDims dims_;
+    int warpsPerTb_;
+    int64_t steps_;
+    double instrsPerStep_;
+    std::vector<Site> sites_;
+};
+
+} // namespace ladm
+
+#endif // LADM_WORKLOADS_ACCESS_GEN_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Factories for the 27 Table IV workloads.
+ *
+ * @p scale multiplies the linear problem size (grid dimensions and the
+ * data they cover); 1.0 is this repo's default evaluation size, chosen so
+ * the full Fig. 9 sweep simulates in minutes while preserving every
+ * workload's shape (grid geometry, locality type, compute/traffic ratio).
+ */
+
+#ifndef LADM_WORKLOADS_CATALOG_HH
+#define LADM_WORKLOADS_CATALOG_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+
+// --- no-locality (NL) --------------------------------------------------------
+std::unique_ptr<Workload> makeVecAdd(double scale = 1.0);
+std::unique_ptr<Workload> makeScalarProd(double scale = 1.0);
+std::unique_ptr<Workload> makeBlackScholes(double scale = 1.0);
+std::unique_ptr<Workload> makeHistoFinal(double scale = 1.0);
+std::unique_ptr<Workload> makeReductionK6(double scale = 1.0);
+
+// --- NL stencils -------------------------------------------------------------
+std::unique_ptr<Workload> makeSrad(double scale = 1.0);
+std::unique_ptr<Workload> makeHotspot(double scale = 1.0);
+std::unique_ptr<Workload> makeHotspot3D(double scale = 1.0);
+
+// --- row/column locality (RCL) ----------------------------------------------
+std::unique_ptr<Workload> makeConv(double scale = 1.0);
+std::unique_ptr<Workload> makeHistoMain(double scale = 1.0);
+std::unique_ptr<Workload> makeFwtK2(double scale = 1.0);
+std::unique_ptr<Workload> makeSqGemm(double scale = 1.0);
+std::unique_ptr<Workload> makeAlexnetFc2(double scale = 1.0);
+std::unique_ptr<Workload> makeVggnetFc2(double scale = 1.0);
+std::unique_ptr<Workload> makeResnet50Fc(double scale = 1.0);
+std::unique_ptr<Workload> makeLstm1(double scale = 1.0);
+std::unique_ptr<Workload> makeLstm2(double scale = 1.0);
+std::unique_ptr<Workload> makeTranspose(double scale = 1.0);
+
+// --- intra-thread locality (ITL) ----------------------------------------------
+std::unique_ptr<Workload> makePageRank(double scale = 1.0);
+std::unique_ptr<Workload> makeBfsRelax(double scale = 1.0);
+std::unique_ptr<Workload> makeSssp(double scale = 1.0);
+std::unique_ptr<Workload> makeRandomLoc(double scale = 1.0);
+std::unique_ptr<Workload> makeKmeansNoTex(double scale = 1.0);
+std::unique_ptr<Workload> makeSpmvJds(double scale = 1.0);
+
+// --- unclassified --------------------------------------------------------------
+std::unique_ptr<Workload> makeBPlusTree(double scale = 1.0);
+std::unique_ptr<Workload> makeLbm(double scale = 1.0);
+std::unique_ptr<Workload> makeStreamCluster(double scale = 1.0);
+
+} // namespace workloads
+} // namespace ladm
+
+#endif // LADM_WORKLOADS_CATALOG_HH

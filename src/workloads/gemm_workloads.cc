@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Row/column-locality (RCL) workload models: tiled GEMM (Fig. 6 of the
+ * paper), the deep-learning FC/LSTM GEMM layers, separable convolution,
+ * transpose, Fast Walsh Transform stage 2, and the Parboil histogram main
+ * phase. These are the workloads whose row/column sharing LASP's binding
+ * schedulers and row-/column-based placement exploit.
+ */
+
+#include "workloads/catalog.hh"
+#include "workloads/simple_workload.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+
+using namespace dsl;
+using detail::SimpleWorkload;
+using detail::scaled;
+
+namespace
+{
+
+/**
+ * The Fig. 6 square tiled matrix multiply: 16x16 blocks, A shared along
+ * grid rows (row-locality, horizontal motion), B shared along grid
+ * columns (column-locality, vertical motion), C written once.
+ *
+ * @param tiles matrices are (16*tiles)^2 elements
+ */
+std::unique_ptr<Workload>
+makeSquareGemm(const std::string &name, int64_t tiles)
+{
+    auto w = std::make_unique<SimpleWorkload>(name,
+                                              LocalityType::RowHoriz);
+    const int64_t width = tiles * 16;
+    const Bytes elems = static_cast<Bytes>(width) * width;
+    const int a = w->addArray(elems * 4, "A");
+    const int b = w->addArray(elems * 4, "B");
+    const int c = w->addArray(elems * 4, "C");
+    const Expr w_elems = gdx * bdx; // == width
+    // As[ty][tx] = A[(by*16 + ty) * W + m*16 + tx]
+    w->addAccess(a, (by * 16 + ty) * w_elems + m * 16 + tx, false, 4,
+                 AccessFreq::Auto, "A[row*W+m*T+tx]");
+    // Bs[ty][tx] = B[(m*16 + ty) * W + bx*16 + tx]
+    w->addAccess(b, (m * 16 + ty) * w_elems + bx * 16 + tx, false, 4,
+                 AccessFreq::Auto, "B[(m*T+ty)*W+col]");
+    // C[Row * W + Col] after the loop.
+    w->addAccess(c, (by * 16 + ty) * w_elems + bx * 16 + tx, true, 4,
+                 AccessFreq::Once, "C[row*W+col]");
+    w->setDims(tiles, tiles, 16, 16, tiles);
+    return w;
+}
+
+/**
+ * Rectangular DL GEMM: activations A (m_rows x k) x weights B (k x n)
+ * = C (m_rows x n), (32,4) blocks as in the SDK sgemm the paper uses.
+ * B (the weight matrix) is the larger structure, so LASP's input-size-
+ * aware tie-break picks the column-binding scheduler -- the behaviour
+ * Section IV-C validates on DGX-1.
+ */
+std::unique_ptr<Workload>
+makeDlGemm(const std::string &name, int64_t m_rows, int64_t k, int64_t n)
+{
+    auto w = std::make_unique<SimpleWorkload>(name,
+                                              LocalityType::ColVert);
+    // The (32,4) tile reads 32-wide but advances 16 per iteration; pad
+    // one chunk so the final row's overlap read stays in bounds.
+    const int a = w->addArray(
+        (static_cast<Bytes>(m_rows) * k + 16) * 4, "acts");
+    const int b = w->addArray(static_cast<Bytes>(k) * n * 4, "weights");
+    const int c = w->addArray(static_cast<Bytes>(m_rows) * n * 4, "out");
+    const Expr n_elems = gdx * bdx; // == n
+    // A[(by*4 + ty) * K + m*16 + tx]: row strip shared along grid rows.
+    w->addAccess(a, (by * bdy + ty) * k + m * 16 + tx, false, 4,
+                 AccessFreq::Auto, "A[row*K+m*T+tx]");
+    // Four unrolled loads cover 16 weight rows per iteration:
+    // B[(m*16 + ty + 4u) * N + bx*32 + tx], u = 0..3.
+    for (int u = 0; u < 4; ++u) {
+        w->addAccess(b, (m * 16 + ty + 4 * u) * n_elems + bx * bdx + tx,
+                     false, 4, AccessFreq::Auto,
+                     "B[(m*T+ty+" + std::to_string(4 * u) + ")*N+col]");
+    }
+    w->addAccess(c, (by * bdy + ty) * n_elems + bx * bdx + tx, true, 4,
+                 AccessFreq::Once, "C[row*N+col]");
+    w->setDims(n / 32, m_rows / 4, 32, 4, k / 16);
+    return w;
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSqGemm(double scale)
+{
+    return makeSquareGemm("SQ-GEMM", scaled(44, scale, 8));
+}
+
+std::unique_ptr<Workload>
+makeAlexnetFc2(double scale)
+{
+    const int64_t s = scaled(4, scale, 1);
+    return makeDlGemm("Alexnet-FC-2", 64, 256 * s, 512 * s);
+}
+
+std::unique_ptr<Workload>
+makeVggnetFc2(double scale)
+{
+    const int64_t s = scaled(4, scale, 1);
+    return makeDlGemm("VGGnet-FC-2", 64, 256 * s, 256 * s);
+}
+
+std::unique_ptr<Workload>
+makeResnet50Fc(double scale)
+{
+    const int64_t s = scaled(4, scale, 1);
+    return makeDlGemm("Resnet-50-FC", 64, 128 * s, 256 * s);
+}
+
+std::unique_ptr<Workload>
+makeLstm1(double scale)
+{
+    const int64_t s = scaled(4, scale, 1);
+    return makeDlGemm("LSTM-1", 64, 128 * s, 512 * s);
+}
+
+std::unique_ptr<Workload>
+makeLstm2(double scale)
+{
+    const int64_t s = scaled(4, scale, 1);
+    return makeDlGemm("LSTM-2", 32, 128 * s, 256 * s);
+}
+
+std::unique_ptr<Workload>
+makeConv(double scale)
+{
+    // Separable convolution rows pass: every block of grid row `by`
+    // sweeps the same row strip (row-locality, horizontal motion); the
+    // filter is a small broadcast structure.
+    auto w = std::make_unique<SimpleWorkload>("CONV",
+                                              LocalityType::RowHoriz);
+    const int64_t gx_dim = scaled(64, scale, 8);
+    const int64_t gy_dim = scaled(256, scale, 16);
+    const int64_t width = gx_dim * 16;
+    const int64_t height = gy_dim * 4;
+    const int in = w->addArray(
+        static_cast<Bytes>(width) * height * 4, "in");
+    const int flt = w->addArray(4096, "filter");
+    const int out = w->addArray(
+        static_cast<Bytes>(width) * height * 4, "out");
+    const Expr w_elems = gdx * bdx;
+    w->addAccess(in, (by * bdy + ty) * w_elems + m * bdx + tx, false, 4,
+                 AccessFreq::Auto, "in[row*W+m*T+tx]");
+    w->addAccess(flt, tx, false, 4, AccessFreq::Once, "filter[tx]");
+    w->addAccess(out, (by * bdy + ty) * w_elems + bx * bdx + tx, true, 4,
+                 AccessFreq::Once, "out[row*W+col]");
+    w->setDims(gx_dim, gy_dim, 16, 4, gx_dim);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeTranspose(double scale)
+{
+    // Tiled transpose: blocks of a grid row cooperatively sweep their
+    // input row strip and emit the transposed strip (row-locality).
+    auto w = std::make_unique<SimpleWorkload>("TRA",
+                                              LocalityType::RowHoriz);
+    const int64_t t = scaled(44, scale, 8);
+    const int64_t width = t * 16;
+    const Bytes elems = static_cast<Bytes>(width) * width;
+    const int in = w->addArray(elems * 4, "in");
+    const int out = w->addArray(elems * 4, "out");
+    const Expr w_elems = gdx * bdx;
+    const Expr h_elems = gdy * bdy;
+    w->addAccess(in, (by * bdy + ty) * w_elems + m * bdx + tx, false, 4,
+                 AccessFreq::Auto, "in[row*W+m*T+tx]");
+    w->addAccess(out, (m * bdx + ty) * h_elems + by * bdy + tx, true, 4,
+                 AccessFreq::Auto, "out[(m*T+ty)*H+row]");
+    w->setDims(t, t, 16, 16, t);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeFwtK2(double scale)
+{
+    // Fast Walsh Transform stage: every grid row (stage slice) re-reads
+    // the same column-interleaved data; blocks of one grid column share a
+    // column strip and stride down by a full row width.
+    auto w = std::make_unique<SimpleWorkload>("FWT-k2",
+                                              LocalityType::ColVert);
+    const int64_t gx_dim = scaled(64, scale, 8);
+    const int64_t gy_dim = scaled(16, scale, 4);
+    const int64_t trips = 32;
+    const int64_t width = gx_dim * 256;
+    const int data = w->addArray(
+        static_cast<Bytes>(width) * trips * 4, "data");
+    const int out = w->addArray(
+        static_cast<Bytes>(width) * gy_dim * 4, "stageOut");
+    const Expr w_elems = gdx * bdx;
+    w->addAccess(data, m * w_elems + bx * bdx + tx, false, 4,
+                 AccessFreq::Auto, "data[m*W+col]");
+    w->addAccess(out, by * w_elems + bx * bdx + tx, true, 4,
+                 AccessFreq::Once, "out[stage*W+col]");
+    w->setDims(gx_dim, gy_dim, 256, 1, trips);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeHistoMain(double scale)
+{
+    // Parboil histo main phase: blocks of one grid column sweep the same
+    // image column strip top to bottom (column-locality, vertical
+    // motion); histogram updates are data-dependent scatter writes.
+    auto w = std::make_unique<SimpleWorkload>("Histo-main",
+                                              LocalityType::ColVert);
+    const int64_t gx_dim = scaled(64, scale, 8);
+    const int64_t gy_dim = scaled(27, scale, 4);
+    const int64_t trips = 64;
+    const int64_t width = gx_dim * 16;
+    const int64_t height = trips * 16;
+    const int img = w->addArray(
+        static_cast<Bytes>(width) * height * 4, "img");
+    const int hist = w->addArray(1 << 20, "histo");
+    const int flags = w->addArray(
+        static_cast<Bytes>(width) * gy_dim * 4, "blockFlags");
+    const Expr w_elems = gdx * bdx;
+    w->addAccess(img, (m * bdy + ty) * w_elems + bx * bdx + tx, false, 4,
+                 AccessFreq::Auto, "img[(m*T+ty)*W+col]");
+    w->addAccess(hist, Expr::dataDep(), true, 4,
+                 AccessFreq::PerIteration, "histo[val]");
+    // Per-(block row) saturation flags, written after the sweep.
+    w->addAccess(flags, by * w_elems + bx * bdx + tx, true, 4,
+                 AccessFreq::Once, "flags[by*W+col]");
+    w->setDims(gx_dim, gy_dim, 16, 16, trips);
+    return w;
+}
+
+} // namespace workloads
+} // namespace ladm

@@ -1,0 +1,85 @@
+#include "workloads/registry.hh"
+
+#include <functional>
+#include <utility>
+
+#include "common/logging.hh"
+#include "workloads/catalog.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+
+namespace
+{
+
+using Factory = std::function<std::unique_ptr<Workload>(double)>;
+
+/** Table IV order. */
+const std::vector<std::pair<std::string, Factory>> &
+factories()
+{
+    static const std::vector<std::pair<std::string, Factory>> table = {
+        {"VecAdd", makeVecAdd},
+        {"SRAD", makeSrad},
+        {"HS", makeHotspot},
+        {"ScalarProd", makeScalarProd},
+        {"BLK", makeBlackScholes},
+        {"Histo-final", makeHistoFinal},
+        {"Reduction-k6", makeReductionK6},
+        {"Hotspot3D", makeHotspot3D},
+        {"CONV", makeConv},
+        {"Histo-main", makeHistoMain},
+        {"FWT-k2", makeFwtK2},
+        {"SQ-GEMM", makeSqGemm},
+        {"Alexnet-FC-2", makeAlexnetFc2},
+        {"VGGnet-FC-2", makeVggnetFc2},
+        {"Resnet-50-FC", makeResnet50Fc},
+        {"LSTM-1", makeLstm1},
+        {"LSTM-2", makeLstm2},
+        {"TRA", makeTranspose},
+        {"PageRank", makePageRank},
+        {"BFS-relax", makeBfsRelax},
+        {"SSSP", makeSssp},
+        {"Random-loc", makeRandomLoc},
+        {"Kmeans-noTex", makeKmeansNoTex},
+        {"SpMV-jds", makeSpmvJds},
+        {"B+tree", makeBPlusTree},
+        {"LBM", makeLbm},
+        {"StreamCluster", makeStreamCluster},
+    };
+    return table;
+}
+
+} // namespace
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, f] : factories())
+        names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, double scale)
+{
+    for (const auto &[n, f] : factories())
+        if (n == name)
+            return f(scale);
+    ladm_fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads(double scale)
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    for (const auto &[n, f] : factories())
+        out.push_back(f(scale));
+    return out;
+}
+
+} // namespace workloads
+} // namespace ladm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Name-indexed access to the Table IV workload catalog.
+ */
+
+#ifndef LADM_WORKLOADS_REGISTRY_HH
+#define LADM_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+
+/** All workload names in Table IV order. */
+std::vector<std::string> allWorkloadNames();
+
+/** Instantiate one workload by its Table IV name; fatal if unknown. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0);
+
+/** Instantiate the whole catalog. */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads(double scale = 1.0);
+
+} // namespace workloads
+} // namespace ladm
+
+#endif // LADM_WORKLOADS_REGISTRY_HH

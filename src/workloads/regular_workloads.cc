@@ -1,0 +1,144 @@
+/**
+ * @file
+ * No-locality (NL) workload models plus the regular ITL kmeans.
+ *
+ * Each model reproduces the dominant kernel's global access structure of
+ * the original benchmark: grid/block geometry, index expressions in prime
+ * components, loop trip counts, and data-structure sizes (scaled).
+ */
+
+#include "workloads/catalog.hh"
+#include "workloads/simple_workload.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+
+using namespace dsl;
+using detail::SimpleWorkload;
+using detail::gtid;
+using detail::scaled;
+
+std::unique_ptr<Workload>
+makeVecAdd(double scale)
+{
+    // CUDA SDK vectorAdd: C[i] = A[i] + B[i], i = bx*bdx + tx. One access
+    // per element, no loop, no reuse: the canonical page-alignment test.
+    auto w = std::make_unique<SimpleWorkload>("VecAdd",
+                                              LocalityType::NoLocality);
+    const int64_t tbs = scaled(10240, scale, 64);
+    const Bytes elems = static_cast<Bytes>(tbs) * 128;
+    const int a = w->addArray(elems * 4, "A");
+    const int b = w->addArray(elems * 4, "B");
+    const int c = w->addArray(elems * 4, "C");
+    w->addAccess(a, gtid(), false, 4, AccessFreq::Auto, "A[i]");
+    w->addAccess(b, gtid(), false, 4, AccessFreq::Auto, "B[i]");
+    w->addAccess(c, gtid(), true, 4, AccessFreq::Auto, "C[i]");
+    w->setDims(tbs, 1, 128, 1, 0);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeScalarProd(double scale)
+{
+    // CUDA SDK scalarProd: each block strides through its vector pair by
+    // gridDim.x * blockDim.x per iteration -> NL with an X stride.
+    auto w = std::make_unique<SimpleWorkload>("ScalarProd",
+                                              LocalityType::NoLocality);
+    const int64_t tbs = scaled(2048, scale, 64);
+    const int64_t trips = 8;
+    const Bytes elems = static_cast<Bytes>(tbs) * 256 * trips;
+    const int a = w->addArray(elems * 4, "A");
+    const int b = w->addArray(elems * 4, "B");
+    const int out = w->addArray(static_cast<Bytes>(tbs) * 4, "out");
+    const Expr idx = gtid() + m * gdx * bdx;
+    w->addAccess(a, idx, false, 4, AccessFreq::Auto, "A[i+m*stride]");
+    w->addAccess(b, idx, false, 4, AccessFreq::Auto, "B[i+m*stride]");
+    w->addAccess(out, bx, true, 4, AccessFreq::Once, "out[bx]");
+    w->setDims(tbs, 1, 256, 1, trips);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeBlackScholes(double scale)
+{
+    // CUDA SDK BlackScholes: five streams walked with a grid-wide stride.
+    auto w = std::make_unique<SimpleWorkload>("BLK",
+                                              LocalityType::NoLocality);
+    const int64_t tbs = scaled(1920, scale, 60);
+    const int64_t trips = 8;
+    const Bytes elems = static_cast<Bytes>(tbs) * 128 * trips;
+    const Expr idx = gtid() + m * gdx * bdx;
+    const char *names[5] = {"price", "strike", "years", "call", "put"};
+    for (int i = 0; i < 5; ++i) {
+        const int arg = w->addArray(elems * 4, names[i]);
+        w->addAccess(arg, idx, i >= 3, 4, AccessFreq::Auto, names[i]);
+    }
+    w->setDims(tbs, 1, 128, 1, trips);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeHistoFinal(double scale)
+{
+    // Parboil histo final phase: strided merge of per-block partial
+    // histograms into the final one.
+    auto w = std::make_unique<SimpleWorkload>("Histo-final",
+                                              LocalityType::NoLocality);
+    const int64_t tbs = scaled(1530, scale, 48);
+    const int64_t trips = 4;
+    const Bytes elems = static_cast<Bytes>(tbs) * 512 * trips;
+    const int in = w->addArray(elems * 4, "partials");
+    const int out = w->addArray(elems * 4, "final");
+    const Expr idx = gtid() + m * gdx * bdx;
+    w->addAccess(in, idx, false, 4, AccessFreq::Auto, "partials[i]");
+    w->addAccess(out, idx, true, 4, AccessFreq::Auto, "final[i]");
+    w->setDims(tbs, 1, 512, 1, trips);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeReductionK6(double scale)
+{
+    // CUDA SDK reduction kernel 6: grid-stride accumulation, one output
+    // element per block.
+    auto w = std::make_unique<SimpleWorkload>("Reduction-k6",
+                                              LocalityType::NoLocality);
+    const int64_t tbs = scaled(2048, scale, 64);
+    const int64_t trips = 8;
+    const Bytes elems = static_cast<Bytes>(tbs) * 256 * trips;
+    const int in = w->addArray(elems * 4, "in");
+    const int out = w->addArray(static_cast<Bytes>(tbs) * 4, "out");
+    w->addAccess(in, gtid() + m * gdx * bdx, false, 4, AccessFreq::Auto,
+                 "in[i+m*stride]");
+    w->addAccess(out, bx, true, 4, AccessFreq::Once, "out[bx]");
+    w->setDims(tbs, 1, 256, 1, trips);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeKmeansNoTex(double scale)
+{
+    // Rodinia kmeans (noTex): features stored point-major, each thread
+    // walks its own point's feature vector -> per-thread spatial locality
+    // (ITL), the loop-variant group is exactly m.
+    auto w = std::make_unique<SimpleWorkload>("Kmeans-noTex",
+                                              LocalityType::IntraThread);
+    const int64_t tbs = scaled(1024, scale, 32);
+    const int64_t features = 16;
+    const Bytes points = static_cast<Bytes>(tbs) * 256;
+    const int feat = w->addArray(points * features * 4, "features");
+    const int cent = w->addArray(64 * features * 4, "centroids");
+    const int memb = w->addArray(points * 4, "membership");
+    w->addAccess(feat, gtid() * features + m, false, 4, AccessFreq::Auto,
+                 "features[pt*F+m]");
+    w->addAccess(cent, m, false, 4, AccessFreq::Auto, "centroids[m]");
+    w->addAccess(memb, gtid(), true, 4, AccessFreq::Once,
+                 "membership[pt]");
+    w->setDims(tbs, 1, 256, 1, features);
+    return w;
+}
+
+} // namespace workloads
+} // namespace ladm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Internal builder used by the workload catalog: a BasicWorkload with
+ * setters for allocations, access sites, and launch geometry.
+ */
+
+#ifndef LADM_WORKLOADS_SIMPLE_WORKLOAD_HH
+#define LADM_WORKLOADS_SIMPLE_WORKLOAD_HH
+
+#include <algorithm>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+namespace detail
+{
+
+inline int64_t
+scaled(int64_t v, double scale, int64_t min_v = 1)
+{
+    return std::max<int64_t>(min_v, static_cast<int64_t>(v * scale));
+}
+
+/** Linear global thread id for 1-D kernels. */
+inline Expr
+gtid()
+{
+    return Expr(Var::Bx) * Expr(Var::BDx) + Expr(Var::Tx);
+}
+
+class SimpleWorkload : public BasicWorkload
+{
+  public:
+    SimpleWorkload(std::string name, LocalityType expected)
+    {
+        name_ = std::move(name);
+        kernel_.name = name_;
+        expected_ = expected;
+    }
+
+    /** Register an allocation and return its argument index. */
+    int
+    addArray(Bytes size, const std::string &array)
+    {
+        const int arg = static_cast<int>(allocs_.size());
+        const uint64_t pc = 100 + static_cast<uint64_t>(arg);
+        allocs_.push_back({pc, size, array});
+        argPcs_.push_back(pc);
+        kernel_.numArgs = arg + 1;
+        return arg;
+    }
+
+    void
+    addAccess(int arg, const Expr &index, bool write = false,
+              Bytes elem = 4, AccessFreq freq = AccessFreq::Auto,
+              std::string note = "")
+    {
+        kernel_.accesses.push_back(
+            {arg, index, elem, write, freq, std::move(note)});
+    }
+
+    void
+    setDims(int64_t gx, int64_t gy, int64_t block_x, int64_t block_y,
+            int64_t trips)
+    {
+        dims_.grid = {gx, gy};
+        dims_.block = {block_x, block_y};
+        dims_.loopTrips = trips;
+    }
+};
+
+} // namespace detail
+} // namespace workloads
+} // namespace ladm
+
+#endif // LADM_WORKLOADS_SIMPLE_WORKLOAD_HH

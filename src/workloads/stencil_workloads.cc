@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Stencil workload models: SRAD and HotSpot (2-D five-point stencils over
+ * 2-D grids, no loop) and HotSpot3D (plane sweep, NL with a Y stride).
+ * Their adjacency locality is what contiguous-chunk launching exploits.
+ */
+
+#include "workloads/catalog.hh"
+#include "workloads/simple_workload.hh"
+
+namespace ladm
+{
+namespace workloads
+{
+
+using namespace dsl;
+using detail::SimpleWorkload;
+using detail::scaled;
+
+namespace
+{
+
+/** 2-D row-major cell index of the thread's home element. */
+Expr
+cell2d()
+{
+    // (by*bdy + ty) * W + bx*bdx + tx with W = gdx*bdx.
+    return (by * bdy + ty) * (gdx * bdx) + bx * bdx + tx;
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSrad(double scale)
+{
+    // Rodinia SRAD kernel 1: five-point stencil on image J, coefficient
+    // output C. 2-D (16,16) blocks; adjacent blocks share halo rows.
+    auto w = std::make_unique<SimpleWorkload>("SRAD",
+                                              LocalityType::NoLocality);
+    const int64_t g = scaled(64, scale, 8); // grid is g x g
+    const int64_t width = g * 16;
+    const Bytes cells = static_cast<Bytes>(width) * width;
+    // One halo row + element of padding on each side keeps the N/W
+    // neighbours of the first cell inside the allocation.
+    const Bytes padded = cells + 2 * (static_cast<Bytes>(width) + 1);
+    const int j = w->addArray(padded * 4, "J");
+    const int c = w->addArray(padded * 4, "C");
+    const Expr w_elems = gdx * bdx;
+    const Expr center = cell2d() + w_elems + 1;
+    w->addAccess(j, center, false, 4, AccessFreq::Auto, "J[c]");
+    w->addAccess(j, center - w_elems, false, 4, AccessFreq::Auto, "J[N]");
+    w->addAccess(j, center + w_elems, false, 4, AccessFreq::Auto, "J[S]");
+    w->addAccess(j, center - 1, false, 4, AccessFreq::Auto, "J[W]");
+    w->addAccess(j, center + 1, false, 4, AccessFreq::Auto, "J[E]");
+    w->addAccess(c, center, true, 4, AccessFreq::Auto, "C[c]");
+    w->setDims(g, g, 16, 16, 0);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeHotspot(double scale)
+{
+    // Rodinia HotSpot: temperature five-point stencil plus power input.
+    auto w = std::make_unique<SimpleWorkload>("HS",
+                                              LocalityType::NoLocality);
+    const int64_t g = scaled(64, scale, 8);
+    const int64_t width = g * 16;
+    const Bytes cells = static_cast<Bytes>(width) * width;
+    const Bytes padded = cells + 2 * (static_cast<Bytes>(width) + 1);
+    const int t_in = w->addArray(padded * 4, "temp_in");
+    const int p = w->addArray(padded * 4, "power");
+    const int t_out = w->addArray(padded * 4, "temp_out");
+    const Expr w_elems = gdx * bdx;
+    const Expr center = cell2d() + w_elems + 1;
+    w->addAccess(t_in, center, false, 4, AccessFreq::Auto, "T[c]");
+    w->addAccess(t_in, center - w_elems, false, 4, AccessFreq::Auto,
+                 "T[N]");
+    w->addAccess(t_in, center + w_elems, false, 4, AccessFreq::Auto,
+                 "T[S]");
+    w->addAccess(t_in, center - 1, false, 4, AccessFreq::Auto, "T[W]");
+    w->addAccess(t_in, center + 1, false, 4, AccessFreq::Auto, "T[E]");
+    w->addAccess(p, center, false, 4, AccessFreq::Auto, "P[c]");
+    w->addAccess(t_out, center, true, 4, AccessFreq::Auto, "Tout[c]");
+    w->setDims(g, g, 16, 16, 0);
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeHotspot3D(double scale)
+{
+    // Rodinia HotSpot3D: 2-D thread grid sweeps the Z planes; the
+    // loop-variant stride is one full plane (NL, Y-direction stride).
+    auto w = std::make_unique<SimpleWorkload>("Hotspot3D",
+                                              LocalityType::NoLocality);
+    const int64_t gx_dim = scaled(16, scale, 4);
+    const int64_t gy_dim = scaled(64, scale, 8);
+    const int64_t layers = 8;
+    const int64_t width = gx_dim * 64;
+    const int64_t height = gy_dim * 4;
+    const Bytes plane = static_cast<Bytes>(width) * height;
+    const Bytes cells = plane * layers;
+    const Bytes padded = cells + 2 * static_cast<Bytes>(width);
+    const int t_in = w->addArray(padded * 4, "tIn");
+    const int p = w->addArray(padded * 4, "power");
+    const int t_out = w->addArray(padded * 4, "tOut");
+    const Expr w_elems = gdx * bdx;
+    const Expr base =
+        (by * bdy + ty) * (gdx * bdx) + bx * bdx + tx +
+        m * (gdx * bdx) * (gdy * bdy) + w_elems;
+    w->addAccess(t_in, base, false, 4, AccessFreq::Auto, "T[c]");
+    w->addAccess(t_in, base - w_elems, false, 4, AccessFreq::Auto,
+                 "T[N]");
+    w->addAccess(t_in, base + w_elems, false, 4, AccessFreq::Auto,
+                 "T[S]");
+    w->addAccess(p, base, false, 4, AccessFreq::Auto, "P[c]");
+    w->addAccess(t_out, base, true, 4, AccessFreq::Auto, "Tout[c]");
+    w->setDims(gx_dim, gy_dim, 64, 4, layers);
+    return w;
+}
+
+} // namespace workloads
+} // namespace ladm

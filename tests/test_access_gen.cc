@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the affine trace generator: coalescing, sector dedup,
+ * per-iteration vs once sites, partial warps, scatter sites.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mem/address.hh"
+#include "workloads/access_gen.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+LaunchDims
+launch(int64_t gx, int64_t gy, int64_t bxd, int64_t byd, int64_t trips)
+{
+    LaunchDims d;
+    d.grid = {gx, gy};
+    d.block = {bxd, byd};
+    d.loopTrips = trips;
+    return d;
+}
+
+std::vector<Allocation>
+oneArg(Bytes size)
+{
+    return {Allocation{1, 0x100000, size, "a"}};
+}
+
+TEST(AccessGen, CoalescedWarpTouchesFourSectors)
+{
+    // 32 lanes x 4B contiguous = 128B = 4 sectors.
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back({0, bx * bdx + tx, 4, false});
+    AffineTraceSource t(k, launch(8, 1, 128, 1, 0), oneArg(1 << 20));
+    std::vector<MemAccess> buf;
+    ASSERT_TRUE(t.warpStep(0, 0, 0, buf));
+    EXPECT_EQ(buf.size(), 4u);
+    for (const auto &a : buf)
+        EXPECT_EQ(a.addr % kSectorSize, 0u);
+    // Step 1 does not exist (no loop).
+    buf.clear();
+    EXPECT_FALSE(t.warpStep(0, 0, 1, buf));
+}
+
+TEST(AccessGen, WideElementsTouchEightSectors)
+{
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back({0, bx * bdx + tx, 8, false});
+    AffineTraceSource t(k, launch(8, 1, 128, 1, 0), oneArg(1 << 20));
+    std::vector<MemAccess> buf;
+    t.warpStep(0, 0, 0, buf);
+    EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(AccessGen, StridedLanesHitDistinctSectors)
+{
+    // Each lane strides by 16 elements (64B): no two lanes share a
+    // sector -> 32 distinct sectors (kmeans-noTex shape).
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back({0, (bx * bdx + tx) * 16 + m, 4, false});
+    AffineTraceSource t(k, launch(8, 1, 32, 1, 4), oneArg(1 << 20));
+    std::vector<MemAccess> buf;
+    t.warpStep(0, 0, 0, buf);
+    EXPECT_EQ(buf.size(), 32u);
+}
+
+TEST(AccessGen, OnceSitesFireOnLastStepOnly)
+{
+    KernelDesc k;
+    k.numArgs = 2;
+    k.accesses.push_back({0, bx * bdx + tx + m * gdx * bdx, 4, false});
+    k.accesses.push_back({1, bx, 4, true, AccessFreq::Once});
+    std::vector<Allocation> args = {Allocation{1, 0x100000, 1 << 24, "in"},
+                                    Allocation{2, 0x8000000, 4096, "out"}};
+    AffineTraceSource t(k, launch(8, 1, 128, 1, 4), args);
+    std::vector<MemAccess> buf;
+    for (int64_t step = 0; step < 4; ++step) {
+        buf.clear();
+        ASSERT_TRUE(t.warpStep(0, 0, step, buf));
+        const bool has_write = std::any_of(
+            buf.begin(), buf.end(),
+            [](const MemAccess &a) { return a.write; });
+        EXPECT_EQ(has_write, step == 3) << "step " << step;
+    }
+}
+
+TEST(AccessGen, PartialLastWarp)
+{
+    // 96 threads = 3 warps, the last with 32... use 80 threads: warp 2
+    // has 16 active lanes -> 2 sectors.
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back({0, bx * bdx + tx, 4, false});
+    AffineTraceSource t(k, launch(4, 1, 80, 1, 0), oneArg(1 << 20));
+    EXPECT_EQ(t.warpsPerTb(), 3);
+    std::vector<MemAccess> buf;
+    t.warpStep(0, 2, 0, buf);
+    EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(AccessGen, TwoDimensionalBlockRows)
+{
+    // (16,16) block: warp 0 covers ty 0-1 -> two 64B row segments.
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back(
+        {0, (by * bdy + ty) * (gdx * bdx) + bx * bdx + tx, 4, false});
+    AffineTraceSource t(k, launch(4, 4, 16, 16, 0), oneArg(1 << 20));
+    EXPECT_EQ(t.warpsPerTb(), 8);
+    std::vector<MemAccess> buf;
+    t.warpStep(0, 0, 0, buf);
+    EXPECT_EQ(buf.size(), 4u); // 2 rows x 2 sectors
+}
+
+TEST(AccessGen, AddressesMatchExpression)
+{
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back({0, bx * bdx + tx + m * gdx * bdx, 4, false});
+    const auto dims = launch(8, 1, 128, 1, 4);
+    AffineTraceSource t(k, dims, oneArg(1 << 24));
+    std::vector<MemAccess> buf;
+    // TB 3, warp 1, step 2: lane 0 is tid 32, index 3*128+32 + 2*1024.
+    t.warpStep(3, 1, 2, buf);
+    const Addr want =
+        sectorBase(0x100000 + (3 * 128 + 32 + 2 * 8 * 128) * 4);
+    EXPECT_EQ(buf.front().addr, want);
+}
+
+TEST(AccessGen, ScatterSitesAreDeterministicAndBounded)
+{
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back(
+        {0, Expr::dataDep(), 4, true, AccessFreq::PerIteration});
+    AffineTraceSource t1(k, launch(16, 1, 128, 1, 4), oneArg(1 << 20));
+    AffineTraceSource t2(k, launch(16, 1, 128, 1, 4), oneArg(1 << 20));
+    std::vector<MemAccess> b1, b2;
+    t1.warpStep(5, 2, 1, b1);
+    t2.warpStep(5, 2, 1, b2);
+    ASSERT_EQ(b1.size(), b2.size());
+    EXPECT_EQ(b1.size(), 4u);
+    for (size_t i = 0; i < b1.size(); ++i) {
+        EXPECT_EQ(b1[i].addr, b2[i].addr);
+        EXPECT_TRUE(b1[i].write);
+        EXPECT_GE(b1[i].addr, 0x100000u);
+        EXPECT_LT(b1[i].addr, 0x100000u + (1 << 20));
+    }
+}
+
+TEST(AccessGenDeathTest, RejectsThreadLoopCrossTerms)
+{
+    KernelDesc k;
+    k.numArgs = 1;
+    k.accesses.push_back({0, tx * m, 4, false});
+    EXPECT_DEATH(
+        AffineTraceSource(k, launch(4, 1, 32, 1, 2), oneArg(1 << 20)),
+        "mixes");
+}
+
+} // namespace
+} // namespace ladm

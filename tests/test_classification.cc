@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for Algorithm 1 / Table II: the access classification that drives
+ * every LASP decision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/index_analysis.hh"
+#include "compiler/locality_table.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+LaunchDims
+dims2d(int64_t gx, int64_t gy, int64_t bx_dim, int64_t by_dim,
+       int64_t trips)
+{
+    LaunchDims d;
+    d.grid = {gx, gy};
+    d.block = {bx_dim, by_dim};
+    d.loopTrips = trips;
+    return d;
+}
+
+// --- Fig. 6: the worked matrix-multiply example ------------------------------
+
+TEST(Classification, MatmulA_RowLocalityHorizontallyShared)
+{
+    // A[(by*16 + ty) * W + m*16 + tx], W = gdx*bdx.
+    const Expr idx = (by * 16 + ty) * (gdx * bdx) + m * 16 + tx;
+    const auto c = classifyAccess(idx, /*grid_2d=*/true);
+    EXPECT_EQ(c.type, LocalityType::RowHoriz);
+    EXPECT_EQ(tableRow(c.type), 2);
+    EXPECT_FALSE(c.verticalMotion);
+    // Stride is 16 elements per iteration.
+    EXPECT_EQ(c.strideExpr, Expr(16));
+}
+
+TEST(Classification, MatmulB_ColumnLocalityVerticallyShared)
+{
+    // B[(m*16 + ty) * W + bx*16 + tx].
+    const Expr idx = (m * 16 + ty) * (gdx * bdx) + bx * 16 + tx;
+    const auto c = classifyAccess(idx, true);
+    EXPECT_EQ(c.type, LocalityType::ColVert);
+    EXPECT_EQ(tableRow(c.type), 5);
+    EXPECT_TRUE(c.verticalMotion);
+    EXPECT_EQ(c.strideExpr, 16 * gdx * bdx);
+}
+
+TEST(Classification, MatmulC_NoLocality)
+{
+    // C[(by*16 + ty) * W + bx*16 + tx]: invariant pins both bx and by.
+    const Expr idx = (by * 16 + ty) * (gdx * bdx) + bx * 16 + tx;
+    const auto c = classifyAccess(idx, true);
+    EXPECT_EQ(c.type, LocalityType::NoLocality);
+    EXPECT_EQ(tableRow(c.type), 1);
+    EXPECT_TRUE(c.strideExpr.isZero());
+}
+
+// --- Table II row 1: no locality, with and without stride ---------------------
+
+TEST(Classification, VecAdd1D)
+{
+    const auto c = classifyAccess(bx * bdx + tx, /*grid_2d=*/false);
+    EXPECT_EQ(c.type, LocalityType::NoLocality);
+    EXPECT_TRUE(c.strideExpr.isZero());
+}
+
+TEST(Classification, GridStride1D)
+{
+    // in[i + m * gridDim.x * blockDim.x] (ScalarProd, BLK, reduction).
+    const auto c = classifyAccess(bx * bdx + tx + m * gdx * bdx, false);
+    EXPECT_EQ(c.type, LocalityType::NoLocality);
+    EXPECT_EQ(c.strideExpr, gdx * bdx);
+    // Row 1 with gdx in the stride still reports vertical motion info.
+    EXPECT_TRUE(c.verticalMotion);
+
+    const LaunchDims d = dims2d(2048, 1, 256, 1, 8);
+    EXPECT_EQ(c.strideBytes(d, 4), 2048u * 256 * 4);
+}
+
+TEST(Classification, PlaneStride2D)
+{
+    // HotSpot3D: whole-plane jumps.
+    const Expr idx = (by * bdy + ty) * (gdx * bdx) + bx * bdx + tx +
+                     m * (gdx * bdx) * (gdy * bdy);
+    const auto c = classifyAccess(idx, true);
+    EXPECT_EQ(c.type, LocalityType::NoLocality);
+    EXPECT_EQ(c.strideExpr, gdx * bdx * gdy * bdy);
+}
+
+TEST(Classification, StencilNeighborOffsetsStayNL)
+{
+    const Expr center = (by * bdy + ty) * (gdx * bdx) + bx * bdx + tx;
+    for (const Expr &e :
+         {center + 1, center - 1, center + gdx * bdx, center - gdx * bdx})
+        EXPECT_EQ(classifyAccess(e, true).type, LocalityType::NoLocality);
+}
+
+// --- Table II rows 2-5: all four sharing/motion combinations -----------------
+
+TEST(Classification, Row3_ColumnLocalityHorizontallyShared)
+{
+    // Start depends on bx only; motion does not skip whole rows.
+    const Expr idx = bx * 1024 + tx + m * bdx;
+    const auto c = classifyAccess(idx, true);
+    EXPECT_EQ(c.type, LocalityType::ColHoriz);
+    EXPECT_EQ(tableRow(c.type), 3);
+}
+
+TEST(Classification, Row4_RowLocalityVerticallyShared)
+{
+    // Start depends on by only; loop-variant group contains gridDim.x.
+    const Expr idx = by * 16 + ty + m * gdx * bdx;
+    const auto c = classifyAccess(idx, true);
+    EXPECT_EQ(c.type, LocalityType::RowVert);
+    EXPECT_EQ(tableRow(c.type), 4);
+    EXPECT_TRUE(c.verticalMotion);
+}
+
+// --- Table II row 6: intra-thread locality -----------------------------------
+
+TEST(Classification, ItlPlainWalk)
+{
+    // kmeans: features[(bx*bdx + tx) * F + m].
+    const auto c = classifyAccess((bx * bdx + tx) * 16 + m, false);
+    EXPECT_EQ(c.type, LocalityType::IntraThread);
+    EXPECT_EQ(tableRow(c.type), 6);
+}
+
+TEST(Classification, ItlDataDependentBase)
+{
+    // CSR: col[rowptr[v] + m]. The ITL special case is checked before the
+    // data-dependence bailout (Algorithm 1 line 1).
+    const auto c = classifyAccess(Expr::dataDep() + m, false);
+    EXPECT_EQ(c.type, LocalityType::IntraThread);
+}
+
+TEST(Classification, ScaledWalkIsNotItl)
+{
+    // Loop-variant group is 2m, not m: fails the exact-m test; with a
+    // data-dependent base it must fall through to unclassified.
+    const auto c = classifyAccess(Expr::dataDep() + 2 * m, false);
+    EXPECT_EQ(c.type, LocalityType::Unclassified);
+}
+
+// --- Table II row 7: unclassified ---------------------------------------------
+
+TEST(Classification, PureDataDependent)
+{
+    EXPECT_EQ(classifyAccess(Expr::dataDep(), false).type,
+              LocalityType::Unclassified);
+    EXPECT_EQ(classifyAccess(Expr::dataDep(), true).type,
+              LocalityType::Unclassified);
+}
+
+TEST(Classification, DataDepPlusThreadId)
+{
+    // X[Y[tid]]-style: opaque value mixed with thread ids.
+    EXPECT_EQ(classifyAccess(bx * bdx + tx + Expr::dataDep(), false).type,
+              LocalityType::Unclassified);
+}
+
+TEST(Classification, ThreadOnlyIndexIsUnclassified)
+{
+    // A broadcast vector (filter[tx]): no block id in the invariant.
+    EXPECT_EQ(classifyAccess(Expr(tx), true).type,
+              LocalityType::Unclassified);
+}
+
+TEST(Classification, NoLocality1DRequiresBxOnly)
+{
+    // In a 1-D grid, bx alone pins the start.
+    EXPECT_EQ(classifyAccess(bx * bdx + tx, false).type,
+              LocalityType::NoLocality);
+    // In a 2-D grid the same access shares along columns (rows 2-5 side).
+    EXPECT_EQ(classifyAccess(bx * bdx + tx, true).type,
+              LocalityType::ColHoriz);
+}
+
+// --- LocalityTable ------------------------------------------------------------
+
+KernelDesc
+matmulKernel()
+{
+    KernelDesc k;
+    k.name = "matmul";
+    k.numArgs = 3;
+    const Expr w_elems = gdx * bdx;
+    k.accesses.push_back(
+        {0, (by * 16 + ty) * w_elems + m * 16 + tx, 4, false});
+    k.accesses.push_back(
+        {1, (m * 16 + ty) * w_elems + bx * 16 + tx, 4, false});
+    k.accesses.push_back({2, (by * 16 + ty) * w_elems + bx * 16 + tx, 4,
+                          true, AccessFreq::Once});
+    return k;
+}
+
+TEST(LocalityTable, CompilesMatmul)
+{
+    LocalityTable table;
+    table.compileKernel(matmulKernel());
+    ASSERT_EQ(table.rows().size(), 3u);
+    EXPECT_TRUE(table.kernelIs2d("matmul"));
+    EXPECT_EQ(table.argSummary("matmul", 0)->type, LocalityType::RowHoriz);
+    EXPECT_EQ(table.argSummary("matmul", 1)->type, LocalityType::ColVert);
+    EXPECT_EQ(table.argSummary("matmul", 2)->type,
+              LocalityType::NoLocality);
+}
+
+TEST(LocalityTable, SummaryPrefersReadsOverWrites)
+{
+    KernelDesc k;
+    k.name = "rw";
+    k.numArgs = 1;
+    // A write with one pattern and a read with another on the same arg.
+    k.accesses.push_back(
+        {0, (by * bdy + ty) * (gdx * bdx) + bx * bdx + tx, 4, true});
+    k.accesses.push_back(
+        {0, (by * 16 + ty) * (gdx * bdx) + m * 16 + tx, 4, false});
+    LocalityTable table;
+    table.compileKernel(k);
+    EXPECT_EQ(table.argSummary("rw", 0)->type, LocalityType::RowHoriz);
+}
+
+TEST(LocalityTable, SummaryUnclassifiedOnlyWhenAllAre)
+{
+    KernelDesc k;
+    k.name = "u";
+    k.numArgs = 1;
+    k.accesses.push_back({0, Expr::dataDep(), 4, false});
+    LocalityTable table;
+    table.compileKernel(k);
+    EXPECT_EQ(table.argSummary("u", 0)->type, LocalityType::Unclassified);
+    EXPECT_FALSE(table.argSummary("u", 1).has_value());
+}
+
+TEST(LocalityTable, BindArgFillsRuntimeFields)
+{
+    LocalityTable table;
+    table.compileKernel(matmulKernel());
+    table.bindArg("matmul", 1, /*pc=*/77, /*base=*/0x10000,
+                  /*pages=*/25);
+    for (const auto *row : table.rowsFor("matmul", 1)) {
+        EXPECT_EQ(row->mallocPc, 77u);
+        EXPECT_EQ(row->base, 0x10000u);
+        EXPECT_EQ(row->numPages, 25u);
+    }
+    // Other args untouched.
+    EXPECT_EQ(table.rowsFor("matmul", 0)[0]->mallocPc, 0u);
+}
+
+/** Every Table II row is reachable and rows are mutually exclusive. */
+class TableRowSweep
+    : public ::testing::TestWithParam<std::pair<int, LocalityType>>
+{
+};
+
+TEST_P(TableRowSweep, RowNumberRoundTrips)
+{
+    const auto [row, type] = GetParam();
+    EXPECT_EQ(tableRow(type), row);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, TableRowSweep,
+    ::testing::Values(
+        std::make_pair(1, LocalityType::NoLocality),
+        std::make_pair(2, LocalityType::RowHoriz),
+        std::make_pair(3, LocalityType::ColHoriz),
+        std::make_pair(4, LocalityType::RowVert),
+        std::make_pair(5, LocalityType::ColVert),
+        std::make_pair(6, LocalityType::IntraThread),
+        std::make_pair(7, LocalityType::Unclassified)));
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the common utilities: rng, stats, bit helpers, config
+ * validation, malloc registry, UVM, graph generation.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "core/metrics.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "config/presets.hh"
+#include "mem/uvm.hh"
+#include "runtime/malloc_registry.hh"
+#include "workloads/graph_gen.hh"
+
+namespace ladm
+{
+namespace
+{
+
+TEST(BitUtils, CeilDivRoundUp)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(roundUp(4095, 4096), 4096u);
+    EXPECT_EQ(roundUp(4096, 4096), 4096u);
+    EXPECT_EQ(roundDown(4097, 4096), 4096u);
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(37), 37u);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(2);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfIsSkewed)
+{
+    Rng rng(3);
+    uint64_t low = 0;
+    for (int i = 0; i < 10000; ++i)
+        low += rng.nextZipf(1000, 1.5) < 10 ? 1 : 0;
+    // A skewed distribution concentrates mass at small values.
+    EXPECT_GT(low, 3000u);
+}
+
+TEST(Stats, CountersAndAverages)
+{
+    StatGroup g("test");
+    g.counter("hits") += 5;
+    ++g.counter("hits");
+    g.average("lat").sample(10);
+    g.average("lat").sample(20);
+    EXPECT_EQ(g.get("hits"), 6u);
+    EXPECT_EQ(g.get("absent"), 0u);
+    EXPECT_DOUBLE_EQ(g.average("lat").mean(), 15.0);
+    g.reset();
+    EXPECT_EQ(g.get("hits"), 0u);
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(1000); // overflow bucket
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(99), 1u); // out-of-range reads overflow
+    EXPECT_EQ(h.totalSamples(), 4u);
+}
+
+TEST(Config, PresetsAreValid)
+{
+    presets::multiGpu4x4().validate();
+    presets::monolithic256().validate();
+    presets::multiGpuFlat(4, 90).validate();
+    presets::mcmRing(4, 1400).validate();
+    presets::dgx4().validate();
+}
+
+TEST(Config, NodeGeometry)
+{
+    const auto c = presets::multiGpu4x4();
+    EXPECT_EQ(c.numNodes(), 16);
+    EXPECT_EQ(c.totalSms(), 256);
+    EXPECT_EQ(c.nodeOfSm(0), 0);
+    EXPECT_EQ(c.nodeOfSm(255), 15);
+    EXPECT_EQ(c.gpuOfNode(7), 1);
+    EXPECT_EQ(c.chipletOfNode(7), 3);
+    EXPECT_EQ(c.nodeOf(1, 3), 7);
+}
+
+TEST(ConfigDeathTest, BadConfigIsFatal)
+{
+    auto c = presets::multiGpu4x4();
+    c.pageSize = 1000; // not a power of two
+    EXPECT_DEATH(c.validate(), "pageSize");
+}
+
+TEST(MallocRegistry, AssignsDisjointPageAlignedRanges)
+{
+    MallocRegistry reg(4096);
+    const Addr a = reg.mallocManaged(1, 100, "a");
+    const Addr b = reg.mallocManaged(2, 1 << 20, "b");
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(reg.byPc(1).name, "a");
+    EXPECT_EQ(reg.byAddr(a)->mallocPc, 1u);
+    EXPECT_EQ(reg.byAddr(b + 12345)->mallocPc, 2u);
+    // Guard gaps are unmapped.
+    EXPECT_EQ(reg.byAddr(a + 200000), nullptr);
+    EXPECT_EQ(reg.totalBytes(), 100u + (1 << 20));
+}
+
+TEST(MallocRegistryDeathTest, DuplicatePcIsFatal)
+{
+    MallocRegistry reg;
+    reg.mallocManaged(1, 100, "a");
+    EXPECT_DEATH(reg.mallocManaged(1, 100, "b"), "duplicate");
+}
+
+TEST(Uvm, FirstTouchPlacesAndCharges)
+{
+    PageTable pt(4096);
+    Uvm uvm(30000);
+    Cycles stall = 0;
+    EXPECT_EQ(uvm.touch(pt, 0x5000, 3, stall), 3);
+    EXPECT_EQ(stall, 30000u);
+    EXPECT_EQ(uvm.faults(), 1u);
+    // Second touch is a plain translation.
+    EXPECT_EQ(uvm.touch(pt, 0x5000, 7, stall), 3);
+    EXPECT_EQ(stall, 0u);
+    EXPECT_EQ(uvm.faults(), 1u);
+}
+
+TEST(GraphGen, UniformDegrees)
+{
+    const auto g = makeUniformGraph(1000, 8, 1);
+    EXPECT_EQ(g.numVertices, 1000);
+    EXPECT_EQ(g.numEdges(), 8000);
+    for (int64_t v = 0; v < 1000; ++v) {
+        EXPECT_EQ(g.degree(v), 8);
+        for (int64_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            EXPECT_GE(g.colIdx[e], 0);
+            EXPECT_LT(g.colIdx[e], 1000);
+        }
+    }
+}
+
+TEST(GraphGen, PowerLawIsSkewedButBounded)
+{
+    const auto g = makePowerLawGraph(10000, 8, 1.2, 7);
+    EXPECT_EQ(g.numVertices, 10000);
+    // Mean degree lands near the target.
+    const double mean = static_cast<double>(g.numEdges()) / 10000;
+    EXPECT_GT(mean, 4.0);
+    EXPECT_LT(mean, 16.0);
+    int64_t max_deg = 0;
+    for (int64_t v = 0; v < 10000; ++v) {
+        EXPECT_GE(g.degree(v), 1);
+        max_deg = std::max(max_deg, g.degree(v));
+    }
+    EXPECT_GT(max_deg, 16); // a heavy tail exists
+}
+
+TEST(GraphGen, DeterministicPerSeed)
+{
+    const auto a = makePowerLawGraph(1000, 8, 1.2, 9);
+    const auto b = makePowerLawGraph(1000, 8, 1.2, 9);
+    EXPECT_EQ(a.rowPtr, b.rowPtr);
+    EXPECT_EQ(a.colIdx, b.colIdx);
+}
+
+TEST(Metrics, CsvRowMatchesHeaderArity)
+{
+    RunMetrics m;
+    m.workload = "w";
+    m.policy = "p";
+    m.system = "s";
+    m.scheduler = "sched";
+    m.cycles = 123;
+    const std::string header = csvHeader();
+    const std::string row = csvRow(m);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_NE(row.find("w,p,s,sched"), std::string::npos);
+    EXPECT_NE(row.find("123"), std::string::npos);
+}
+
+} // namespace
+} // namespace ladm

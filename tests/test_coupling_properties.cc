@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Property tests of the placement <-> scheduling coupling invariants the
+ * whole LADM design rests on, swept over grid shapes and machine sizes.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "kernel/datablock.hh"
+#include "mem/placement.hh"
+#include "runtime/ladm_runtime.hh"
+#include "sched/binding.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+/**
+ * Invariant 1 (Eq. 1 coupling): under stride-aware interleaving and the
+ * matching align-aware batches, every iteration of every threadblock
+ * touches only its own node.
+ */
+class StrideCoupling
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int>>
+{
+};
+
+TEST_P(StrideCoupling, EveryIterationStaysLocal)
+{
+    const auto [tbs, bdx_dim, trips] = GetParam();
+    SystemConfig sys = presets::multiGpu4x4();
+
+    KernelDesc k;
+    k.name = "stride";
+    k.numArgs = 1;
+    k.accesses.push_back(
+        {0, bx * bdx + tx + m * gdx * bdx, 4, false});
+
+    LaunchDims dims;
+    dims.grid = {tbs, 1};
+    dims.block = {bdx_dim, 1};
+    dims.loopTrips = trips;
+
+    LadmRuntime runtime(sys);
+    runtime.compile(k);
+    MallocRegistry reg(sys.pageSize);
+    const Bytes size =
+        static_cast<Bytes>(tbs) * bdx_dim * trips * 4;
+    reg.mallocManaged(1, size, "in");
+    PageTable pt(sys.pageSize);
+    const auto plan = runtime.prepareLaunch(k, dims, {1}, reg, pt);
+    const auto tb_node = plan.scheduler->nodeMap(dims, sys);
+
+    const Allocation &a = reg.byPc(1);
+    const Bytes stride = static_cast<Bytes>(tbs) * bdx_dim * 4;
+    int misplaced = 0;
+    for (TbId tb = 0; tb < tbs; tb += 7) { // sample the grid
+        const Bytes base = static_cast<Bytes>(tb) * bdx_dim * 4;
+        for (int it = 0; it < trips; ++it) {
+            if (pt.lookup(a.base + base + it * stride) != tb_node[tb])
+                ++misplaced;
+        }
+    }
+    // Page-granularity rounding misplaces samples near datablock/slab
+    // boundaries when the stride is not page-divisible; anything beyond
+    // ~12% is a coupling bug.
+    EXPECT_LE(misplaced, tbs / 7 * trips / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StrideCoupling,
+    ::testing::Values(std::make_tuple<int64_t, int64_t, int>(2048, 256, 8),
+                      std::make_tuple<int64_t, int64_t, int>(1530, 512, 4),
+                      std::make_tuple<int64_t, int64_t, int>(777, 128, 6),
+                      std::make_tuple<int64_t, int64_t, int>(4096, 64,
+                                                             16)));
+
+/**
+ * Invariant 2 (row binding coupling): under row-based placement and the
+ * row-binding scheduler, a grid row's strip lives on that row's node,
+ * for any grid shape.
+ */
+class RowCoupling
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(RowCoupling, StripsFollowRows)
+{
+    const auto [gx, gy] = GetParam();
+    const SystemConfig sys = presets::multiGpu4x4();
+
+    KernelDesc k;
+    k.name = "rows";
+    k.numArgs = 1;
+    k.accesses.push_back(
+        {0, (by * bdy + ty) * (gdx * bdx) + m * bdx + tx, 4, false});
+
+    LaunchDims dims;
+    dims.grid = {gx, gy};
+    dims.block = {16, 16};
+    dims.loopTrips = gx;
+
+    LadmRuntime runtime(sys);
+    runtime.compile(k);
+    MallocRegistry reg(sys.pageSize);
+    const Bytes row_bytes = static_cast<Bytes>(gx) * 16 * 4;
+    reg.mallocManaged(1, row_bytes * gy * 16, "in");
+    PageTable pt(sys.pageSize);
+    const auto plan = runtime.prepareLaunch(k, dims, {1}, reg, pt);
+    ASSERT_EQ(plan.scheduler->name(), "row-binding");
+
+    const Allocation &a = reg.byPc(1);
+    for (int64_t g = 0; g < gy; ++g) {
+        // Probe the middle of the strip to dodge page-boundary rounding.
+        const Bytes mid = g * 16 * row_bytes + 8 * row_bytes;
+        EXPECT_EQ(pt.lookup(a.base + mid), nodeOfGroup(g, gy, sys))
+            << "grid row " << g;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, RowCoupling,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(44, 44),
+                      std::make_pair<int64_t, int64_t>(64, 16),
+                      std::make_pair<int64_t, int64_t>(31, 57),
+                      std::make_pair<int64_t, int64_t>(16, 128)));
+
+/**
+ * Invariant 3 (end-to-end): LADM's off-chip traffic on aligned NL
+ * workloads is (near) zero on every machine size.
+ */
+class NlZeroTraffic : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NlZeroTraffic, VecAddAcrossMachineSizes)
+{
+    SystemConfig cfg = presets::multiGpu4x4();
+    cfg.numGpus = GetParam();
+    cfg.name = "sweep";
+    auto w = workloads::makeWorkload("VecAdd", 0.25);
+    const auto m = runExperiment(*w, Policy::Ladm, cfg);
+    EXPECT_LT(m.offChipPct, 1.0) << cfg.numGpus << " GPUs";
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, NlZeroTraffic,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Report, DetailedReportContainsEveryNode)
+{
+    const SystemConfig cfg = presets::multiGpu4x4();
+    GpuSystem sys(cfg);
+    MallocRegistry reg(cfg.pageSize);
+    auto w = workloads::makeWorkload("VecAdd", 0.25);
+    w->allocateAll(reg);
+    auto bundle = makeBundle(Policy::Ladm);
+    const auto plan = bundle->prepare(w->kernel(), w->dims(), w->argPcs(),
+                                      reg, sys.mem().pageTable(), cfg);
+    auto trace = w->makeTrace(reg);
+    sys.runKernel(w->dims(), *trace,
+                  plan.scheduler->assign(w->dims(), cfg), plan.policy);
+
+    RunMetrics m;
+    m.workload = "VecAdd";
+    m.policy = "ladm";
+    m.system = cfg.name;
+    m.scheduler = plan.scheduler->name();
+
+    std::ostringstream os;
+    writeDetailedReport(os, sys, m);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("traffic classes"), std::string::npos);
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        const std::string label =
+            std::to_string(cfg.gpuOfNode(n)) + "." +
+            std::to_string(cfg.chipletOfNode(n)) + ":";
+        EXPECT_NE(text.find(label), std::string::npos) << label;
+    }
+}
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for datablock geometry: size (Eq. 2 input), threadblock stride
+ * (Eq. 1 input), and group start offsets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/datablock.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+LaunchDims
+launch(int64_t gx, int64_t gy, int64_t bx_dim, int64_t by_dim,
+       int64_t trips)
+{
+    LaunchDims d;
+    d.grid = {gx, gy};
+    d.block = {bx_dim, by_dim};
+    d.loopTrips = trips;
+    return d;
+}
+
+TEST(Datablock, VecAddIsBdxTimesPrimitive)
+{
+    // The paper: "the datablock size is often equal to bdx * primitiveSize".
+    ArrayAccess a{0, bx * bdx + tx, 4, false};
+    EXPECT_EQ(datablockSize(a, launch(100, 1, 128, 1, 0)), 128u * 4);
+    a.elemSize = 8;
+    EXPECT_EQ(datablockSize(a, launch(100, 1, 128, 1, 0)), 128u * 8);
+}
+
+TEST(Datablock, MatmulTileSpansRows)
+{
+    // A 16x16 tile of a W-wide matrix spans 15 rows plus 16 elements.
+    const int64_t tiles = 8;
+    const Expr idx = (by * 16 + ty) * (gdx * bdx) + m * 16 + tx;
+    ArrayAccess a{0, idx, 4, false};
+    const auto d = launch(tiles, tiles, 16, 16, tiles);
+    const int64_t w = tiles * 16;
+    EXPECT_EQ(datablockSize(a, d), static_cast<Bytes>(15 * w + 15 + 1) * 4);
+}
+
+TEST(Datablock, DataDependentHasNoDatablock)
+{
+    ArrayAccess a{0, Expr::dataDep() + m, 4, false};
+    EXPECT_EQ(datablockSize(a, launch(8, 1, 32, 1, 4)), 0u);
+}
+
+TEST(Datablock, StrideGridWide)
+{
+    ArrayAccess a{0, bx * bdx + tx + m * gdx * bdx, 4, false};
+    const auto d = launch(2048, 1, 256, 1, 8);
+    EXPECT_EQ(tbStrideBytes(a, d), 2048u * 256 * 4);
+}
+
+TEST(Datablock, StrideZeroWithoutLoop)
+{
+    ArrayAccess a{0, bx * bdx + tx + m * gdx * bdx, 4, false};
+    EXPECT_EQ(tbStrideBytes(a, launch(2048, 1, 256, 1, /*trips=*/0)), 0u);
+
+    ArrayAccess b{0, bx * bdx + tx, 4, false};
+    EXPECT_EQ(tbStrideBytes(b, launch(2048, 1, 256, 1, 8)), 0u);
+}
+
+TEST(Datablock, StartOffsetsAreAffine)
+{
+    const Expr idx = (by * 16 + ty) * (gdx * bdx) + m * 16 + tx;
+    ArrayAccess a{0, idx, 4, false};
+    const auto d = launch(8, 8, 16, 16, 8);
+    const Bytes w_bytes = 8 * 16 * 4;
+    EXPECT_EQ(tbStartOffset(a, d, 0, 0), 0u);
+    // Grid row 1 starts 16 data rows down.
+    EXPECT_EQ(tbStartOffset(a, d, 0, 1), 16 * w_bytes);
+    // bx does not move A's start.
+    EXPECT_EQ(tbStartOffset(a, d, 5, 1), 16 * w_bytes);
+}
+
+/** Property sweep: datablock size is monotone in block dims. */
+class DatablockSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(DatablockSweep, MonotoneInBlockWidth)
+{
+    const int64_t bdx_dim = GetParam();
+    ArrayAccess a{0, bx * bdx + tx, 4, false};
+    const Bytes small = datablockSize(a, launch(16, 1, bdx_dim, 1, 0));
+    const Bytes big = datablockSize(a, launch(16, 1, bdx_dim * 2, 1, 0));
+    EXPECT_EQ(small, static_cast<Bytes>(bdx_dim) * 4);
+    EXPECT_EQ(big, 2 * small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DatablockSweep,
+                         ::testing::Values(32, 64, 128, 256, 512));
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end experiment tests: the shapes the paper's evaluation rests
+ * on, verified on down-scaled inputs so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "core/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace
+{
+
+constexpr double kScale = 0.25;
+
+TEST(Experiment, MonolithicHasNoOffChipTraffic)
+{
+    auto w = workloads::makeWorkload("VecAdd", kScale);
+    const auto m =
+        runExperiment(*w, Policy::KernelWide, presets::monolithic256());
+    EXPECT_EQ(m.fetchRemote, 0u);
+    EXPECT_DOUBLE_EQ(m.offChipPct, 0.0);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.sectorAccesses, 0u);
+}
+
+TEST(Experiment, MetricsAreDeterministic)
+{
+    auto w1 = workloads::makeWorkload("SQ-GEMM", kScale);
+    auto w2 = workloads::makeWorkload("SQ-GEMM", kScale);
+    const auto cfg = presets::multiGpu4x4();
+    const auto a = runExperiment(*w1, Policy::Ladm, cfg);
+    const auto b = runExperiment(*w2, Policy::Ladm, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchRemote, b.fetchRemote);
+    EXPECT_EQ(a.interNodeBytes, b.interNodeBytes);
+}
+
+TEST(Experiment, LadmEliminatesOffChipForAlignedNl)
+{
+    // VecAdd: page-aligned batches + co-placement -> zero off-node.
+    auto w = workloads::makeWorkload("VecAdd", kScale);
+    const auto m =
+        runExperiment(*w, Policy::Ladm, presets::multiGpu4x4());
+    EXPECT_DOUBLE_EQ(m.offChipPct, 0.0);
+}
+
+TEST(Experiment, LadmBeatsCodaOnStencil)
+{
+    // The adjacency-locality claim: contiguous launch vs round-robin.
+    auto w1 = workloads::makeWorkload("SRAD", kScale);
+    auto w2 = workloads::makeWorkload("SRAD", kScale);
+    const auto cfg = presets::multiGpu4x4();
+    const auto ladm = runExperiment(*w1, Policy::Ladm, cfg);
+    const auto coda = runExperiment(*w2, Policy::Coda, cfg);
+    EXPECT_LT(ladm.cycles, coda.cycles);
+    EXPECT_LT(ladm.offChipPct, coda.offChipPct / 2);
+}
+
+TEST(Experiment, KernelWidePartitioningSuffersOnStrides)
+{
+    // Fig. 3's example: kernel-wide chunks misalign with grid strides.
+    auto w1 = workloads::makeWorkload("ScalarProd", kScale);
+    auto w2 = workloads::makeWorkload("ScalarProd", kScale);
+    const auto cfg = presets::multiGpu4x4();
+    const auto ladm = runExperiment(*w1, Policy::Ladm, cfg);
+    const auto kw = runExperiment(*w2, Policy::KernelWide, cfg);
+    EXPECT_LT(ladm.offChipPct, 1.0);
+    EXPECT_GT(kw.offChipPct, 40.0);
+    EXPECT_LT(ladm.cycles, kw.cycles);
+}
+
+TEST(Experiment, RonceHelpsItlWorkloads)
+{
+    // Fig. 11a: bypassing REMOTE-LOCAL insertions helps random_loc.
+    auto w1 = workloads::makeWorkload("Random-loc", kScale);
+    auto w2 = workloads::makeWorkload("Random-loc", kScale);
+    const auto cfg = presets::multiGpu4x4();
+    const auto ronce = runExperiment(*w1, Policy::LaspRonce, cfg);
+    const auto rtwice = runExperiment(*w2, Policy::LaspRtwice, cfg);
+    // RONCE must not lose, and the home-side L2 sees its REMOTE-LOCAL
+    // class bypassed.
+    EXPECT_LE(ronce.cycles, rtwice.cycles + rtwice.cycles / 10);
+    const int rl = static_cast<int>(TrafficClass::RemoteLocal);
+    EXPECT_GT(rtwice.classAccesses[rl], 0u);
+}
+
+TEST(Experiment, CrbMatchesBestStaticPolicyPerClass)
+{
+    const auto cfg = presets::multiGpu4x4();
+    // On an ITL workload LADM (CRB) behaves like RONCE...
+    auto a1 = workloads::makeWorkload("PageRank", kScale);
+    auto a2 = workloads::makeWorkload("PageRank", kScale);
+    const auto crb = runExperiment(*a1, Policy::Ladm, cfg);
+    const auto ronce = runExperiment(*a2, Policy::LaspRonce, cfg);
+    EXPECT_EQ(crb.insertPolicy, L2InsertPolicy::ROnce);
+    EXPECT_EQ(crb.cycles, ronce.cycles);
+    // ...and on an RCL workload like RTWICE.
+    auto b1 = workloads::makeWorkload("SQ-GEMM", kScale);
+    auto b2 = workloads::makeWorkload("SQ-GEMM", kScale);
+    const auto crb_rcl = runExperiment(*b1, Policy::Ladm, cfg);
+    const auto rtwice = runExperiment(*b2, Policy::LaspRtwice, cfg);
+    EXPECT_EQ(crb_rcl.insertPolicy, L2InsertPolicy::RTwice);
+    EXPECT_EQ(crb_rcl.cycles, rtwice.cycles);
+}
+
+TEST(Experiment, BandwidthSensitivityShape)
+{
+    // Fig. 4: more interconnect bandwidth -> NUMA penalty shrinks.
+    auto mono = presets::monolithic256();
+    auto w0 = workloads::makeWorkload("SQ-GEMM", kScale);
+    const auto base = runExperiment(*w0, Policy::KernelWide, mono);
+    double prev_rel = 0.0;
+    for (const double gbs : {90.0, 360.0, 1440.0}) {
+        auto w = workloads::makeWorkload("SQ-GEMM", kScale);
+        const auto m = runExperiment(*w, Policy::Coda,
+                                     presets::multiGpuFlat(4, gbs));
+        const double rel =
+            static_cast<double>(base.cycles) / m.cycles;
+        EXPECT_GE(rel, prev_rel * 0.95) << gbs; // monotone-ish
+        prev_rel = rel;
+    }
+}
+
+TEST(Experiment, HierarchyKeepsTrafficOnPackage)
+{
+    // Inter-GPU bytes are a subset of inter-node bytes, and the
+    // hierarchical-affinity map keeps a healthy share on-package.
+    auto w = workloads::makeWorkload("SQ-GEMM", kScale);
+    const auto m =
+        runExperiment(*w, Policy::Ladm, presets::multiGpu4x4());
+    EXPECT_LE(m.interGpuBytes, m.interNodeBytes);
+}
+
+TEST(Experiment, MpkiIsPopulated)
+{
+    auto w = workloads::makeWorkload("BFS-relax", kScale);
+    const auto m =
+        runExperiment(*w, Policy::Ladm, presets::multiGpu4x4());
+    EXPECT_GT(m.l2Mpki, 0.0);
+    EXPECT_GT(m.warpInstrs, 0.0);
+}
+
+} // namespace
+} // namespace ladm

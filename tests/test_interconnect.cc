@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for bandwidth servers, links, and the three fabric topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bandwidth_server.hh"
+#include "config/presets.hh"
+#include "interconnect/network.hh"
+#include "interconnect/ring.hh"
+
+namespace ladm
+{
+namespace
+{
+
+TEST(BandwidthServer, ServiceRate)
+{
+    BandwidthServer s(32.0, 0); // 32 B/cycle
+    // 10 transfers of 320B issued at t=0: each occupies 10 cycles.
+    Cycles total = 0;
+    for (int i = 0; i < 10; ++i)
+        total = s.transfer(0, 320);
+    EXPECT_EQ(total, 100u);
+    EXPECT_EQ(s.totalBytes(), 3200u);
+    EXPECT_EQ(s.busyCycles(), 100u);
+}
+
+TEST(BandwidthServer, FixedLatencyAdds)
+{
+    BandwidthServer s(32.0, 50);
+    EXPECT_EQ(s.transfer(0, 32), 0u + 1 + 50);
+}
+
+TEST(BandwidthServer, FractionalAccumulation)
+{
+    BandwidthServer s(64.0, 0); // 32B = 0.5 cycles
+    // 8 sector transfers = 4 busy cycles total, not 0 and not 8.
+    Cycles last = 0;
+    for (int i = 0; i < 8; ++i)
+        last = s.transfer(0, 32);
+    EXPECT_EQ(s.busyCycles(), 4u);
+    EXPECT_EQ(last, 4u);
+}
+
+TEST(BandwidthServer, IdleIsFree)
+{
+    BandwidthServer s(32.0, 0);
+    s.transfer(0, 3200); // busy till 100
+    // A transfer issued long after the backlog drains pays no queue.
+    EXPECT_EQ(s.book(1000, 32), 1u);
+}
+
+TEST(BandwidthServer, MonotoneBookingQueues)
+{
+    BandwidthServer s(32.0, 0);
+    EXPECT_EQ(s.book(0, 320), 10u);
+    // Issued at t=5, must wait until the first transfer's slot ends.
+    EXPECT_EQ(s.book(5, 320), 5u + 10);
+}
+
+TEST(BandwidthServer, ResetClears)
+{
+    BandwidthServer s(32.0, 7);
+    s.transfer(0, 6400);
+    s.reset();
+    EXPECT_EQ(s.totalBytes(), 0u);
+    EXPECT_EQ(s.nextFree(), 0u);
+    EXPECT_EQ(s.transfer(0, 32), 1u + 7);
+}
+
+TEST(RingFabric, ShortestDirection)
+{
+    // 8-node ring, generous bandwidth so only hop latency matters.
+    RingFabric ring(8, 1e9, /*hop=*/10, "r");
+    EXPECT_EQ(ring.routeDelay(0, 0, 0, 32), 0u);
+    EXPECT_EQ(ring.routeDelay(0, 0, 1, 32), 10u);
+    EXPECT_EQ(ring.routeDelay(0, 0, 4, 32), 40u); // either way: 4 hops
+    EXPECT_EQ(ring.routeDelay(0, 0, 7, 32), 10u); // counter-clockwise
+    EXPECT_EQ(ring.routeDelay(0, 6, 1, 32), 30u); // wraps
+}
+
+TEST(RingFabric, SegmentContention)
+{
+    RingFabric ring(4, 32.0, 0, "r");
+    // Saturate segment 0->1 with 100 transfers of 320B.
+    Cycles last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = ring.routeDelay(0, 0, 1, 320);
+    EXPECT_EQ(last, 1000u);
+    // The opposite direction is unaffected.
+    EXPECT_EQ(ring.routeDelay(0, 1, 0, 320), 10u);
+}
+
+TEST(Network, MonolithicNeverRoutes)
+{
+    const auto cfg = presets::monolithic256();
+    auto net = makeNetwork(cfg);
+    EXPECT_EQ(net->routeDelay(0, 0, 0, 32), 0u);
+    EXPECT_EQ(net->interNodeBytes(), 0u);
+}
+
+TEST(Network, CrossbarCountsBytes)
+{
+    auto cfg = presets::multiGpuFlat(4, 90.0);
+    auto net = makeNetwork(cfg);
+    net->routeDelay(0, 0, 1, 32);
+    net->routeDelay(0, 2, 3, 32);
+    net->routeDelay(0, 1, 1, 999); // local: not counted
+    EXPECT_EQ(net->interNodeBytes(), 64u);
+    EXPECT_EQ(net->interGpuBytes(), 64u); // flat: every node is a GPU
+}
+
+TEST(Network, HierarchicalDistinguishesGpuCrossings)
+{
+    const auto cfg = presets::multiGpu4x4();
+    auto net = makeNetwork(cfg);
+    // Nodes 0 and 1 share GPU 0.
+    net->routeDelay(0, 0, 1, 32);
+    EXPECT_EQ(net->interNodeBytes(), 32u);
+    EXPECT_EQ(net->interGpuBytes(), 0u);
+    // Nodes 0 and 4 are on different GPUs.
+    net->routeDelay(0, 0, 4, 32);
+    EXPECT_EQ(net->interNodeBytes(), 64u);
+    EXPECT_EQ(net->interGpuBytes(), 32u);
+}
+
+TEST(Network, HierarchicalIntraGpuIsCheaper)
+{
+    const auto cfg = presets::multiGpu4x4();
+    auto net = makeNetwork(cfg);
+    const Cycles intra = net->routeDelay(0, 0, 1, 32);
+    const Cycles inter = net->routeDelay(0, 0, 5, 32);
+    EXPECT_LT(intra, inter);
+}
+
+TEST(Network, BandwidthScalingMatters)
+{
+    // Fig. 4's premise: more link bandwidth, less queueing delay.
+    auto slow_cfg = presets::multiGpuFlat(4, 90.0);
+    auto fast_cfg = presets::multiGpuFlat(4, 360.0);
+    auto slow = makeNetwork(slow_cfg);
+    auto fast = makeNetwork(fast_cfg);
+    Cycles t_slow = 0, t_fast = 0;
+    for (int i = 0; i < 1000; ++i) {
+        t_slow = std::max(t_slow, slow->routeDelay(0, 0, 1, 128));
+        t_fast = std::max(t_fast, fast->routeDelay(0, 0, 1, 128));
+    }
+    EXPECT_GT(t_slow, 3 * t_fast);
+}
+
+TEST(Network, ResetZeroesCounters)
+{
+    const auto cfg = presets::multiGpu4x4();
+    auto net = makeNetwork(cfg);
+    net->routeDelay(0, 0, 9, 32);
+    net->reset();
+    EXPECT_EQ(net->interNodeBytes(), 0u);
+    EXPECT_EQ(net->interGpuBytes(), 0u);
+}
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the NUMA memory path: local vs remote service, caching,
+ * MSHR merging, RTWICE/RONCE insertion, UVM first touch, traffic
+ * classes, and the kernel-boundary flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "mem/placement.hh"
+#include "sim/memory_system.hh"
+
+namespace ladm
+{
+namespace
+{
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    MemorySystemTest() : cfg_(presets::multiGpu4x4()), mem_(cfg_) {}
+
+    /** First SM of a node. */
+    SmId
+    smOf(NodeId n) const
+    {
+        return n * cfg_.smsPerChiplet;
+    }
+
+    SystemConfig cfg_;
+    MemorySystem mem_;
+};
+
+TEST_F(MemorySystemTest, LocalAccessStaysOnNode)
+{
+    mem_.pageTable().place(0x10000, 4096, 2);
+    const Cycles t = mem_.access(0, smOf(2), 0x10000, false);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(mem_.fetchLocal(), 1u);
+    EXPECT_EQ(mem_.fetchRemote(), 0u);
+    EXPECT_EQ(mem_.network().interNodeBytes(), 0u);
+}
+
+TEST_F(MemorySystemTest, RemoteAccessCrossesFabric)
+{
+    mem_.pageTable().place(0x10000, 4096, 9);
+    mem_.access(0, smOf(2), 0x10000, false);
+    EXPECT_EQ(mem_.fetchLocal(), 0u);
+    EXPECT_EQ(mem_.fetchRemote(), 1u);
+    EXPECT_GT(mem_.network().interNodeBytes(), 0u);
+    EXPECT_DOUBLE_EQ(mem_.offChipFraction(), 1.0);
+}
+
+TEST_F(MemorySystemTest, RemoteIsSlowerThanLocal)
+{
+    mem_.pageTable().place(0x10000, 4096, 2);
+    mem_.pageTable().place(0x20000, 4096, 9);
+    const Cycles local = mem_.access(0, smOf(2), 0x10000, false);
+    const Cycles remote = mem_.access(0, smOf(2), 0x20000, false);
+    EXPECT_GT(remote, local);
+}
+
+TEST_F(MemorySystemTest, SecondAccessHitsL1)
+{
+    mem_.pageTable().place(0x10000, 4096, 9);
+    const Cycles t1 = mem_.access(0, smOf(2), 0x10000, false);
+    const Cycles t2 = mem_.access(t1, smOf(2), 0x10000, false);
+    EXPECT_EQ(t2, t1 + cfg_.l1LatencyCycles);
+    EXPECT_EQ(mem_.l1Hits(), 1u);
+    EXPECT_EQ(mem_.fetchRemote(), 1u); // no refetch
+}
+
+TEST_F(MemorySystemTest, PeerSmHitsSharedL2)
+{
+    mem_.pageTable().place(0x10000, 4096, 9);
+    const Cycles t1 = mem_.access(0, smOf(2), 0x10000, false);
+    // A different SM on the same node finds it in the node's L2.
+    const Cycles t2 = mem_.access(t1, smOf(2) + 1, 0x10000, false);
+    EXPECT_LT(t2 - t1, 300u);
+    EXPECT_EQ(mem_.fetchRemote(), 1u);
+}
+
+TEST_F(MemorySystemTest, MshrMergesConcurrentMisses)
+{
+    mem_.pageTable().place(0x10000, 4096, 9);
+    const Cycles t1 = mem_.access(0, smOf(2), 0x10000, false);
+    // Another SM on the same node asks while the fetch is in flight.
+    const Cycles t2 = mem_.access(1, smOf(2) + 3, 0x10000, false);
+    EXPECT_EQ(t2, t1);
+    EXPECT_EQ(mem_.mshrMerges(), 1u);
+    EXPECT_EQ(mem_.fetchRemote(), 1u);
+}
+
+TEST_F(MemorySystemTest, FirstTouchMapsUnplacedPage)
+{
+    EXPECT_FALSE(mem_.pageTable().isMapped(0x50000));
+    mem_.access(0, smOf(5), 0x50000, false);
+    EXPECT_EQ(mem_.pageTable().lookup(0x50000), 5);
+    EXPECT_EQ(mem_.uvmFaults(), 1u);
+    EXPECT_EQ(mem_.fetchLocal(), 1u);
+}
+
+TEST_F(MemorySystemTest, PageFaultCostIsCharged)
+{
+    auto cfg = presets::multiGpu4x4();
+    cfg.pageFaultCycles = 30000;
+    MemorySystem mem(cfg);
+    mem.pageTable().place(0x10000, 4096, 0);
+    const Cycles mapped = mem.access(0, 0, 0x10000, false);
+    const Cycles faulted = mem.access(0, 0, 0x90000, false);
+    EXPECT_GE(faulted, mapped + 30000);
+}
+
+TEST_F(MemorySystemTest, RTwiceCachesAtHome)
+{
+    mem_.setInsertPolicy(L2InsertPolicy::RTwice);
+    mem_.pageTable().place(0x10000, 4096, 9);
+    mem_.access(0, smOf(2), 0x10000, false);
+    EXPECT_TRUE(mem_.l2(9).probe(0x10000));
+    EXPECT_TRUE(mem_.l2(2).probe(0x10000));
+}
+
+TEST_F(MemorySystemTest, ROnceBypassesHomeL2)
+{
+    mem_.setInsertPolicy(L2InsertPolicy::ROnce);
+    mem_.pageTable().place(0x10000, 4096, 9);
+    mem_.access(0, smOf(2), 0x10000, false);
+    EXPECT_FALSE(mem_.l2(9).probe(0x10000));
+    EXPECT_TRUE(mem_.l2(2).probe(0x10000)); // requester side still caches
+}
+
+TEST_F(MemorySystemTest, ROnceStillCachesLocalTraffic)
+{
+    mem_.setInsertPolicy(L2InsertPolicy::ROnce);
+    mem_.pageTable().place(0x10000, 4096, 2);
+    mem_.access(0, smOf(2), 0x10000, false);
+    EXPECT_TRUE(mem_.l2(2).probe(0x10000));
+}
+
+TEST_F(MemorySystemTest, TrafficClassAccounting)
+{
+    mem_.pageTable().place(0x10000, 4096, 2);
+    mem_.pageTable().place(0x20000, 4096, 9);
+    mem_.access(0, smOf(2), 0x10000, false); // LOCAL-LOCAL at node 2
+    mem_.access(0, smOf(2), 0x20000, false); // LOCAL-REMOTE at 2,
+                                             // REMOTE-LOCAL at 9
+    EXPECT_EQ(mem_.classAccesses(TrafficClass::LocalLocal), 1u);
+    EXPECT_EQ(mem_.classAccesses(TrafficClass::LocalRemote), 1u);
+    EXPECT_EQ(mem_.classAccesses(TrafficClass::RemoteLocal), 1u);
+}
+
+TEST_F(MemorySystemTest, FlushDropsCaches)
+{
+    mem_.pageTable().place(0x10000, 4096, 2);
+    Cycles t = mem_.access(0, smOf(2), 0x10000, false);
+    mem_.flushCaches();
+    EXPECT_FALSE(mem_.l2(2).probe(0x10000));
+    mem_.access(t + 10000, smOf(2), 0x10000, false);
+    EXPECT_EQ(mem_.fetchLocal(), 2u); // refetched after the flush
+}
+
+TEST_F(MemorySystemTest, WritesAreWriteThroughL1)
+{
+    mem_.pageTable().place(0x10000, 4096, 2);
+    mem_.access(0, smOf(2), 0x10000, true);
+    mem_.access(1000, smOf(2), 0x10000, true);
+    // Both writes reach the L2 level (no L1 write hits).
+    EXPECT_EQ(mem_.l1Accesses(), 0u);
+    EXPECT_GE(mem_.l2(2).accesses(), 2u);
+}
+
+TEST_F(MemorySystemTest, MonolithicNeverGoesOffChip)
+{
+    auto cfg = presets::monolithic256();
+    MemorySystem mem(cfg);
+    placeContiguousChunks(mem.pageTable(), 0, 1 << 20, allNodes(1), 0);
+    for (Addr a = 0; a < (1 << 20); a += 4096)
+        mem.access(0, static_cast<SmId>(a / 4096 % 256), a, false);
+    EXPECT_EQ(mem.fetchRemote(), 0u);
+    EXPECT_EQ(mem.network().interNodeBytes(), 0u);
+}
+
+TEST_F(MemorySystemTest, CompletionIsMonotoneWithIssueTime)
+{
+    mem_.pageTable().place(0, 1 << 20, 9);
+    Cycles prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Cycles now = static_cast<Cycles>(i);
+        const Cycles done =
+            mem_.access(now, smOf(2), static_cast<Addr>(i) * 32, false);
+        EXPECT_GE(done, now);
+        // Completions of same-cost accesses never regress in time.
+        EXPECT_GE(done + 2000, prev);
+        prev = done;
+    }
+}
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the interval-map page table, including a randomized
+ * differential test against a flat reference map.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/page_table.hh"
+
+namespace ladm
+{
+namespace
+{
+
+TEST(PageTable, UnmappedByDefault)
+{
+    PageTable pt(4096);
+    EXPECT_EQ(pt.lookup(0), kInvalidNode);
+    EXPECT_EQ(pt.lookup(123456), kInvalidNode);
+    EXPECT_FALSE(pt.isMapped(4096));
+    EXPECT_EQ(pt.numRuns(), 0u);
+}
+
+TEST(PageTable, PlaceExpandsToPageBoundaries)
+{
+    PageTable pt(4096);
+    pt.place(5000, 100, 3); // inside page 1
+    EXPECT_EQ(pt.lookup(4096), 3);
+    EXPECT_EQ(pt.lookup(8191), 3);
+    EXPECT_EQ(pt.lookup(8192), kInvalidNode);
+    EXPECT_EQ(pt.lookup(4095), kInvalidNode);
+}
+
+TEST(PageTable, OverwriteSplitsRuns)
+{
+    PageTable pt(4096);
+    pt.place(0, 16 * 4096, 0);
+    pt.place(4 * 4096, 4 * 4096, 1);
+    EXPECT_EQ(pt.lookup(0), 0);
+    EXPECT_EQ(pt.lookup(4 * 4096), 1);
+    EXPECT_EQ(pt.lookup(7 * 4096), 1);
+    EXPECT_EQ(pt.lookup(8 * 4096), 0);
+    EXPECT_EQ(pt.lookup(15 * 4096), 0);
+}
+
+TEST(PageTable, AdjacentSameNodeRunsMerge)
+{
+    PageTable pt(4096);
+    pt.place(0, 4096, 2);
+    pt.place(4096, 4096, 2);
+    pt.place(8192, 4096, 2);
+    EXPECT_EQ(pt.numRuns(), 1u);
+    EXPECT_EQ(pt.bytesOnNode(2), 3u * 4096);
+}
+
+TEST(PageTable, BytesOnNode)
+{
+    PageTable pt(4096);
+    pt.place(0, 8192, 0);
+    pt.place(8192, 4096, 1);
+    pt.place(100 * 4096, 4096, 0);
+    EXPECT_EQ(pt.bytesOnNode(0), 3u * 4096);
+    EXPECT_EQ(pt.bytesOnNode(1), 4096u);
+    EXPECT_EQ(pt.bytesOnNode(7), 0u);
+}
+
+TEST(PageTable, ClearDropsEverything)
+{
+    PageTable pt(4096);
+    pt.place(0, 1 << 20, 5);
+    pt.clear();
+    EXPECT_EQ(pt.lookup(0), kInvalidNode);
+    EXPECT_EQ(pt.numRuns(), 0u);
+}
+
+TEST(PageTable, ZeroSizePlaceIsNoop)
+{
+    PageTable pt(4096);
+    pt.place(0, 0, 1);
+    EXPECT_EQ(pt.numRuns(), 0u);
+}
+
+TEST(PageTableDeathTest, RejectsInvalidNode)
+{
+    PageTable pt(4096);
+    EXPECT_DEATH(pt.place(0, 4096, kInvalidNode), "invalid node");
+}
+
+/** Differential test: random places vs a page-granular reference map. */
+class PageTableFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PageTableFuzz, MatchesReferenceMap)
+{
+    Rng rng(GetParam());
+    const Bytes page = 4096;
+    const uint64_t pages = 512;
+    PageTable pt(page);
+    std::map<uint64_t, NodeId> ref;
+
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t start = rng.nextBounded(pages);
+        const uint64_t len = 1 + rng.nextBounded(pages - start);
+        const NodeId node = static_cast<NodeId>(rng.nextBounded(16));
+        pt.place(start * page + rng.nextBounded(page),
+                 (len - 1) * page + 1, node);
+        for (uint64_t p = start; p < start + len; ++p)
+            ref[p] = node;
+    }
+    for (uint64_t p = 0; p < pages; ++p) {
+        const auto it = ref.find(p);
+        const NodeId want = it == ref.end() ? kInvalidNode : it->second;
+        EXPECT_EQ(pt.lookup(p * page), want) << "page " << p;
+        EXPECT_EQ(pt.lookup(p * page + page - 1), want) << "page " << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzz,
+                         ::testing::Range<uint64_t>(0, 24));
+
+} // namespace
+} // namespace ladm

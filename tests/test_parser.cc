@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the kernel-description front-end: lexing, expression
+ * parsing, let-substitution (Fig. 6's backward substitution), loop
+ * handling, and classification of parsed kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/locality_table.hh"
+#include "compiler/parser.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+TEST(Parser, Literals)
+{
+    EXPECT_EQ(parseIndexExpr("42"), Expr(42));
+    EXPECT_EQ(parseIndexExpr("0"), Expr());
+    EXPECT_EQ(parseIndexExpr("-7"), Expr(-7));
+}
+
+TEST(Parser, PrimeVariablesLongAndShortForms)
+{
+    EXPECT_EQ(parseIndexExpr("threadIdx.x"), Expr(tx));
+    EXPECT_EQ(parseIndexExpr("tx"), Expr(tx));
+    EXPECT_EQ(parseIndexExpr("blockIdx.y"), Expr(by));
+    EXPECT_EQ(parseIndexExpr("gridDim.x * blockDim.x"), gdx * bdx);
+}
+
+TEST(Parser, Precedence)
+{
+    EXPECT_EQ(parseIndexExpr("bx * bdx + tx"), bx * bdx + tx);
+    EXPECT_EQ(parseIndexExpr("bx * (bdx + tx)"), bx * (bdx + tx));
+    EXPECT_EQ(parseIndexExpr("2 * bx + 3 * by - 1"),
+              2 * bx + 3 * by - 1);
+    EXPECT_EQ(parseIndexExpr("-(bx + 1) * 2"), -2 * bx - 2);
+}
+
+TEST(Parser, WhitespaceAndComments)
+{
+    EXPECT_EQ(parseIndexExpr("  bx\n * bdx # the block base\n + tx"),
+              bx * bdx + tx);
+}
+
+TEST(ParserDeathTest, RejectsGarbage)
+{
+    EXPECT_DEATH((void)parseIndexExpr("bx + "), "parse error");
+    EXPECT_DEATH((void)parseIndexExpr("foo"), "unknown identifier");
+    EXPECT_DEATH((void)parseIndexExpr("bx @ tx"), "unexpected character");
+    EXPECT_DEATH((void)parseIndexExpr("bx tx"), "trailing input");
+}
+
+const char *kSgemm = R"(
+# The Fig. 6 matrix multiply.
+kernel sgemm(A, B, C) {
+    let W   = gridDim.x * blockDim.x;
+    let Row = blockIdx.y * 16 + threadIdx.y;
+    let Col = blockIdx.x * 16 + threadIdx.x;
+    loop m {
+        read A[Row * W + m * 16 + threadIdx.x] : f32;
+        read B[(m * 16 + threadIdx.y) * W + Col] : f32;
+    }
+    write C[Row * W + Col] : f32;
+}
+)";
+
+TEST(Parser, SgemmStructure)
+{
+    const KernelDesc k = parseKernel(kSgemm);
+    EXPECT_EQ(k.name, "sgemm");
+    EXPECT_EQ(k.numArgs, 3);
+    ASSERT_EQ(k.accesses.size(), 3u);
+    EXPECT_EQ(k.accesses[0].arg, 0);
+    EXPECT_FALSE(k.accesses[0].isWrite);
+    EXPECT_TRUE(k.accesses[0].perIteration());
+    EXPECT_EQ(k.accesses[2].arg, 2);
+    EXPECT_TRUE(k.accesses[2].isWrite);
+    EXPECT_FALSE(k.accesses[2].perIteration());
+}
+
+TEST(Parser, BackwardSubstitutionMatchesHandExpansion)
+{
+    const KernelDesc k = parseKernel(kSgemm);
+    const Expr w_elems = gdx * bdx;
+    EXPECT_EQ(k.accesses[0].index,
+              (by * 16 + ty) * w_elems + m * 16 + tx);
+    EXPECT_EQ(k.accesses[1].index,
+              (m * 16 + ty) * w_elems + bx * 16 + tx);
+    EXPECT_EQ(k.accesses[2].index,
+              (by * 16 + ty) * w_elems + bx * 16 + tx);
+}
+
+TEST(Parser, ParsedKernelClassifiesLikeTheHandWrittenOne)
+{
+    LocalityTable table;
+    table.compileKernel(parseKernel(kSgemm));
+    EXPECT_EQ(table.argSummary("sgemm", 0)->type, LocalityType::RowHoriz);
+    EXPECT_EQ(table.argSummary("sgemm", 1)->type, LocalityType::ColVert);
+    EXPECT_EQ(table.argSummary("sgemm", 2)->type,
+              LocalityType::NoLocality);
+}
+
+TEST(Parser, DataDependentIndices)
+{
+    const KernelDesc k = parseKernel(R"(
+kernel csr(rowptr, col, rank) {
+    loop m {
+        read col[dataDep + m] : i32;
+        read rank[col];
+    }
+    read rowptr[bx * bdx + tx] : i64;
+}
+)");
+    LocalityTable table;
+    table.compileKernel(k);
+    // col[dataDep + m] is the ITL walk.
+    EXPECT_EQ(table.argSummary("csr", 1)->type,
+              LocalityType::IntraThread);
+    // rank[col]: a parameter used as an index is opaque (X[Y[tid]]).
+    EXPECT_EQ(table.argSummary("csr", 2)->type,
+              LocalityType::Unclassified);
+    EXPECT_EQ(table.argSummary("csr", 0)->type,
+              LocalityType::NoLocality);
+    EXPECT_EQ(k.accesses[2].elemSize, 8u);
+}
+
+TEST(Parser, TypesSetElementSizes)
+{
+    const KernelDesc k = parseKernel(
+        "kernel t(A, B) { read A[tx] : f64; write B[tx]; }");
+    EXPECT_EQ(k.accesses[0].elemSize, 8u);
+    EXPECT_EQ(k.accesses[1].elemSize, 4u); // default f32
+}
+
+TEST(ParserDeathTest, KernelErrors)
+{
+    EXPECT_DEATH((void)parseKernel("kernel k(A, A) {}"),
+                 "duplicate parameter");
+    EXPECT_DEATH((void)parseKernel("kernel k(A) { read X[tx]; }"),
+                 "not a kernel parameter");
+    EXPECT_DEATH((void)parseKernel(
+                     "kernel k(A) { loop m { loop j { read A[tx]; } } }"),
+                 "nested loops");
+    EXPECT_DEATH(
+        (void)parseKernel(
+            "kernel k(A) { loop m { read A[m]; } loop j { read A[j]; } }"),
+        "one outer loop");
+    EXPECT_DEATH((void)parseKernel("kernel k(A) { read A[tx] : f16; }"),
+                 "unknown type");
+}
+
+TEST(Parser, LoopCounterScopesToTheLoop)
+{
+    // Outside the loop, `m` is not a known identifier.
+    EXPECT_DEATH((void)parseKernel(
+                     "kernel k(A) { loop i { read A[i]; } write A[i]; }"),
+                 "unknown identifier");
+    // Inside, any name works as the induction variable.
+    const KernelDesc k = parseKernel(
+        "kernel k(A) { loop step { read A[tx * 16 + step]; } }");
+    LocalityTable table;
+    table.compileKernel(k);
+    EXPECT_EQ(table.argSummary("k", 0)->type, LocalityType::IntraThread);
+}
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the placement mechanisms (interleave, chunks, Eq. 1 granule,
+ * hierarchical two-level) and the LASP placement decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "kernel/datablock.hh"
+#include "mem/placement.hh"
+#include "runtime/lasp_placement.hh"
+#include "sched/binding.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+constexpr Bytes kPage = 4096;
+
+TEST(Placement, InterleavedRoundRobin)
+{
+    PageTable pt(kPage);
+    placeInterleaved(pt, 0, 16 * kPage, allNodes(4), kPage);
+    for (int p = 0; p < 16; ++p)
+        EXPECT_EQ(pt.lookup(p * kPage), p % 4) << "page " << p;
+}
+
+TEST(Placement, InterleaveGranuleRoundsUpToPages)
+{
+    PageTable pt(kPage);
+    placeInterleaved(pt, 0, 8 * kPage, allNodes(2), /*granule=*/100);
+    // 100B granule becomes one page.
+    for (int p = 0; p < 8; ++p)
+        EXPECT_EQ(pt.lookup(p * kPage), p % 2);
+}
+
+TEST(Placement, ContiguousChunks)
+{
+    PageTable pt(kPage);
+    placeContiguousChunks(pt, 0, 16 * kPage, allNodes(4), 0);
+    for (int p = 0; p < 16; ++p)
+        EXPECT_EQ(pt.lookup(p * kPage), p / 4);
+}
+
+TEST(Placement, ContiguousChunksUnevenResidueGoesLast)
+{
+    PageTable pt(kPage);
+    placeContiguousChunks(pt, 0, 10 * kPage, allNodes(4), 0);
+    // ceil(10/4) = 3 pages per chunk; the last node absorbs the residue.
+    EXPECT_EQ(pt.lookup(0), 0);
+    EXPECT_EQ(pt.lookup(3 * kPage), 1);
+    EXPECT_EQ(pt.lookup(6 * kPage), 2);
+    EXPECT_EQ(pt.lookup(9 * kPage), 3);
+    // Full coverage.
+    for (int p = 0; p < 10; ++p)
+        EXPECT_NE(pt.lookup(p * kPage), kInvalidNode);
+}
+
+TEST(Placement, RowAlignedChunks)
+{
+    PageTable pt(kPage);
+    const Bytes row = 3 * kPage;
+    placeContiguousChunks(pt, 0, 12 * row, allNodes(4), row);
+    // Chunks are multiples of the row width: 3 rows per node.
+    for (int r = 0; r < 12; ++r)
+        EXPECT_EQ(pt.lookup(r * row), r / 3) << "row " << r;
+}
+
+TEST(Placement, StrideGranuleEquation1)
+{
+    // Granule = ceil(stride / nodes), rounded up to a page.
+    EXPECT_EQ(strideInterleaveGranule(16 * kPage, 4, kPage), 4 * kPage);
+    EXPECT_EQ(strideInterleaveGranule(100, 4, kPage), kPage);
+    EXPECT_EQ(strideInterleaveGranule(0, 4, kPage), kPage);
+    // Non-divisible strides round up.
+    EXPECT_EQ(strideInterleaveGranule(17 * kPage, 4, kPage), 5 * kPage);
+}
+
+TEST(Placement, StrideCouplingKeepsIterationsLocal)
+{
+    // A TB striding by exactly granule * nodes revisits its node.
+    const int nodes = 4;
+    const Bytes stride = 16 * kPage;
+    const Bytes g = strideInterleaveGranule(stride, nodes, kPage);
+    PageTable pt(kPage);
+    placeInterleaved(pt, 0, 8 * stride, allNodes(nodes), g);
+    for (Addr base = 0; base < stride; base += g) {
+        const NodeId home = pt.lookup(base);
+        for (int m = 1; m < 8; ++m)
+            EXPECT_EQ(pt.lookup(base + m * stride), home);
+    }
+}
+
+TEST(Placement, HierarchicalChunksThenInterleave)
+{
+    const SystemConfig sys = presets::multiGpu4x4();
+    PageTable pt(kPage);
+    const Bytes size = 64 * kPage;
+    placeHierarchical(pt, 0, size, sys, kPage);
+    // First quarter belongs to GPU 0 (nodes 0-3), interleaved.
+    for (int p = 0; p < 16; ++p) {
+        const NodeId n = pt.lookup(p * kPage);
+        EXPECT_EQ(sys.gpuOfNode(n), 0) << "page " << p;
+        EXPECT_EQ(n, p % 4);
+    }
+    // Third quarter belongs to GPU 2.
+    for (int p = 32; p < 48; ++p)
+        EXPECT_EQ(sys.gpuOfNode(pt.lookup(p * kPage)), 2);
+}
+
+TEST(Placement, NodeOfGroupProportionalContiguous)
+{
+    const SystemConfig sys = presets::multiGpu4x4(); // 16 nodes
+    // 48 groups -> 3 per node, in order.
+    for (int64_t g = 0; g < 48; ++g)
+        EXPECT_EQ(nodeOfGroup(g, 48, sys), g / 3);
+    // Fewer groups than nodes spreads them.
+    EXPECT_EQ(nodeOfGroup(0, 2, sys), 0);
+    EXPECT_EQ(nodeOfGroup(1, 2, sys), 8);
+    // Adjacent groups stay on the same GPU where possible.
+    for (int64_t g = 0; g + 1 < 64; ++g) {
+        const GpuId a = sys.gpuOfNode(nodeOfGroup(g, 64, sys));
+        const GpuId b = sys.gpuOfNode(nodeOfGroup(g + 1, 64, sys));
+        EXPECT_LE(b - a, 1);
+    }
+}
+
+// --- LASP placement decisions --------------------------------------------------
+
+LaunchDims
+launch(int64_t gx, int64_t gy, int64_t bxd, int64_t byd, int64_t trips)
+{
+    LaunchDims d;
+    d.grid = {gx, gy};
+    d.block = {bxd, byd};
+    d.loopTrips = trips;
+    return d;
+}
+
+TEST(LaspPlacement, StrideAwareRow1)
+{
+    const SystemConfig sys = presets::multiGpu4x4();
+    PageTable pt(kPage);
+    const auto dims = launch(2048, 1, 256, 1, 8);
+    ArrayAccess acc{0, bx * bdx + tx + m * gdx * bdx, 4, false};
+    const auto cls = classifyAccess(acc.index, false);
+    Allocation alloc{1, 0, 2048ull * 256 * 8 * 4, "in"};
+    // A realistic periodic batch map (4 TBs per batch over 16 nodes).
+    std::vector<NodeId> tb_node(static_cast<size_t>(dims.numTbs()));
+    for (size_t t = 0; t < tb_node.size(); ++t)
+        tb_node[t] = static_cast<NodeId>((t / 4) % 16);
+    const std::string note =
+        laspPlaceArg(pt, sys, alloc, cls, acc, dims, tb_node);
+    EXPECT_NE(note.find("co-placed"), std::string::npos);
+
+    // Every TB's iterations stay on that TB's node.
+    const Bytes stride = 2048ull * 256 * 4;
+    for (int64_t t = 0; t < 2048; t += 31) {
+        const Addr mid = t * 256 * 4 + 512;
+        for (int m_it = 0; m_it < 8; ++m_it)
+            EXPECT_EQ(pt.lookup(mid + m_it * stride), tb_node[t]) << t;
+    }
+}
+
+TEST(LaspPlacement, CoPlacementFollowsScheduler)
+{
+    const SystemConfig sys = presets::multiGpu4x4();
+    PageTable pt(kPage);
+    const auto dims = launch(1024, 1, 128, 1, 0);
+    ArrayAccess acc{0, bx * bdx + tx, 4, false};
+    const auto cls = classifyAccess(acc.index, false);
+    Allocation alloc{1, 0, 1024ull * 128 * 4, "C"};
+    // An arbitrary (checkerboard) scheduler map must be honored exactly.
+    std::vector<NodeId> tb_node(1024);
+    for (size_t t = 0; t < tb_node.size(); ++t)
+        tb_node[t] = static_cast<NodeId>((t / 8) % 16);
+    laspPlaceArg(pt, sys, alloc, cls, acc, dims, tb_node);
+    for (int64_t t = 0; t < 1024; ++t) {
+        const Addr mid = t * 128 * 4 + 64;
+        EXPECT_EQ(pt.lookup(mid), tb_node[t]) << "tb " << t;
+    }
+}
+
+TEST(LaspPlacement, RowStripsLandOnBindingNodes)
+{
+    const SystemConfig sys = presets::multiGpu4x4();
+    PageTable pt(kPage);
+    const int64_t tiles = 32;
+    const auto dims = launch(tiles, tiles, 16, 16, tiles);
+    const Expr idx = (by * 16 + ty) * (gdx * bdx) + m * 16 + tx;
+    ArrayAccess acc{0, idx, 4, false};
+    const auto cls = classifyAccess(acc.index, true);
+    ASSERT_EQ(cls.type, LocalityType::RowHoriz);
+    const Bytes w_bytes = tiles * 16 * 4;
+    Allocation alloc{1, 0, w_bytes * tiles * 16, "A"};
+    laspPlaceArg(pt, sys, alloc, cls, acc, dims, {});
+
+    for (int64_t g = 0; g < tiles; ++g) {
+        const Addr strip = g * 16 * w_bytes + w_bytes; // inside strip g
+        EXPECT_EQ(pt.lookup(strip), nodeOfGroup(g, tiles, sys))
+            << "group " << g;
+    }
+}
+
+TEST(LaspPlacement, ItlGetsKernelWideChunks)
+{
+    const SystemConfig sys = presets::multiGpu4x4();
+    PageTable pt(kPage);
+    const auto dims = launch(2048, 1, 256, 1, 16);
+    ArrayAccess acc{0, Expr::dataDep() + m, 4, false};
+    const auto cls = classifyAccess(acc.index, false);
+    ASSERT_EQ(cls.type, LocalityType::IntraThread);
+    Allocation alloc{1, 0, 64ull << 20, "col"};
+    const std::string note =
+        laspPlaceArg(pt, sys, alloc, cls, acc, dims, {});
+    EXPECT_NE(note.find("kernel-wide"), std::string::npos);
+    EXPECT_EQ(pt.lookup(0), 0);
+    EXPECT_EQ(pt.lookup(alloc.size - 1), 15);
+}
+
+} // namespace
+} // namespace ladm

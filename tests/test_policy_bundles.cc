@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the baseline policy bundles: each produces a complete,
+ * correctly-shaped plan and the placement its paper describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "core/policy_bundle.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+class BundleTest : public ::testing::Test
+{
+  protected:
+    BundleTest() : sys_(presets::multiGpu4x4()), pt_(sys_.pageSize) {}
+
+    KernelDesc
+    vecAdd()
+    {
+        KernelDesc k;
+        k.name = "vecadd";
+        k.numArgs = 2;
+        k.accesses.push_back({0, bx * bdx + tx, 4, false});
+        k.accesses.push_back({1, bx * bdx + tx, 4, true});
+        return k;
+    }
+
+    LaunchDims
+    launch(int64_t tbs)
+    {
+        LaunchDims d;
+        d.grid = {tbs, 1};
+        d.block = {128, 1};
+        return d;
+    }
+
+    SystemConfig sys_;
+    MallocRegistry reg_;
+    PageTable pt_;
+};
+
+TEST_F(BundleTest, EveryBundleProducesAScheduler)
+{
+    for (const Policy p :
+         {Policy::BaselineRr, Policy::BatchFt, Policy::KernelWide,
+          Policy::Coda, Policy::LaspRtwice, Policy::LaspRonce,
+          Policy::Ladm}) {
+        auto bundle = makeBundle(p);
+        MallocRegistry reg;
+        PageTable pt(sys_.pageSize);
+        const auto k = vecAdd();
+        reg.mallocManaged(1, 1 << 20, "A");
+        reg.mallocManaged(2, 1 << 20, "B");
+        const auto plan =
+            bundle->prepare(k, launch(2048), {1, 2}, reg, pt, sys_);
+        ASSERT_NE(plan.scheduler, nullptr) << bundle->name();
+        EXPECT_EQ(bundle->name(), toString(p));
+    }
+}
+
+TEST_F(BundleTest, BaselineRrInterleavesPages)
+{
+    auto bundle = makeBundle(Policy::BaselineRr);
+    const auto k = vecAdd();
+    const Addr a = reg_.mallocManaged(1, 64 * 4096, "A");
+    reg_.mallocManaged(2, 64 * 4096, "B");
+    const auto plan =
+        bundle->prepare(k, launch(2048), {1, 2}, reg_, pt_, sys_);
+    EXPECT_EQ(plan.scheduler->name(), "baseline-rr");
+    for (int p = 0; p < 64; ++p)
+        EXPECT_EQ(pt_.lookup(a + p * 4096), p % 16);
+}
+
+TEST_F(BundleTest, BatchFtLeavesPagesUnmapped)
+{
+    auto bundle = makeBundle(Policy::BatchFt);
+    const auto k = vecAdd();
+    const Addr a = reg_.mallocManaged(1, 1 << 20, "A");
+    reg_.mallocManaged(2, 1 << 20, "B");
+    const auto plan =
+        bundle->prepare(k, launch(2048), {1, 2}, reg_, pt_, sys_);
+    EXPECT_FALSE(pt_.isMapped(a));
+    EXPECT_EQ(plan.scheduler->name(), "batch-ft");
+}
+
+TEST_F(BundleTest, KernelWideChunksData)
+{
+    auto bundle = makeBundle(Policy::KernelWide);
+    const auto k = vecAdd();
+    const Addr a = reg_.mallocManaged(1, 16 * 4096, "A");
+    reg_.mallocManaged(2, 16 * 4096, "B");
+    bundle->prepare(k, launch(2048), {1, 2}, reg_, pt_, sys_);
+    for (int p = 0; p < 16; ++p)
+        EXPECT_EQ(pt_.lookup(a + p * 4096), p);
+}
+
+TEST_F(BundleTest, CodaBatchIsPageAligned)
+{
+    auto bundle = makeBundle(Policy::Coda);
+    const auto k = vecAdd();
+    reg_.mallocManaged(1, 1 << 20, "A");
+    reg_.mallocManaged(2, 1 << 20, "B");
+    const auto plan =
+        bundle->prepare(k, launch(2048), {1, 2}, reg_, pt_, sys_);
+    // Datablock = 128 * 4B = 512B; a 4KB page holds 8 of them.
+    EXPECT_NE(plan.schedulerReason.find("8"), std::string::npos);
+    EXPECT_EQ(plan.scheduler->name(), "coda-aligned");
+}
+
+TEST_F(BundleTest, LadmSelectsPerKernel)
+{
+    auto bundle = makeBundle(Policy::Ladm);
+    const auto k = vecAdd();
+    reg_.mallocManaged(1, 1 << 20, "A");
+    reg_.mallocManaged(2, 1 << 20, "B");
+    const auto plan =
+        bundle->prepare(k, launch(2048), {1, 2}, reg_, pt_, sys_);
+    EXPECT_EQ(plan.scheduler->name(), "lasp-align-aware");
+    // Re-preparing the same kernel does not recompile (no duplicate
+    // locality rows -> same decision).
+    PageTable pt2(sys_.pageSize);
+    const auto plan2 =
+        bundle->prepare(k, launch(2048), {1, 2}, reg_, pt2, sys_);
+    EXPECT_EQ(plan2.scheduler->name(), plan.scheduler->name());
+}
+
+TEST_F(BundleTest, LaspVariantsForceInsertionPolicy)
+{
+    KernelDesc k;
+    k.name = "itl";
+    k.numArgs = 1;
+    k.accesses.push_back({0, Expr::dataDep() + m, 4, false});
+    LaunchDims d = launch(512);
+    d.loopTrips = 8;
+
+    {
+        auto bundle = makeBundle(Policy::LaspRtwice);
+        MallocRegistry reg;
+        PageTable pt(4096);
+        reg.mallocManaged(1, 1 << 20, "x");
+        EXPECT_EQ(bundle->prepare(k, d, {1}, reg, pt, sys_).policy,
+                  L2InsertPolicy::RTwice);
+    }
+    {
+        auto bundle = makeBundle(Policy::LaspRonce);
+        MallocRegistry reg;
+        PageTable pt(4096);
+        reg.mallocManaged(1, 1 << 20, "x");
+        EXPECT_EQ(bundle->prepare(k, d, {1}, reg, pt, sys_).policy,
+                  L2InsertPolicy::ROnce);
+    }
+    {
+        // CRB picks RONCE on its own for ITL.
+        auto bundle = makeBundle(Policy::Ladm);
+        MallocRegistry reg;
+        PageTable pt(4096);
+        reg.mallocManaged(1, 1 << 20, "x");
+        EXPECT_EQ(bundle->prepare(k, d, {1}, reg, pt, sys_).policy,
+                  L2InsertPolicy::ROnce);
+    }
+}
+
+} // namespace
+} // namespace ladm

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the LADM runtime: MallocPC binding, per-type scheduler
+ * selection, the larger-structure tie-break, CRB policy choice, and the
+ * placement side effects of prepareLaunch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "runtime/ladm_runtime.hh"
+#include "runtime/malloc_registry.hh"
+
+namespace ladm
+{
+namespace
+{
+
+using namespace dsl;
+
+Expr
+gtidExpr()
+{
+    return bx * bdx + tx;
+}
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    RuntimeTest()
+        : sys_(presets::multiGpu4x4()), runtime_(sys_), pt_(sys_.pageSize)
+    {
+    }
+
+    LaunchDims
+    launch(int64_t gx, int64_t gy, int64_t bxd, int64_t byd,
+           int64_t trips)
+    {
+        LaunchDims d;
+        d.grid = {gx, gy};
+        d.block = {bxd, byd};
+        d.loopTrips = trips;
+        return d;
+    }
+
+    SystemConfig sys_;
+    LadmRuntime runtime_;
+    MallocRegistry reg_;
+    PageTable pt_;
+};
+
+KernelDesc
+matmul()
+{
+    KernelDesc k;
+    k.name = "matmul";
+    k.numArgs = 3;
+    const Expr w_elems = gdx * bdx;
+    k.accesses.push_back(
+        {0, (by * 16 + ty) * w_elems + m * 16 + tx, 4, false});
+    k.accesses.push_back(
+        {1, (m * 16 + ty) * w_elems + bx * 16 + tx, 4, false});
+    k.accesses.push_back({2, (by * 16 + ty) * w_elems + bx * 16 + tx, 4,
+                          true, AccessFreq::Once});
+    return k;
+}
+
+TEST_F(RuntimeTest, EqualSizesFirstClassifiedWins)
+{
+    const auto k = matmul();
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 4 << 20, "A");
+    reg_.mallocManaged(2, 4 << 20, "B");
+    reg_.mallocManaged(3, 4 << 20, "C");
+    const auto plan = runtime_.prepareLaunch(k, launch(32, 32, 16, 16, 32),
+                                             {1, 2, 3}, reg_, pt_);
+    // A (row-locality) and B (column-locality) tie in size; A is first.
+    EXPECT_EQ(plan.scheduler->name(), "row-binding");
+    EXPECT_EQ(plan.policy, L2InsertPolicy::RTwice);
+}
+
+TEST_F(RuntimeTest, LargerStructureWinsTieBreak)
+{
+    // The input-size-aware rule of Section III-D2: B bigger -> col wins.
+    auto k = matmul();
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 1 << 20, "A");
+    reg_.mallocManaged(2, 8 << 20, "B");
+    reg_.mallocManaged(3, 1 << 20, "C");
+    const auto plan = runtime_.prepareLaunch(k, launch(32, 32, 16, 16, 32),
+                                             {1, 2, 3}, reg_, pt_);
+    EXPECT_EQ(plan.scheduler->name(), "col-binding");
+}
+
+TEST_F(RuntimeTest, TieBreakAblationUsesFirst)
+{
+    auto k = matmul();
+    runtime_.setTieBreakLargest(false);
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 1 << 20, "A");
+    reg_.mallocManaged(2, 8 << 20, "B");
+    reg_.mallocManaged(3, 1 << 20, "C");
+    const auto plan = runtime_.prepareLaunch(k, launch(32, 32, 16, 16, 32),
+                                             {1, 2, 3}, reg_, pt_);
+    EXPECT_EQ(plan.scheduler->name(), "row-binding");
+}
+
+TEST_F(RuntimeTest, ItlKernelGetsKernelWideAndRonce)
+{
+    KernelDesc k;
+    k.name = "csr";
+    k.numArgs = 2;
+    k.accesses.push_back({0, gtidExpr(), 8, false, AccessFreq::Once});
+    k.accesses.push_back({1, Expr::dataDep() + m, 4, false});
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 1 << 20, "rowptr");
+    reg_.mallocManaged(2, 16 << 20, "col");
+    const auto plan = runtime_.prepareLaunch(k, launch(2048, 1, 128, 1, 0),
+                                             {1, 2}, reg_, pt_);
+    EXPECT_EQ(plan.scheduler->name(), "kernel-wide");
+    EXPECT_EQ(plan.policy, L2InsertPolicy::ROnce);
+}
+
+TEST_F(RuntimeTest, ForcedPolicyOverridesCrb)
+{
+    KernelDesc k;
+    k.name = "csr";
+    k.numArgs = 1;
+    k.accesses.push_back({0, Expr::dataDep() + m, 4, false});
+    runtime_.setForcedPolicy(L2InsertPolicy::RTwice);
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 16 << 20, "col");
+    const auto plan = runtime_.prepareLaunch(k, launch(2048, 1, 128, 1, 8),
+                                             {1}, reg_, pt_);
+    EXPECT_EQ(plan.policy, L2InsertPolicy::RTwice);
+}
+
+TEST_F(RuntimeTest, UnclassifiedOnlyFallsBack)
+{
+    KernelDesc k;
+    k.name = "blob";
+    k.numArgs = 1;
+    k.accesses.push_back({0, Expr::dataDep(), 4, false});
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 1 << 20, "x");
+    const auto plan = runtime_.prepareLaunch(k, launch(128, 1, 128, 1, 0),
+                                             {1}, reg_, pt_);
+    EXPECT_EQ(plan.scheduler->name(), "kernel-wide");
+    EXPECT_EQ(plan.policy, L2InsertPolicy::RTwice);
+}
+
+TEST_F(RuntimeTest, LargeUnclassifiedStructureWinsTieBreak)
+{
+    // B+tree shape: a big opaque structure plus small regular arrays.
+    // Table II row 7's kernel-wide decision must win via the same
+    // larger-structure rule.
+    KernelDesc k;
+    k.name = "btree";
+    k.numArgs = 2;
+    k.accesses.push_back({0, Expr::dataDep(), 4, false});
+    k.accesses.push_back({1, gtidExpr(), 4, false, AccessFreq::Once});
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 16 << 20, "nodes");
+    reg_.mallocManaged(2, 1 << 20, "keys");
+    const auto plan = runtime_.prepareLaunch(k, launch(2048, 1, 256, 1, 0),
+                                             {1, 2}, reg_, pt_);
+    EXPECT_EQ(plan.scheduler->name(), "kernel-wide");
+    EXPECT_EQ(plan.policy, L2InsertPolicy::RTwice);
+}
+
+TEST_F(RuntimeTest, StridedNlGetsAlignAwareBatches)
+{
+    KernelDesc k;
+    k.name = "scalarprod";
+    k.numArgs = 1;
+    k.accesses.push_back({0, gtidExpr() + m * gdx * bdx, 4, false});
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 64 << 20, "in");
+    const auto plan = runtime_.prepareLaunch(
+        k, launch(2048, 1, 256, 1, 8), {1}, reg_, pt_);
+    EXPECT_EQ(plan.scheduler->name(), "lasp-align-aware");
+}
+
+TEST_F(RuntimeTest, PlacementCoversAllocations)
+{
+    const auto k = matmul();
+    runtime_.compile(k);
+    const Addr a = reg_.mallocManaged(1, 4 << 20, "A");
+    const Addr b = reg_.mallocManaged(2, 4 << 20, "B");
+    const Addr c = reg_.mallocManaged(3, 4 << 20, "C");
+    runtime_.prepareLaunch(k, launch(32, 32, 16, 16, 32), {1, 2, 3}, reg_,
+                           pt_);
+    for (const Addr base : {a, b, c}) {
+        for (Bytes off = 0; off < (4 << 20); off += 64 * 1024)
+            EXPECT_TRUE(pt_.isMapped(base + off)) << "offset " << off;
+    }
+}
+
+TEST_F(RuntimeTest, LocalityTableGetsRuntimeBindings)
+{
+    const auto k = matmul();
+    runtime_.compile(k);
+    const Addr b = reg_.mallocManaged(2, 4 << 20, "B");
+    reg_.mallocManaged(1, 4 << 20, "A");
+    reg_.mallocManaged(3, 4 << 20, "C");
+    runtime_.prepareLaunch(k, launch(32, 32, 16, 16, 32), {1, 2, 3}, reg_,
+                           pt_);
+    const auto *row = runtime_.table().summaryRowFor("matmul", 1);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->mallocPc, 2u);
+    EXPECT_EQ(row->base, b);
+    EXPECT_EQ(row->numPages, (4u << 20) / 4096);
+}
+
+TEST_F(RuntimeTest, ArgCountMismatchIsFatal)
+{
+    const auto k = matmul();
+    runtime_.compile(k);
+    reg_.mallocManaged(1, 1 << 20, "A");
+    EXPECT_DEATH(runtime_.prepareLaunch(k, launch(8, 8, 16, 16, 8), {1},
+                                        reg_, pt_),
+                 "expects");
+}
+
+} // namespace
+} // namespace ladm

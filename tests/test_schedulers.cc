@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for every threadblock scheduler: full coverage of the grid,
+ * correct node mapping, and the coupling properties the placement
+ * machinery relies on.
+ */
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "sched/baseline_rr.hh"
+#include "sched/batched_rr.hh"
+#include "sched/binding.hh"
+#include "sched/kernel_wide.hh"
+
+namespace ladm
+{
+namespace
+{
+
+LaunchDims
+launch(int64_t gx, int64_t gy)
+{
+    LaunchDims d;
+    d.grid = {gx, gy};
+    d.block = {128, 1};
+    return d;
+}
+
+/** Every TB appears exactly once across all node queues. */
+void
+expectFullCoverage(const std::vector<std::vector<TbId>> &queues,
+                   int64_t num_tbs)
+{
+    std::set<TbId> seen;
+    int64_t count = 0;
+    for (const auto &q : queues) {
+        for (const TbId tb : q) {
+            EXPECT_TRUE(seen.insert(tb).second) << "duplicate TB " << tb;
+            EXPECT_GE(tb, 0);
+            EXPECT_LT(tb, num_tbs);
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, num_tbs);
+}
+
+class SchedulerCoverage
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(SchedulerCoverage, AllSchedulersCoverTheGrid)
+{
+    const auto [gx, gy] = GetParam();
+    const auto dims = launch(gx, gy);
+    const auto sys = presets::multiGpu4x4();
+
+    const BaselineRrScheduler rr;
+    const BatchedRrScheduler batched(8);
+    const KernelWideScheduler kw;
+    const RowBindingScheduler row;
+    const ColBindingScheduler col;
+    const std::vector<const TbScheduler *> all = {&rr, &batched, &kw,
+                                                  &row, &col};
+    for (const TbScheduler *s : all)
+        expectFullCoverage(s->assign(dims, sys), dims.numTbs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, SchedulerCoverage,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 1),
+                      std::make_pair<int64_t, int64_t>(16, 1),
+                      std::make_pair<int64_t, int64_t>(1000, 1),
+                      std::make_pair<int64_t, int64_t>(48, 48),
+                      std::make_pair<int64_t, int64_t>(7, 13),
+                      std::make_pair<int64_t, int64_t>(64, 27)));
+
+TEST(BaselineRr, FineGrainedRoundRobin)
+{
+    const auto sys = presets::multiGpu4x4();
+    const auto q = BaselineRrScheduler().assign(launch(64, 1), sys);
+    for (int n = 0; n < 16; ++n) {
+        ASSERT_EQ(q[n].size(), 4u);
+        for (size_t i = 0; i < q[n].size(); ++i)
+            EXPECT_EQ(q[n][i], static_cast<TbId>(n + 16 * i));
+    }
+}
+
+TEST(BatchedRr, BatchesArePeriodic)
+{
+    const auto sys = presets::multiGpu4x4();
+    const BatchedRrScheduler s(8);
+    const auto map = s.nodeMap(launch(512, 1), sys);
+    for (TbId tb = 0; tb < 512; ++tb)
+        EXPECT_EQ(map[tb], (tb / 8) % 16) << tb;
+}
+
+TEST(BatchedRr, NamedLabel)
+{
+    EXPECT_EQ(BatchedRrScheduler(4, "coda-aligned").name(),
+              "coda-aligned");
+    EXPECT_EQ(BatchedRrScheduler(4).batch(), 4);
+}
+
+TEST(KernelWide, ContiguousChunks)
+{
+    const auto sys = presets::multiGpu4x4();
+    const auto map = KernelWideScheduler().nodeMap(launch(160, 1), sys);
+    // ceil(160/16) = 10 TBs per node, contiguous.
+    for (TbId tb = 0; tb < 160; ++tb)
+        EXPECT_EQ(map[tb], tb / 10) << tb;
+    // Monotone non-decreasing by construction.
+    for (TbId tb = 1; tb < 160; ++tb)
+        EXPECT_LE(map[tb - 1], map[tb]);
+}
+
+TEST(RowBinding, WholeRowsShareNodes)
+{
+    const auto sys = presets::multiGpu4x4();
+    const auto dims = launch(48, 48);
+    const auto map = RowBindingScheduler().nodeMap(dims, sys);
+    for (int64_t by = 0; by < 48; ++by) {
+        const NodeId want = nodeOfGroup(by, 48, sys);
+        for (int64_t bx = 0; bx < 48; ++bx)
+            EXPECT_EQ(map[dims.tbId(bx, by)], want);
+    }
+}
+
+TEST(ColBinding, WholeColumnsShareNodes)
+{
+    const auto sys = presets::multiGpu4x4();
+    const auto dims = launch(48, 48);
+    const auto map = ColBindingScheduler().nodeMap(dims, sys);
+    for (int64_t bx = 0; bx < 48; ++bx) {
+        const NodeId want = nodeOfGroup(bx, 48, sys);
+        for (int64_t by = 0; by < 48; ++by)
+            EXPECT_EQ(map[dims.tbId(bx, by)], want);
+    }
+}
+
+TEST(Binding, LoadIsBalanced)
+{
+    const auto sys = presets::multiGpu4x4();
+    const auto q = RowBindingScheduler().assign(launch(48, 48), sys);
+    for (const auto &node_q : q)
+        EXPECT_EQ(node_q.size(), 48u * 3);
+}
+
+TEST(NodeOfGroup, SingleNodeSystem)
+{
+    const auto sys = presets::monolithic256();
+    for (int64_t g = 0; g < 10; ++g)
+        EXPECT_EQ(nodeOfGroup(g, 10, sys), 0);
+}
+
+TEST(NodeOfGroup, HierarchicalAffinity)
+{
+    // Adjacent groups never skip a GPU: groups are contiguous in node
+    // order, so nearby rows land on the same or the next chiplet.
+    const auto sys = presets::multiGpu4x4();
+    for (int64_t groups : {16, 32, 48, 100}) {
+        NodeId prev = 0;
+        for (int64_t g = 0; g < groups; ++g) {
+            const NodeId n = nodeOfGroup(g, groups, sys);
+            EXPECT_GE(n, prev) << "map must be monotone";
+            prev = n;
+        }
+        // The full node range is used.
+        EXPECT_EQ(nodeOfGroup(0, groups, sys), 0);
+        EXPECT_EQ(nodeOfGroup(groups - 1, groups, sys), 15);
+    }
+}
+
+TEST(NodeMap, ConsistentWithAssign)
+{
+    const auto sys = presets::multiGpu4x4();
+    const auto dims = launch(100, 3);
+    const ColBindingScheduler s;
+    const auto queues = s.assign(dims, sys);
+    const auto map = s.nodeMap(dims, sys);
+    for (size_t n = 0; n < queues.size(); ++n)
+        for (const TbId tb : queues[n])
+            EXPECT_EQ(map[tb], static_cast<NodeId>(n));
+}
+
+} // namespace
+} // namespace ladm

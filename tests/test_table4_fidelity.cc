@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fidelity checks against Table IV's static columns: threadblock shapes
+ * and locality-type groups per workload, plus an end-to-end run of a
+ * kernel that enters the system through the parser front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/parser.hh"
+#include "config/presets.hh"
+#include "core/experiment.hh"
+#include "sim/gpu_system.hh"
+#include "workloads/access_gen.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace
+{
+
+struct TableRowSpec
+{
+    const char *name;
+    int64_t bdx;
+    int64_t bdy;
+};
+
+/** Table IV's "TB Dim" column. */
+const TableRowSpec kTable4[] = {
+    {"VecAdd", 128, 1},      {"SRAD", 16, 16},
+    {"HS", 16, 16},          {"ScalarProd", 256, 1},
+    {"BLK", 128, 1},         {"Histo-final", 512, 1},
+    {"Reduction-k6", 256, 1},{"Hotspot3D", 64, 4},
+    {"Histo-main", 16, 16},  {"SQ-GEMM", 16, 16},
+    {"Alexnet-FC-2", 32, 4}, {"VGGnet-FC-2", 32, 4},
+    {"Resnet-50-FC", 32, 4}, {"LSTM-1", 32, 4},
+    {"LSTM-2", 32, 4},       {"TRA", 16, 16},
+    {"PageRank", 128, 1},    {"BFS-relax", 256, 1},
+    {"SSSP", 64, 1},         {"Random-loc", 256, 1},
+    {"Kmeans-noTex", 256, 1},{"SpMV-jds", 32, 1},
+    {"B+tree", 256, 1},      {"LBM", 120, 1},
+    {"StreamCluster", 512, 1},
+};
+
+TEST(Table4Fidelity, ThreadblockShapesMatchThePaper)
+{
+    for (const auto &row : kTable4) {
+        auto w = workloads::makeWorkload(row.name, 0.25);
+        EXPECT_EQ(w->dims().block.x, row.bdx) << row.name;
+        EXPECT_EQ(w->dims().block.y, row.bdy) << row.name;
+    }
+}
+
+TEST(Table4Fidelity, GridsAreLargeEnoughToScale)
+{
+    // The paper pares to workloads with enough parallelism to fill the
+    // 256-SM machine; every catalog entry must launch at least as many
+    // TBs as there are SMs.
+    const auto cfg = presets::multiGpu4x4();
+    for (const auto &name : workloads::allWorkloadNames()) {
+        auto w = workloads::makeWorkload(name);
+        EXPECT_GE(w->dims().numTbs(), cfg.totalSms()) << name;
+    }
+}
+
+TEST(ParsedKernelEndToEnd, RunsThroughTheFullPipeline)
+{
+    // Source text -> parser -> compiler -> LASP plan -> simulated run.
+    const KernelDesc k = parseKernel(R"(
+kernel axpy(X, Y) {
+    let i = blockIdx.x * blockDim.x + threadIdx.x;
+    read X[i] : f32;
+    write Y[i] : f32;
+}
+)");
+    const SystemConfig cfg = presets::multiGpu4x4();
+    GpuSystem sys(cfg);
+    LadmRuntime runtime(cfg);
+    runtime.compile(k);
+
+    LaunchDims dims;
+    dims.grid = {1024, 1};
+    dims.block = {128, 1};
+
+    MallocRegistry reg(cfg.pageSize);
+    const Bytes elems = 1024 * 128;
+    reg.mallocManaged(1, elems * 4, "X");
+    reg.mallocManaged(2, elems * 4, "Y");
+    const auto plan = runtime.prepareLaunch(k, dims, {1, 2}, reg,
+                                            sys.mem().pageTable());
+
+    std::vector<Allocation> args = {reg.byPc(1), reg.byPc(2)};
+    AffineTraceSource trace(k, dims, args);
+    const auto stats =
+        sys.runKernel(dims, trace, plan.scheduler->assign(dims, cfg),
+                      plan.policy);
+
+    EXPECT_EQ(stats.warpSteps, 1024u * 4);
+    EXPECT_GT(stats.cycles(), 0u);
+    // Co-placement keeps an aligned AXPY fully on-node.
+    EXPECT_EQ(sys.mem().fetchRemote(), 0u);
+}
+
+TEST(ParsedKernelEndToEnd, MatchesHandBuiltWorkloadDecisions)
+{
+    // The parsed Fig. 6 GEMM and the C++-built SQ-GEMM workload must
+    // produce the same scheduler decision and cache policy.
+    const KernelDesc parsed = parseKernel(R"(
+kernel sgemm(A, B, C) {
+    let W   = gridDim.x * blockDim.x;
+    let Row = blockIdx.y * 16 + threadIdx.y;
+    let Col = blockIdx.x * 16 + threadIdx.x;
+    loop m {
+        read A[Row * W + m * 16 + threadIdx.x] : f32;
+        read B[(m * 16 + threadIdx.y) * W + Col] : f32;
+    }
+    write C[Row * W + Col] : f32;
+}
+)");
+    const SystemConfig cfg = presets::multiGpu4x4();
+    LadmRuntime runtime(cfg);
+    runtime.compile(parsed);
+    LaunchDims dims;
+    dims.grid = {44, 44};
+    dims.block = {16, 16};
+    dims.loopTrips = 44;
+    MallocRegistry reg(cfg.pageSize);
+    const Bytes mat = 44ull * 16 * 44 * 16 * 4;
+    reg.mallocManaged(1, mat, "A");
+    reg.mallocManaged(2, mat, "B");
+    reg.mallocManaged(3, mat, "C");
+    PageTable pt(cfg.pageSize);
+    const auto plan =
+        runtime.prepareLaunch(parsed, dims, {1, 2, 3}, reg, pt);
+    EXPECT_EQ(plan.scheduler->name(), "row-binding");
+    EXPECT_EQ(plan.policy, L2InsertPolicy::RTwice);
+}
+
+} // namespace
+} // namespace ladm

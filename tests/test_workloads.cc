@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests over the full Table IV workload catalog: classification matches
+ * the paper's column, traces stay within their allocations, and
+ * generation is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "compiler/locality_table.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace
+{
+
+/** Coarse grouping used by the Fig. 9/10 section labels. */
+enum class Group
+{
+    Nl,
+    Rcl,
+    Itl,
+    Unclassified
+};
+
+Group
+groupOf(LocalityType t)
+{
+    switch (t) {
+      case LocalityType::NoLocality:
+        return Group::Nl;
+      case LocalityType::RowHoriz:
+      case LocalityType::ColHoriz:
+      case LocalityType::RowVert:
+      case LocalityType::ColVert:
+        return Group::Rcl;
+      case LocalityType::IntraThread:
+        return Group::Itl;
+      case LocalityType::Unclassified:
+        return Group::Unclassified;
+    }
+    return Group::Unclassified;
+}
+
+class WorkloadCatalog : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    /** Dominant type: summary of the largest accessed argument,
+     *  mirroring the runtime's larger-structure tie-break. */
+    LocalityType
+    dominantType(Workload &w)
+    {
+        LocalityTable table;
+        table.compileKernel(w.kernel());
+        LocalityType best = LocalityType::Unclassified;
+        Bytes best_size = 0;
+        const auto &allocs = w.allocs();
+        const auto pcs = w.argPcs();
+        for (int arg = 0; arg < w.kernel().numArgs; ++arg) {
+            const auto cls = table.argSummary(w.kernel().name, arg);
+            if (!cls)
+                continue;
+            Bytes size = 0;
+            for (const auto &a : allocs)
+                if (a.pc == pcs[arg])
+                    size = a.size;
+            if (size > best_size) {
+                best_size = size;
+                best = cls->type;
+            }
+        }
+        return best;
+    }
+};
+
+TEST_P(WorkloadCatalog, IsConstructible)
+{
+    auto w = workloads::makeWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), GetParam());
+    EXPECT_GT(w->dims().numTbs(), 0);
+    EXPECT_FALSE(w->allocs().empty());
+    EXPECT_EQ(static_cast<int>(w->argPcs().size()), w->kernel().numArgs);
+}
+
+TEST_P(WorkloadCatalog, ClassificationMatchesTableIV)
+{
+    auto w = workloads::makeWorkload(GetParam());
+    EXPECT_EQ(groupOf(dominantType(*w)), groupOf(w->expectedType()))
+        << "dominant type " << toString(dominantType(*w))
+        << " expected " << toString(w->expectedType());
+}
+
+TEST_P(WorkloadCatalog, TraceStaysInBounds)
+{
+    auto w = workloads::makeWorkload(GetParam());
+    MallocRegistry reg;
+    w->allocateAll(reg);
+    auto trace = w->makeTrace(reg);
+
+    const auto dims = w->dims();
+    const int warps =
+        static_cast<int>(ceilDiv(dims.threadsPerTb(), 32));
+    std::vector<MemAccess> buf;
+    uint64_t accesses = 0;
+    // Sample a handful of TBs spread over the grid, full warp streams.
+    for (const TbId tb :
+         {TbId{0}, dims.numTbs() / 3, dims.numTbs() - 1}) {
+        for (int wi = 0; wi < warps; ++wi) {
+            for (int64_t step = 0;; ++step) {
+                buf.clear();
+                if (!trace->warpStep(tb, wi, step, buf))
+                    break;
+                ASSERT_LT(step, 1 << 20) << "runaway trace";
+                for (const auto &a : buf) {
+                    ++accesses;
+                    EXPECT_NE(reg.byAddr(a.addr), nullptr)
+                        << "tb " << tb << " warp " << wi << " step "
+                        << step << " addr " << a.addr;
+                }
+            }
+        }
+    }
+    EXPECT_GT(accesses, 0u);
+}
+
+TEST_P(WorkloadCatalog, TraceIsDeterministic)
+{
+    auto w1 = workloads::makeWorkload(GetParam());
+    auto w2 = workloads::makeWorkload(GetParam());
+    MallocRegistry r1, r2;
+    w1->allocateAll(r1);
+    w2->allocateAll(r2);
+    auto t1 = w1->makeTrace(r1);
+    auto t2 = w2->makeTrace(r2);
+    std::vector<MemAccess> b1, b2;
+    const TbId tb = w1->dims().numTbs() / 2;
+    for (int64_t step = 0; step < 50; ++step) {
+        b1.clear();
+        b2.clear();
+        const bool m1 = t1->warpStep(tb, 0, step, b1);
+        const bool m2 = t2->warpStep(tb, 0, step, b2);
+        ASSERT_EQ(m1, m2);
+        if (!m1)
+            break;
+        ASSERT_EQ(b1.size(), b2.size());
+        for (size_t i = 0; i < b1.size(); ++i) {
+            EXPECT_EQ(b1[i].addr, b2[i].addr);
+            EXPECT_EQ(b1[i].write, b2[i].write);
+        }
+    }
+}
+
+TEST_P(WorkloadCatalog, ScaleShrinksTheProblem)
+{
+    auto full = workloads::makeWorkload(GetParam(), 1.0);
+    auto quarter = workloads::makeWorkload(GetParam(), 0.25);
+    EXPECT_LE(quarter->dims().numTbs(), full->dims().numTbs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIV, WorkloadCatalog,
+    ::testing::ValuesIn(workloads::allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(WorkloadRegistry, HasAll27)
+{
+    EXPECT_EQ(workloads::allWorkloadNames().size(), 27u);
+    EXPECT_EQ(workloads::makeAllWorkloads(0.1).size(), 27u);
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_DEATH((void)workloads::makeWorkload("NotAWorkload"), "unknown");
+}
+
+} // namespace
+} // namespace ladm
