@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_caching_ablation.dir/bench_remote_caching_ablation.cc.o"
+  "CMakeFiles/bench_remote_caching_ablation.dir/bench_remote_caching_ablation.cc.o.d"
+  "bench_remote_caching_ablation"
+  "bench_remote_caching_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_caching_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

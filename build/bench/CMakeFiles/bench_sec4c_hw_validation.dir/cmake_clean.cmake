@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4c_hw_validation.dir/bench_sec4c_hw_validation.cc.o"
+  "CMakeFiles/bench_sec4c_hw_validation.dir/bench_sec4c_hw_validation.cc.o.d"
+  "bench_sec4c_hw_validation"
+  "bench_sec4c_hw_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4c_hw_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_workloads.dir/bench_table04_workloads.cc.o"
+  "CMakeFiles/bench_table04_workloads.dir/bench_table04_workloads.cc.o.d"
+  "bench_table04_workloads"
+  "bench_table04_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_kernel.dir/explain_kernel.cpp.o"
+  "CMakeFiles/explain_kernel.dir/explain_kernel.cpp.o.d"
+  "explain_kernel"
+  "explain_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

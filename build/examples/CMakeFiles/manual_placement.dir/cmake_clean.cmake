@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manual_placement.dir/manual_placement.cpp.o"
+  "CMakeFiles/manual_placement.dir/manual_placement.cpp.o.d"
+  "manual_placement"
+  "manual_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manual_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

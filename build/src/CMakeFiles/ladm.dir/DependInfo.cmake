@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/ladm.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/ladm.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/insertion_policy.cc" "src/CMakeFiles/ladm.dir/cache/insertion_policy.cc.o" "gcc" "src/CMakeFiles/ladm.dir/cache/insertion_policy.cc.o.d"
+  "/root/repo/src/cache/traffic_class.cc" "src/CMakeFiles/ladm.dir/cache/traffic_class.cc.o" "gcc" "src/CMakeFiles/ladm.dir/cache/traffic_class.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ladm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ladm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ladm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ladm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ladm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ladm.dir/common/stats.cc.o.d"
+  "/root/repo/src/compiler/index_analysis.cc" "src/CMakeFiles/ladm.dir/compiler/index_analysis.cc.o" "gcc" "src/CMakeFiles/ladm.dir/compiler/index_analysis.cc.o.d"
+  "/root/repo/src/compiler/locality_table.cc" "src/CMakeFiles/ladm.dir/compiler/locality_table.cc.o" "gcc" "src/CMakeFiles/ladm.dir/compiler/locality_table.cc.o.d"
+  "/root/repo/src/compiler/parser.cc" "src/CMakeFiles/ladm.dir/compiler/parser.cc.o" "gcc" "src/CMakeFiles/ladm.dir/compiler/parser.cc.o.d"
+  "/root/repo/src/config/presets.cc" "src/CMakeFiles/ladm.dir/config/presets.cc.o" "gcc" "src/CMakeFiles/ladm.dir/config/presets.cc.o.d"
+  "/root/repo/src/config/system_config.cc" "src/CMakeFiles/ladm.dir/config/system_config.cc.o" "gcc" "src/CMakeFiles/ladm.dir/config/system_config.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/ladm.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/ladm.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/ladm.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/ladm.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/policy_bundle.cc" "src/CMakeFiles/ladm.dir/core/policy_bundle.cc.o" "gcc" "src/CMakeFiles/ladm.dir/core/policy_bundle.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/ladm.dir/core/report.cc.o" "gcc" "src/CMakeFiles/ladm.dir/core/report.cc.o.d"
+  "/root/repo/src/interconnect/crossbar.cc" "src/CMakeFiles/ladm.dir/interconnect/crossbar.cc.o" "gcc" "src/CMakeFiles/ladm.dir/interconnect/crossbar.cc.o.d"
+  "/root/repo/src/interconnect/hierarchical.cc" "src/CMakeFiles/ladm.dir/interconnect/hierarchical.cc.o" "gcc" "src/CMakeFiles/ladm.dir/interconnect/hierarchical.cc.o.d"
+  "/root/repo/src/interconnect/network.cc" "src/CMakeFiles/ladm.dir/interconnect/network.cc.o" "gcc" "src/CMakeFiles/ladm.dir/interconnect/network.cc.o.d"
+  "/root/repo/src/interconnect/ring.cc" "src/CMakeFiles/ladm.dir/interconnect/ring.cc.o" "gcc" "src/CMakeFiles/ladm.dir/interconnect/ring.cc.o.d"
+  "/root/repo/src/kernel/datablock.cc" "src/CMakeFiles/ladm.dir/kernel/datablock.cc.o" "gcc" "src/CMakeFiles/ladm.dir/kernel/datablock.cc.o.d"
+  "/root/repo/src/kernel/expr.cc" "src/CMakeFiles/ladm.dir/kernel/expr.cc.o" "gcc" "src/CMakeFiles/ladm.dir/kernel/expr.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/ladm.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/ladm.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/placement.cc" "src/CMakeFiles/ladm.dir/mem/placement.cc.o" "gcc" "src/CMakeFiles/ladm.dir/mem/placement.cc.o.d"
+  "/root/repo/src/runtime/ladm_runtime.cc" "src/CMakeFiles/ladm.dir/runtime/ladm_runtime.cc.o" "gcc" "src/CMakeFiles/ladm.dir/runtime/ladm_runtime.cc.o.d"
+  "/root/repo/src/runtime/lasp_placement.cc" "src/CMakeFiles/ladm.dir/runtime/lasp_placement.cc.o" "gcc" "src/CMakeFiles/ladm.dir/runtime/lasp_placement.cc.o.d"
+  "/root/repo/src/runtime/malloc_registry.cc" "src/CMakeFiles/ladm.dir/runtime/malloc_registry.cc.o" "gcc" "src/CMakeFiles/ladm.dir/runtime/malloc_registry.cc.o.d"
+  "/root/repo/src/sched/baseline_rr.cc" "src/CMakeFiles/ladm.dir/sched/baseline_rr.cc.o" "gcc" "src/CMakeFiles/ladm.dir/sched/baseline_rr.cc.o.d"
+  "/root/repo/src/sched/batched_rr.cc" "src/CMakeFiles/ladm.dir/sched/batched_rr.cc.o" "gcc" "src/CMakeFiles/ladm.dir/sched/batched_rr.cc.o.d"
+  "/root/repo/src/sched/binding.cc" "src/CMakeFiles/ladm.dir/sched/binding.cc.o" "gcc" "src/CMakeFiles/ladm.dir/sched/binding.cc.o.d"
+  "/root/repo/src/sched/kernel_wide.cc" "src/CMakeFiles/ladm.dir/sched/kernel_wide.cc.o" "gcc" "src/CMakeFiles/ladm.dir/sched/kernel_wide.cc.o.d"
+  "/root/repo/src/sim/kernel_engine.cc" "src/CMakeFiles/ladm.dir/sim/kernel_engine.cc.o" "gcc" "src/CMakeFiles/ladm.dir/sim/kernel_engine.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/CMakeFiles/ladm.dir/sim/memory_system.cc.o" "gcc" "src/CMakeFiles/ladm.dir/sim/memory_system.cc.o.d"
+  "/root/repo/src/workloads/access_gen.cc" "src/CMakeFiles/ladm.dir/workloads/access_gen.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/access_gen.cc.o.d"
+  "/root/repo/src/workloads/gemm_workloads.cc" "src/CMakeFiles/ladm.dir/workloads/gemm_workloads.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/gemm_workloads.cc.o.d"
+  "/root/repo/src/workloads/graph_gen.cc" "src/CMakeFiles/ladm.dir/workloads/graph_gen.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/graph_gen.cc.o.d"
+  "/root/repo/src/workloads/irregular_workloads.cc" "src/CMakeFiles/ladm.dir/workloads/irregular_workloads.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/irregular_workloads.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/ladm.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/regular_workloads.cc" "src/CMakeFiles/ladm.dir/workloads/regular_workloads.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/regular_workloads.cc.o.d"
+  "/root/repo/src/workloads/stencil_workloads.cc" "src/CMakeFiles/ladm.dir/workloads/stencil_workloads.cc.o" "gcc" "src/CMakeFiles/ladm.dir/workloads/stencil_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

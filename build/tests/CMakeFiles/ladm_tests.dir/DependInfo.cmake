@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_access_gen.cc" "tests/CMakeFiles/ladm_tests.dir/test_access_gen.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_access_gen.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/ladm_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_classification.cc" "tests/CMakeFiles/ladm_tests.dir/test_classification.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_classification.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/ladm_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_coupling_properties.cc" "tests/CMakeFiles/ladm_tests.dir/test_coupling_properties.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_coupling_properties.cc.o.d"
+  "/root/repo/tests/test_datablock.cc" "tests/CMakeFiles/ladm_tests.dir/test_datablock.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_datablock.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/ladm_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/ladm_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_expr.cc" "tests/CMakeFiles/ladm_tests.dir/test_expr.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_expr.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/ladm_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_gpu_system.cc" "tests/CMakeFiles/ladm_tests.dir/test_gpu_system.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_gpu_system.cc.o.d"
+  "/root/repo/tests/test_interconnect.cc" "tests/CMakeFiles/ladm_tests.dir/test_interconnect.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_interconnect.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/ladm_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_model_validation.cc" "tests/CMakeFiles/ladm_tests.dir/test_model_validation.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_model_validation.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/ladm_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/ladm_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_placement.cc" "tests/CMakeFiles/ladm_tests.dir/test_placement.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_placement.cc.o.d"
+  "/root/repo/tests/test_policy_bundles.cc" "tests/CMakeFiles/ladm_tests.dir/test_policy_bundles.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_policy_bundles.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/ladm_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_schedulers.cc" "tests/CMakeFiles/ladm_tests.dir/test_schedulers.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_schedulers.cc.o.d"
+  "/root/repo/tests/test_table4_fidelity.cc" "tests/CMakeFiles/ladm_tests.dir/test_table4_fidelity.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_table4_fidelity.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ladm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ladm_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ladm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
