@@ -19,6 +19,7 @@ main()
     const SystemConfig multi = presets::multiGpu4x4();
     const SystemConfig mono = presets::monolithic256();
     const CsvSink csv("fig09");
+    BenchJsonSink json("fig09");
 
     std::printf("%-14s %9s %9s %9s %9s %9s\n", "workload", "H-CODA",
                 "LASP+RT", "LASP+RO", "LADM", "Monolith");
@@ -33,8 +34,10 @@ main()
             const auto ro_m = run(name, Policy::LaspRonce, multi);
             const auto la_m = run(name, Policy::Ladm, multi);
             const auto mo_m = run(name, Policy::KernelWide, mono);
-            for (const auto *m : {&hc_m, &rt_m, &ro_m, &la_m, &mo_m})
+            for (const auto *m : {&hc_m, &rt_m, &ro_m, &la_m, &mo_m}) {
                 csv.add(*m);
+                json.add(*m);
+            }
             const Cycles hc = hc_m.cycles, rt = rt_m.cycles,
                          ro = ro_m.cycles, la = la_m.cycles,
                          mo = mo_m.cycles;

@@ -17,6 +17,7 @@ main()
 
     const SystemConfig multi = presets::multiGpu4x4();
     const CsvSink csv("fig10");
+    BenchJsonSink json("fig10");
 
     std::printf("%-14s %9s %9s %9s %9s\n", "workload", "H-CODA",
                 "LASP+RT", "LASP+RO", "LADM");
@@ -32,8 +33,10 @@ main()
             const auto rt = run(name, Policy::LaspRtwice, multi);
             const auto ro = run(name, Policy::LaspRonce, multi);
             const auto la = run(name, Policy::Ladm, multi);
-            for (const auto *m : {&hc, &rt, &ro, &la})
+            for (const auto *m : {&hc, &rt, &ro, &la}) {
                 csv.add(*m);
+                json.add(*m);
+            }
             std::printf("%-14s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
                         name.c_str(), hc.offChipPct, rt.offChipPct,
                         ro.offChipPct, la.offChipPct);

@@ -18,11 +18,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "config/presets.hh"
 #include "core/experiment.hh"
+#include "telemetry/json_writer.hh"
 #include "workloads/registry.hh"
 
 namespace ladm
@@ -121,6 +123,102 @@ class CsvSink
 
   private:
     std::string path_;
+};
+
+/**
+ * Machine-readable bench results: collects every run() result and writes
+ * BENCH_<bench>.json in the working directory at destruction. Always on
+ * (the file is the bench's canonical machine-readable output); the
+ * document is "ladm-bench-v1" with one entry per run including the
+ * per-node local/remote fetch breakdown.
+ */
+class BenchJsonSink
+{
+  public:
+    explicit BenchJsonSink(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {
+    }
+
+    BenchJsonSink(const BenchJsonSink &) = delete;
+    BenchJsonSink &operator=(const BenchJsonSink &) = delete;
+
+    void add(const RunMetrics &m) { runs_.push_back(m); }
+
+    ~BenchJsonSink() { write(); }
+
+    void
+    write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        const std::string path = "BENCH_" + bench_ + ".json";
+        std::ofstream os(path);
+        if (!os)
+            return;
+        telemetry::JsonWriter w(os, 1);
+        w.beginObject();
+        w.kv("schema", "ladm-bench-v1");
+        w.kv("bench", bench_);
+        w.kv("scale", benchScale());
+        w.key("runs");
+        w.beginArray();
+        uint64_t total_cycles = 0, total_local = 0, total_remote = 0;
+        for (const RunMetrics &m : runs_) {
+            total_cycles += m.cycles;
+            total_local += m.fetchLocal;
+            total_remote += m.fetchRemote;
+            w.beginObject();
+            w.kv("workload", m.workload);
+            w.kv("policy", m.policy);
+            w.kv("system", m.system);
+            w.kv("scheduler", m.scheduler);
+            w.kv("insert_policy", toString(m.insertPolicy));
+            w.kv("cycles", static_cast<double>(m.cycles));
+            w.kv("tb_count", static_cast<double>(m.tbCount));
+            w.kv("sector_accesses",
+                 static_cast<double>(m.sectorAccesses));
+            w.kv("fetch_local", static_cast<double>(m.fetchLocal));
+            w.kv("fetch_remote", static_cast<double>(m.fetchRemote));
+            w.key("node_fetch_local");
+            w.beginArray();
+            for (const uint64_t v : m.nodeFetchLocal)
+                w.value(static_cast<double>(v));
+            w.endArray();
+            w.key("node_fetch_remote");
+            w.beginArray();
+            for (const uint64_t v : m.nodeFetchRemote)
+                w.value(static_cast<double>(v));
+            w.endArray();
+            w.kv("off_chip_pct", m.offChipPct);
+            w.kv("inter_node_bytes",
+                 static_cast<double>(m.interNodeBytes));
+            w.kv("inter_gpu_bytes",
+                 static_cast<double>(m.interGpuBytes));
+            w.kv("l1_hit_rate", m.l1HitRate);
+            w.kv("l2_hit_rate", m.l2HitRate);
+            w.kv("l2_mpki", m.l2Mpki);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("summary");
+        w.beginObject();
+        w.kv("num_runs", static_cast<double>(runs_.size()));
+        w.kv("total_cycles", static_cast<double>(total_cycles));
+        w.kv("total_fetch_local", static_cast<double>(total_local));
+        w.kv("total_fetch_remote", static_cast<double>(total_remote));
+        w.endObject();
+        w.endObject();
+        os << '\n';
+        std::printf("[bench] wrote %s (%zu runs)\n", path.c_str(),
+                    runs_.size());
+    }
+
+  private:
+    std::string bench_;
+    std::vector<RunMetrics> runs_;
+    bool written_ = false;
 };
 
 inline void

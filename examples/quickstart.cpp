@@ -7,19 +7,26 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Telemetry: every sink flag from telemetry (see docs/observability.md)
+ * works here, e.g.
+ *   ./build/examples/quickstart --stats-json stats.json --trace-out t.json
  */
 
 #include <cstdio>
 
 #include "config/presets.hh"
 #include "core/experiment.hh"
+#include "telemetry/session.hh"
 #include "workloads/registry.hh"
 
 using namespace ladm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::session().configure(
+        TelemetryOptions::parseArgs(argc, argv));
     // The machine: 4 discrete GPUs x 4 chiplets, 256 SMs (Table III).
     const SystemConfig multi = presets::multiGpu4x4();
     // The yardstick: a hypothetical monolithic 256-SM GPU.
@@ -61,5 +68,19 @@ main()
                     ? static_cast<double>(coda.fetchRemote) /
                           ladm.fetchRemote
                     : 0.0);
+
+    // Where the LADM run's traffic went, node by node (from the
+    // telemetry registry that every component publishes into).
+    std::printf("\nper-node traffic under LADM (local / remote "
+                "fetches):\n");
+    for (size_t n = 0; n < ladm.nodeFetchLocal.size(); ++n) {
+        std::printf("  node%-2zu %10llu / %-10llu\n", n,
+                    static_cast<unsigned long long>(
+                        ladm.nodeFetchLocal[n]),
+                    static_cast<unsigned long long>(
+                        ladm.nodeFetchRemote[n]));
+    }
+
+    telemetry::session().finalize();
     return 0;
 }

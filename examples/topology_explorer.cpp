@@ -12,6 +12,7 @@
 
 #include "config/presets.hh"
 #include "core/experiment.hh"
+#include "telemetry/session.hh"
 #include "workloads/registry.hh"
 
 using namespace ladm;
@@ -19,6 +20,8 @@ using namespace ladm;
 int
 main(int argc, char **argv)
 {
+    telemetry::session().configure(
+        TelemetryOptions::parseArgs(argc, argv));
     const std::string name = argc > 1 ? argv[1] : "SQ-GEMM";
 
     struct Shape
@@ -49,9 +52,19 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(m.cycles),
                     static_cast<double>(mono) / m.cycles, m.offChipPct,
                     m.interGpuBytes / 1e6);
+        // Per-node local/remote balance shows *where* the NUMA penalty
+        // lands on each machine shape, not just how big it is.
+        std::printf("%-22s  local ", "");
+        for (const uint64_t v : m.nodeFetchLocal)
+            std::printf(" %7llu", static_cast<unsigned long long>(v));
+        std::printf("\n%-22s  remote", "");
+        for (const uint64_t v : m.nodeFetchRemote)
+            std::printf(" %7llu", static_cast<unsigned long long>(v));
+        std::printf("\n");
     }
 
     std::printf("\n(pass a Table IV workload name to explore another "
                 "one, e.g. %s PageRank)\n", argv[0]);
+    telemetry::session().finalize();
     return 0;
 }

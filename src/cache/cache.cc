@@ -3,9 +3,28 @@
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "mem/address.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace ladm
 {
+
+void
+SectoredCache::registerStats(telemetry::StatRegistry &reg,
+                             const std::string &path) const
+{
+    const StatKind acc = StatKind::Counter;
+    reg.gauge(path + ".accesses",
+              [this] { return static_cast<double>(accesses_); }, acc);
+    reg.gauge(path + ".hits",
+              [this] { return static_cast<double>(hits_); }, acc);
+    reg.gauge(path + ".sector_misses",
+              [this] { return static_cast<double>(sectorMisses_); }, acc);
+    reg.gauge(path + ".line_misses",
+              [this] { return static_cast<double>(lineMisses_); }, acc);
+    reg.gauge(path + ".bypasses",
+              [this] { return static_cast<double>(bypasses_); }, acc);
+    reg.formula(path + ".hit_rate", [this] { return hitRate(); });
+}
 
 SectoredCache::SectoredCache(Bytes size, int assoc, std::string name)
     : name_(std::move(name)), assoc_(assoc)

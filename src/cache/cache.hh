@@ -25,6 +25,11 @@
 namespace ladm
 {
 
+namespace telemetry
+{
+class StatRegistry;
+}
+
 /** Outcome of one cache lookup. */
 enum class AccessResult
 {
@@ -83,6 +88,14 @@ class SectoredCache
     }
 
     void resetStats();
+
+    /**
+     * Publish this cache's counters (plus a derived hit-rate formula)
+     * into @p reg under dotted @p path, e.g. "node3.l2". Pull-based: no
+     * cost on the access path; the registry must not outlive the cache.
+     */
+    void registerStats(telemetry::StatRegistry &reg,
+                       const std::string &path) const;
 
     size_t numSets() const { return sets_.size(); }
     int assoc() const { return assoc_; }

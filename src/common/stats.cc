@@ -1,7 +1,22 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+
 namespace ladm
 {
+
+const char *
+toString(StatKind k)
+{
+    switch (k) {
+      case StatKind::Counter: return "counter";
+      case StatKind::Average: return "average";
+      case StatKind::Histogram: return "histogram";
+      case StatKind::Gauge: return "gauge";
+      case StatKind::Formula: return "formula";
+    }
+    return "?";
+}
 
 Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
     : bucketWidth_(bucket_width ? bucket_width : 1), buckets_(num_buckets, 0)
@@ -18,6 +33,7 @@ Histogram::sample(uint64_t v)
         ++overflow_;
     ++total_;
     sum_ += static_cast<double>(v);
+    max_ = std::max(max_, v);
 }
 
 void
@@ -28,6 +44,7 @@ Histogram::reset()
     overflow_ = 0;
     total_ = 0;
     sum_ = 0.0;
+    max_ = 0;
 }
 
 uint64_t
@@ -48,6 +65,18 @@ StatGroup::average(const std::string &name)
     return averages_[name];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &name, uint64_t bucket_width,
+                     size_t num_buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(bucket_width, num_buckets))
+                 .first;
+    }
+    return it->second;
+}
+
 uint64_t
 StatGroup::get(const std::string &name) const
 {
@@ -62,6 +91,8 @@ StatGroup::reset()
         c.reset();
     for (auto &[k, a] : averages_)
         a.reset();
+    for (auto &[k, h] : histograms_)
+        h.reset();
 }
 
 void
@@ -71,6 +102,43 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << "." << k << " " << c.value() << "\n";
     for (const auto &[k, a] : averages_)
         os << name_ << "." << k << " " << a.mean() << "\n";
+    for (const auto &[k, h] : histograms_) {
+        os << name_ << "." << k << ".samples " << h.totalSamples() << "\n";
+        os << name_ << "." << k << ".mean " << h.mean() << "\n";
+        for (size_t i = 0; i < h.numBuckets(); ++i) {
+            os << name_ << "." << k << ".bucket" << i << " "
+               << h.bucketCount(i) << "\n";
+        }
+        os << name_ << "." << k << ".overflow " << h.overflow() << "\n";
+    }
+}
+
+void
+StatGroup::visit(const std::function<void(const std::string &, double,
+                                          StatKind)> &fn) const
+{
+    for (const auto &[k, c] : counters_)
+        fn(k, static_cast<double>(c.value()), StatKind::Counter);
+    for (const auto &[k, a] : averages_) {
+        // "_samples", not ".samples": a dotted suffix would make the JSON
+        // exporter nest an object under a key that already holds the mean.
+        fn(k, a.mean(), StatKind::Average);
+        fn(k + "_samples", static_cast<double>(a.count()),
+           StatKind::Counter);
+    }
+    for (const auto &[k, h] : histograms_) {
+        fn(k + ".samples", static_cast<double>(h.totalSamples()),
+           StatKind::Counter);
+        fn(k + ".mean", h.mean(), StatKind::Histogram);
+        fn(k + ".max", static_cast<double>(h.maxValue()),
+           StatKind::Histogram);
+        for (size_t i = 0; i < h.numBuckets(); ++i) {
+            fn(k + ".bucket" + std::to_string(i),
+               static_cast<double>(h.bucketCount(i)), StatKind::Counter);
+        }
+        fn(k + ".overflow", static_cast<double>(h.overflow()),
+           StatKind::Counter);
+    }
 }
 
 } // namespace ladm

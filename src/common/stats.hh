@@ -4,12 +4,17 @@
  * histograms grouped under a StatGroup for dump/reset at experiment
  * boundaries. Inspired by gem5's stats package, reduced to the pieces the
  * LADM experiments actually need.
+ *
+ * StatGroups are the leaves of the hierarchical telemetry registry
+ * (telemetry/stat_registry.hh); visit() is the enumeration hook the
+ * registry's exporters are built on.
  */
 
 #ifndef LADM_COMMON_STATS_HH
 #define LADM_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -17,6 +22,18 @@
 
 namespace ladm
 {
+
+/** What a published statistic value represents (drives delta semantics). */
+enum class StatKind
+{
+    Counter,   ///< monotonically accumulated; deltas subtract
+    Average,   ///< running mean; deltas take the newest value
+    Histogram, ///< bucketed sample counts; deltas subtract per bucket
+    Gauge,     ///< pull-based instantaneous value; deltas take the newest
+    Formula,   ///< derived from other stats; deltas take the newest
+};
+
+const char *toString(StatKind k);
 
 /** A monotonically accumulated scalar statistic. */
 class Counter
@@ -60,8 +77,11 @@ class Histogram
 
     uint64_t bucketCount(size_t i) const;
     size_t numBuckets() const { return buckets_.size(); }
+    uint64_t bucketWidth() const { return bucketWidth_; }
+    uint64_t overflow() const { return overflow_; }
     uint64_t totalSamples() const { return total_; }
     double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    uint64_t maxValue() const { return max_; }
 
   private:
     uint64_t bucketWidth_;
@@ -69,6 +89,7 @@ class Histogram
     uint64_t overflow_ = 0;
     uint64_t total_ = 0;
     double sum_ = 0.0;
+    uint64_t max_ = 0;
 };
 
 /**
@@ -84,6 +105,13 @@ class StatGroup
     Counter &counter(const std::string &name);
     /** Fetch (creating on first use) the running average with given name. */
     Average &average(const std::string &name);
+    /**
+     * Fetch (creating on first use) the histogram with the given name.
+     * Shape parameters apply only on first use; later fetches return the
+     * existing histogram unchanged.
+     */
+    Histogram &histogram(const std::string &name, uint64_t bucket_width = 1,
+                         size_t num_buckets = 16);
 
     /** Sum of a counter, zero if never touched. */
     uint64_t get(const std::string &name) const;
@@ -91,16 +119,30 @@ class StatGroup
     void reset();
     void dump(std::ostream &os) const;
 
+    /**
+     * Enumerate every published scalar as (name, value, kind), in sorted
+     * name order. Histograms expand to <name>.samples / <name>.mean /
+     * <name>.max / <name>.bucket<i> / <name>.overflow entries; averages
+     * to <name> (the mean) and <name>_samples.
+     */
+    void visit(const std::function<void(const std::string &, double,
+                                        StatKind)> &fn) const;
+
     const std::string &name() const { return name_; }
     const std::map<std::string, Counter> &counters() const
     {
         return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
     }
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace ladm

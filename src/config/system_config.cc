@@ -1,10 +1,107 @@
 #include "config/system_config.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
 namespace ladm
 {
+
+namespace
+{
+
+void
+envString(const char *var, std::string &out)
+{
+    if (const char *v = std::getenv(var))
+        out = v;
+}
+
+void
+envU64(const char *var, uint64_t &out)
+{
+    if (const char *v = std::getenv(var)) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0')
+            ladm_fatal(var, ": expected a non-negative integer, got '", v,
+                       "'");
+        out = parsed;
+    }
+}
+
+} // namespace
+
+TelemetryOptions
+TelemetryOptions::fromEnv()
+{
+    TelemetryOptions o;
+    envString("LADM_STATS_JSON", o.statsJsonPath);
+    envString("LADM_STATS_CSV", o.statsCsvPath);
+    envString("LADM_STATS_TEXT", o.statsTextPath);
+    envString("LADM_TRACE_OUT", o.traceOutPath);
+    uint64_t sample = o.traceSampleEvery;
+    envU64("LADM_TRACE_SAMPLE", sample);
+    o.traceSampleEvery = static_cast<uint32_t>(sample ? sample : 1);
+    envU64("LADM_TRACE_MAX_EVENTS", o.traceMaxEvents);
+    return o;
+}
+
+TelemetryOptions
+TelemetryOptions::parseArgs(int &argc, char **argv)
+{
+    TelemetryOptions o = fromEnv();
+
+    // Match "--flag value" and "--flag=value"; consume matched arguments
+    // by compacting argv in place.
+    auto match = [&](int &i, const char *flag,
+                     std::string &out) -> bool {
+        const size_t len = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, len) != 0)
+            return false;
+        if (argv[i][len] == '=') {
+            out = argv[i] + len + 1;
+            return true;
+        }
+        if (argv[i][len] != '\0')
+            return false;
+        if (i + 1 >= argc)
+            ladm_fatal(flag, " expects a value");
+        out = argv[++i];
+        return true;
+    };
+
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string val;
+        if (match(i, "--stats-json", o.statsJsonPath) ||
+            match(i, "--stats-csv", o.statsCsvPath) ||
+            match(i, "--stats-text", o.statsTextPath) ||
+            match(i, "--trace-out", o.traceOutPath)) {
+            continue;
+        }
+        if (match(i, "--trace-sample", val)) {
+            const long long n = std::atoll(val.c_str());
+            if (n < 1)
+                ladm_fatal("--trace-sample expects an integer >= 1");
+            o.traceSampleEvery = static_cast<uint32_t>(n);
+            continue;
+        }
+        if (match(i, "--trace-max-events", val)) {
+            const long long n = std::atoll(val.c_str());
+            if (n < 1)
+                ladm_fatal("--trace-max-events expects an integer >= 1");
+            o.traceMaxEvents = static_cast<uint64_t>(n);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    return o;
+}
 
 void
 SystemConfig::validate() const

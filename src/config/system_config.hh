@@ -12,12 +12,57 @@
 #ifndef LADM_CONFIG_SYSTEM_CONFIG_HH
 #define LADM_CONFIG_SYSTEM_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/types.hh"
 
 namespace ladm
 {
+
+/**
+ * Which telemetry sinks a run writes, selected on the command line or via
+ * environment variables (flag wins over env):
+ *
+ *   --stats-json PATH   / LADM_STATS_JSON    versioned JSON stats document
+ *   --stats-csv PATH    / LADM_STATS_CSV     flat path,kind,value rows
+ *   --stats-text PATH   / LADM_STATS_TEXT    pretty tree ("-" = stdout)
+ *   --trace-out PATH    / LADM_TRACE_OUT     Chrome trace-event JSON
+ *   --trace-sample N    / LADM_TRACE_SAMPLE  1-in-N thinning of high-rate
+ *                                            trace categories (default 64)
+ *   --trace-max-events N / LADM_TRACE_MAX_EVENTS  hard event cap
+ *
+ * With no sink selected every hook in the simulator reduces to an inline
+ * predicate, so tier-1 runtime is unaffected.
+ */
+struct TelemetryOptions
+{
+    std::string statsJsonPath;
+    std::string statsCsvPath;
+    std::string statsTextPath;
+    std::string traceOutPath;
+    uint32_t traceSampleEvery = 64;
+    uint64_t traceMaxEvents = 1'000'000;
+
+    bool
+    anyStatsSink() const
+    {
+        return !statsJsonPath.empty() || !statsCsvPath.empty() ||
+               !statsTextPath.empty();
+    }
+    bool traceEnabled() const { return !traceOutPath.empty(); }
+    bool anySink() const { return anyStatsSink() || traceEnabled(); }
+
+    /** Defaults overridden by any LADM_* telemetry variables set. */
+    static TelemetryOptions fromEnv();
+
+    /**
+     * fromEnv() plus command-line overrides. Recognized flags (both
+     * "--flag value" and "--flag=value" forms) are stripped from argv so
+     * the caller's own argument handling never sees them.
+     */
+    static TelemetryOptions parseArgs(int &argc, char **argv);
+};
 
 /** Interconnect topology joining the NUMA nodes. */
 enum class Topology

@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "sim/gpu_system.hh"
+#include "telemetry/profile.hh"
+#include "telemetry/session.hh"
 
 namespace ladm
 {
@@ -10,22 +12,32 @@ RunMetrics
 runExperiment(Workload &workload, PolicyBundle &bundle,
               const SystemConfig &cfg, int launches)
 {
+    LADM_SCOPED_TIMER("experiment.run");
     ladm_assert(launches >= 1, "need at least one launch");
     GpuSystem sys(cfg);
     MallocRegistry reg(cfg.pageSize);
     workload.allocateAll(reg);
 
+    // Per-launch scheduler decisions, eagerly counted in the registry.
+    StatGroup &sched_stats = sys.registry().group("sched");
+
     KernelRunStats ks;
     ks.startCycle = 0;
     LaunchPlan plan;
     for (int l = 0; l < launches; ++l) {
-        plan = bundle.prepare(workload.kernel(), workload.dims(),
-                              workload.argPcs(), reg,
-                              sys.mem().pageTable(), cfg);
+        {
+            LADM_SCOPED_TIMER("experiment.prepare");
+            plan = bundle.prepare(workload.kernel(), workload.dims(),
+                                  workload.argPcs(), reg,
+                                  sys.mem().pageTable(), cfg);
+        }
         ladm_assert(plan.scheduler, "policy bundle produced no scheduler");
+        ++sched_stats.counter("decisions." + plan.scheduler->name());
 
         auto trace = workload.makeTrace(reg);
-        const auto queues = plan.scheduler->assign(workload.dims(), cfg);
+        const auto queues =
+            plan.scheduler->assign(workload.dims(), cfg, sys.now());
+        LADM_SCOPED_TIMER("experiment.kernels");
         const KernelRunStats k = sys.runKernel(
             workload.dims(), *trace, queues, plan.policy,
             /*flush_caches=*/l == 0 || cfg.flushL2BetweenKernels);
@@ -49,6 +61,21 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
     m.warpInstrs = ks.warpInstrs;
     m.fetchLocal = mem.fetchLocal();
     m.fetchRemote = mem.fetchRemote();
+    // Per-node breakdown read back through the registry: the same values
+    // MemorySystem published at construction, resolved by dotted path.
+    m.nodeFetchLocal.resize(cfg.numNodes(), 0);
+    m.nodeFetchRemote.resize(cfg.numNodes(), 0);
+    for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+        const std::string node = "node" + std::to_string(n);
+        m.nodeFetchLocal[n] = static_cast<uint64_t>(
+            sys.registry()
+                .value(node + ".mem.fetch_local")
+                .value_or(0.0));
+        m.nodeFetchRemote[n] = static_cast<uint64_t>(
+            sys.registry()
+                .value(node + ".mem.fetch_remote")
+                .value_or(0.0));
+    }
     m.offChipPct = mem.offChipFraction() * 100.0;
     m.interNodeBytes = mem.network().interNodeBytes();
     m.interGpuBytes = mem.network().interGpuBytes();
@@ -73,6 +100,19 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
                 ? static_cast<double>(mem.classHits(tc)) /
                       m.classAccesses[c]
                 : 0.0;
+    }
+
+    if (telemetry::session().statsActive()) {
+        telemetry::RunRecord rec;
+        rec.workload = m.workload;
+        rec.policy = m.policy;
+        rec.system = m.system;
+        rec.scheduler = m.scheduler;
+        rec.cycles = m.cycles;
+        rec.tbCount = m.tbCount;
+        rec.kernels = sys.kernelLog();
+        rec.final = sys.registry().snapshot();
+        telemetry::session().recordRun(std::move(rec));
     }
     return m;
 }

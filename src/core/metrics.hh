@@ -9,6 +9,7 @@
 #include <array>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "cache/insertion_policy.hh"
 #include "cache/traffic_class.hh"
@@ -33,6 +34,9 @@ struct RunMetrics
     /** Requester-side L2 misses served locally / remotely. */
     uint64_t fetchLocal = 0;
     uint64_t fetchRemote = 0;
+    /** Per-node breakdown of the above (index = NodeId). */
+    std::vector<uint64_t> nodeFetchLocal;
+    std::vector<uint64_t> nodeFetchRemote;
     /** Percent of fetches leaving the chiplet (Fig. 10 metric). */
     double offChipPct = 0.0;
     Bytes interNodeBytes = 0;

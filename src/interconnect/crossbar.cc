@@ -25,6 +25,17 @@ CrossbarNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
 }
 
 void
+CrossbarNet::registerStats(telemetry::StatRegistry &reg,
+                           std::function<Cycles()> now) const
+{
+    Network::registerStats(reg, now);
+    for (const auto &l : egress_)
+        l.registerStats(reg, "net", now);
+    for (const auto &l : ingress_)
+        l.registerStats(reg, "net", now);
+}
+
+void
 CrossbarNet::reset()
 {
     Network::reset();

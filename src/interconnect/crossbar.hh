@@ -21,6 +21,8 @@ class CrossbarNet : public Network
   public:
     explicit CrossbarNet(const SystemConfig &cfg);
 
+    void registerStats(telemetry::StatRegistry &reg,
+                       std::function<Cycles()> now = {}) const override;
     void reset() override;
 
   protected:

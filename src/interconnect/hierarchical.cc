@@ -41,6 +41,20 @@ HierarchicalNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
 }
 
 void
+HierarchicalNet::registerStats(telemetry::StatRegistry &reg,
+                               std::function<Cycles()> now) const
+{
+    Network::registerStats(reg, now);
+    for (size_t g = 0; g < rings_.size(); ++g) {
+        rings_[g].registerStats(reg, "net", now);
+        gpuEgress_[g].registerStats(reg, "net", now);
+        gpuIngress_[g].registerStats(reg, "net", now);
+    }
+    reg.formula("net.switch_bytes",
+                [this] { return static_cast<double>(switchBytes()); });
+}
+
+void
 HierarchicalNet::reset()
 {
     Network::reset();

@@ -23,6 +23,8 @@ class HierarchicalNet : public Network
   public:
     explicit HierarchicalNet(const SystemConfig &cfg);
 
+    void registerStats(telemetry::StatRegistry &reg,
+                       std::function<Cycles()> now = {}) const override;
     void reset() override;
 
     /** Bytes that crossed the inter-GPU switch (for traffic reports). */

@@ -7,10 +7,12 @@
 #ifndef LADM_INTERCONNECT_LINK_HH
 #define LADM_INTERCONNECT_LINK_HH
 
+#include <functional>
 #include <string>
 
 #include "common/bandwidth_server.hh"
 #include "common/types.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace ladm
 {
@@ -38,6 +40,30 @@ class Link
     Bytes bytesSent() const { return server_.totalBytes(); }
     Cycles busyCycles() const { return server_.busyCycles(); }
     const std::string &name() const { return name_; }
+
+    /**
+     * Publish byte/busy counters under "<prefix>.<link name>", plus a
+     * utilization formula (busy cycles / elapsed cycles) when a @p now
+     * provider is given.
+     */
+    void
+    registerStats(telemetry::StatRegistry &reg, const std::string &prefix,
+                  const std::function<Cycles()> &now = {}) const
+    {
+        const std::string path = prefix + "." + name_;
+        reg.gauge(path + ".bytes",
+                  [this] { return static_cast<double>(bytesSent()); },
+                  StatKind::Counter);
+        reg.gauge(path + ".busy_cycles",
+                  [this] { return static_cast<double>(busyCycles()); },
+                  StatKind::Counter);
+        if (now) {
+            reg.formula(path + ".utilization", [this, now] {
+                const Cycles t = now();
+                return t ? static_cast<double>(busyCycles()) / t : 0.0;
+            });
+        }
+    }
 
     void reset() { server_.reset(); }
 

@@ -4,9 +4,36 @@
 #include "interconnect/crossbar.hh"
 #include "interconnect/hierarchical.hh"
 #include "interconnect/ring.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace ladm
 {
+
+void
+Network::registerStats(telemetry::StatRegistry &reg,
+                       std::function<Cycles()> now) const
+{
+    (void)now;
+    reg.gauge("net.inter_node_bytes",
+              [this] { return static_cast<double>(interNodeBytes_); },
+              StatKind::Counter);
+    reg.gauge("net.inter_gpu_bytes",
+              [this] { return static_cast<double>(interGpuBytes_); },
+              StatKind::Counter);
+}
+
+void
+Network::traceTransfer(telemetry::TraceEmitter &tr, Cycles now,
+                       Cycles delay, NodeId src, NodeId dst, Bytes bytes)
+{
+    tr.processName(telemetry::kPidInterconnect, "interconnect");
+    tr.threadName(telemetry::kPidInterconnect, src,
+                  "from node" + std::to_string(src));
+    tr.complete("net",
+                "n" + std::to_string(src) + "->n" + std::to_string(dst),
+                telemetry::kPidInterconnect, src, now, now + delay,
+                "{\"bytes\": " + std::to_string(bytes) + "}");
+}
 
 namespace
 {

@@ -15,13 +15,21 @@
 #ifndef LADM_INTERCONNECT_NETWORK_HH
 #define LADM_INTERCONNECT_NETWORK_HH
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "common/types.hh"
 #include "config/system_config.hh"
+#include "telemetry/trace.hh"
 
 namespace ladm
 {
+
+namespace telemetry
+{
+class StatRegistry;
+}
 
 class Network
 {
@@ -44,11 +52,24 @@ class Network
         interNodeBytes_ += bytes;
         if (cfg_.gpuOfNode(src) != cfg_.gpuOfNode(dst))
             interGpuBytes_ += bytes;
-        return delayImpl(now, src, dst, bytes);
+        const Cycles delay = delayImpl(now, src, dst, bytes);
+        auto &tr = telemetry::tracer();
+        if (tr.enabled() && tr.sampleTick())
+            traceTransfer(tr, now, delay, src, dst, bytes);
+        return delay;
     }
 
     Bytes interNodeBytes() const { return interNodeBytes_; }
     Bytes interGpuBytes() const { return interGpuBytes_; }
+
+    /**
+     * Publish fabric statistics into @p reg under "net". The base class
+     * registers the boundary-crossing byte totals; topologies add their
+     * per-link byte counts and, when @p now is provided, link-utilization
+     * formulas (busy cycles / elapsed cycles).
+     */
+    virtual void registerStats(telemetry::StatRegistry &reg,
+                               std::function<Cycles()> now = {}) const;
 
     virtual void reset()
     {
@@ -63,6 +84,9 @@ class Network
     const SystemConfig cfg_;
 
   private:
+    void traceTransfer(telemetry::TraceEmitter &tr, Cycles now,
+                       Cycles delay, NodeId src, NodeId dst, Bytes bytes);
+
     Bytes interNodeBytes_ = 0;
     Bytes interGpuBytes_ = 0;
 };

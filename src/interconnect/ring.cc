@@ -40,6 +40,17 @@ RingFabric::routeDelay(Cycles now, int src, int dst, Bytes bytes)
 }
 
 void
+RingFabric::registerStats(telemetry::StatRegistry &reg,
+                          const std::string &prefix,
+                          const std::function<Cycles()> &now) const
+{
+    for (const auto &l : cw_)
+        l.registerStats(reg, prefix, now);
+    for (const auto &l : ccw_)
+        l.registerStats(reg, prefix, now);
+}
+
+void
 RingFabric::reset()
 {
     for (auto &l : cw_)
@@ -60,6 +71,14 @@ Cycles
 RingNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
 {
     return ring_.routeDelay(now, src, dst, bytes);
+}
+
+void
+RingNet::registerStats(telemetry::StatRegistry &reg,
+                       std::function<Cycles()> now) const
+{
+    Network::registerStats(reg, now);
+    ring_.registerStats(reg, "net", now);
 }
 
 void

@@ -38,6 +38,11 @@ class RingFabric
      *  segment is booked at @p now. */
     Cycles routeDelay(Cycles now, int src, int dst, Bytes bytes);
 
+    /** Publish per-segment byte/busy/utilization stats under @p prefix. */
+    void registerStats(telemetry::StatRegistry &reg,
+                       const std::string &prefix,
+                       const std::function<Cycles()> &now = {}) const;
+
     void reset();
 
   private:
@@ -53,6 +58,8 @@ class RingNet : public Network
   public:
     explicit RingNet(const SystemConfig &cfg);
 
+    void registerStats(telemetry::StatRegistry &reg,
+                       std::function<Cycles()> now = {}) const override;
     void reset() override;
 
   protected:

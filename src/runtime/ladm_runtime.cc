@@ -10,6 +10,9 @@
 #include "sched/batched_rr.hh"
 #include "sched/binding.hh"
 #include "sched/kernel_wide.hh"
+#include "telemetry/json_writer.hh"
+#include "telemetry/profile.hh"
+#include "telemetry/trace.hh"
 
 namespace ladm
 {
@@ -64,6 +67,7 @@ LadmRuntime::prepareLaunch(const KernelDesc &kernel, const LaunchDims &dims,
                            const std::vector<uint64_t> &arg_pcs,
                            const MallocRegistry &reg, PageTable &pt)
 {
+    LADM_SCOPED_TIMER("runtime.prepare_launch");
     ladm_assert(static_cast<int>(arg_pcs.size()) == kernel.numArgs,
                 "kernel '", kernel.name, "' expects ", kernel.numArgs,
                 " args, got ", arg_pcs.size());
@@ -116,6 +120,21 @@ LadmRuntime::prepareLaunch(const KernelDesc &kernel, const LaunchDims &dims,
     if (forcedPolicy_)
         plan.policy = *forcedPolicy_;
 
+    auto &tr = telemetry::tracer();
+    if (tr.enabled()) {
+        // The LASP/CRB decision for this launch, on the runtime lane.
+        tr.instant("crb", "launch:" + kernel.name, telemetry::kPidRuntime,
+                   0, 0,
+                   "{\"scheduler\":\"" +
+                       telemetry::jsonEscape(plan.scheduler->name()) +
+                       "\",\"policy\":\"" +
+                       telemetry::jsonEscape(toString(plan.policy)) +
+                       "\",\"reason\":\"" +
+                       telemetry::jsonEscape(plan.schedulerReason) +
+                       "\"}");
+    }
+
+    LADM_SCOPED_TIMER("runtime.place_args");
     // Pass 2: place every structure knowing the scheduler that will run,
     // so no-stride NL structures land page-exactly with their owners.
     const std::vector<NodeId> tb_node = plan.scheduler->nodeMap(dims, sys_);

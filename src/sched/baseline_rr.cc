@@ -4,7 +4,7 @@ namespace ladm
 {
 
 std::vector<std::vector<TbId>>
-BaselineRrScheduler::assign(const LaunchDims &dims,
+BaselineRrScheduler::assignImpl(const LaunchDims &dims,
                             const SystemConfig &sys) const
 {
     std::vector<std::vector<TbId>> q(sys.numNodes());

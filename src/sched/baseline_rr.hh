@@ -16,7 +16,7 @@ class BaselineRrScheduler : public TbScheduler
 {
   public:
     std::vector<std::vector<TbId>>
-    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+    assignImpl(const LaunchDims &dims, const SystemConfig &sys) const override;
 
     std::string name() const override { return "baseline-rr"; }
 };

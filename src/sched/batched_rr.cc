@@ -12,7 +12,7 @@ BatchedRrScheduler::BatchedRrScheduler(int64_t batch, std::string label)
 }
 
 std::vector<std::vector<TbId>>
-BatchedRrScheduler::assign(const LaunchDims &dims,
+BatchedRrScheduler::assignImpl(const LaunchDims &dims,
                            const SystemConfig &sys) const
 {
     std::vector<std::vector<TbId>> q(sys.numNodes());

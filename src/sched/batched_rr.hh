@@ -31,7 +31,7 @@ class BatchedRrScheduler : public TbScheduler
                                 std::string label = "batched-rr");
 
     std::vector<std::vector<TbId>>
-    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+    assignImpl(const LaunchDims &dims, const SystemConfig &sys) const override;
 
     std::string name() const override { return label_; }
 

@@ -18,7 +18,7 @@ nodeOfGroup(int64_t group, int64_t num_groups, const SystemConfig &sys)
 }
 
 std::vector<std::vector<TbId>>
-RowBindingScheduler::assign(const LaunchDims &dims,
+RowBindingScheduler::assignImpl(const LaunchDims &dims,
                             const SystemConfig &sys) const
 {
     std::vector<std::vector<TbId>> q(sys.numNodes());
@@ -31,7 +31,7 @@ RowBindingScheduler::assign(const LaunchDims &dims,
 }
 
 std::vector<std::vector<TbId>>
-ColBindingScheduler::assign(const LaunchDims &dims,
+ColBindingScheduler::assignImpl(const LaunchDims &dims,
                             const SystemConfig &sys) const
 {
     std::vector<std::vector<TbId>> q(sys.numNodes());

@@ -37,7 +37,7 @@ class RowBindingScheduler : public TbScheduler
 {
   public:
     std::vector<std::vector<TbId>>
-    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+    assignImpl(const LaunchDims &dims, const SystemConfig &sys) const override;
 
     std::string name() const override { return "row-binding"; }
 };
@@ -47,7 +47,7 @@ class ColBindingScheduler : public TbScheduler
 {
   public:
     std::vector<std::vector<TbId>>
-    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+    assignImpl(const LaunchDims &dims, const SystemConfig &sys) const override;
 
     std::string name() const override { return "col-binding"; }
 };

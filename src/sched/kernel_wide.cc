@@ -6,7 +6,7 @@ namespace ladm
 {
 
 std::vector<std::vector<TbId>>
-KernelWideScheduler::assign(const LaunchDims &dims,
+KernelWideScheduler::assignImpl(const LaunchDims &dims,
                             const SystemConfig &sys) const
 {
     const int n = sys.numNodes();

@@ -19,7 +19,7 @@ class KernelWideScheduler : public TbScheduler
 {
   public:
     std::vector<std::vector<TbId>>
-    assign(const LaunchDims &dims, const SystemConfig &sys) const override;
+    assignImpl(const LaunchDims &dims, const SystemConfig &sys) const override;
 
     std::string name() const override { return "kernel-wide"; }
 };

@@ -29,10 +29,16 @@ class TbScheduler
 
     /**
      * Assign every TB of the launch to a node.
+     *
+     * Non-virtual wrapper around the concrete scheduler's assignImpl():
+     * when event tracing is armed it also records the decision (per-node
+     * TB counts) as one "sched" instant at @p now on the runtime lane.
+     *
      * @return per-node ordered TB queues covering each TB exactly once.
      */
-    virtual std::vector<std::vector<TbId>>
-    assign(const LaunchDims &dims, const SystemConfig &sys) const = 0;
+    std::vector<std::vector<TbId>>
+    assign(const LaunchDims &dims, const SystemConfig &sys,
+           Cycles now = 0) const;
 
     virtual std::string name() const = 0;
 
@@ -47,6 +53,11 @@ class TbScheduler
                 map[tb] = static_cast<NodeId>(n);
         return map;
     }
+
+  protected:
+    /** The actual assignment policy; see assign(). */
+    virtual std::vector<std::vector<TbId>>
+    assignImpl(const LaunchDims &dims, const SystemConfig &sys) const = 0;
 };
 
 } // namespace ladm

@@ -1,0 +1,62 @@
+#include "sim/gpu_system.hh"
+
+#include <string>
+
+namespace ladm
+{
+
+GpuSystem::GpuSystem(const SystemConfig &cfg)
+    : cfg_(cfg), mem_(cfg), engine_(cfg_, mem_)
+{
+    mem_.registerStats(reg_, [this] { return now_; });
+    engine_.registerStats(reg_);
+
+    auto &tr = telemetry::tracer();
+    if (tr.enabled()) {
+        tr.setClockGhz(cfg_.clockGhz);
+        tr.newTimeline(cfg_.name);
+        tr.processName(telemetry::kPidRuntime, "runtime (" + cfg_.name +
+                                                  ")");
+        tr.processName(telemetry::kPidInterconnect, "interconnect");
+        for (NodeId n = 0; n < cfg_.numNodes(); ++n)
+            tr.processName(telemetry::kPidNodeBase + n,
+                           "node" + std::to_string(n));
+    }
+}
+
+KernelRunStats
+GpuSystem::runKernel(const LaunchDims &dims, TraceSource &trace,
+                     const std::vector<std::vector<TbId>> &node_queues,
+                     L2InsertPolicy policy, bool flush_caches)
+{
+    if (flush_caches)
+        mem_.flushCaches();
+    mem_.setInsertPolicy(policy);
+
+    const bool windowed = telemetry::session().statsActive();
+    telemetry::Snapshot before;
+    if (windowed)
+        before = reg_.snapshot();
+
+    KernelRunStats s = engine_.run(dims, trace, node_queues, now_);
+    now_ = s.endCycle;
+
+    const int idx = kernelIndex_++;
+    auto &tr = telemetry::tracer();
+    if (tr.enabled()) {
+        tr.complete("kernel", "kernel" + std::to_string(idx),
+                    telemetry::kPidRuntime, 0, s.startCycle, s.endCycle,
+                    "{\"tbs\":" + std::to_string(s.tbCount) + "}");
+    }
+    if (windowed) {
+        telemetry::KernelRecord rec;
+        rec.index = idx;
+        rec.startCycle = s.startCycle;
+        rec.endCycle = s.endCycle;
+        rec.stats = reg_.snapshot().delta(before);
+        kernelLog_.push_back(std::move(rec));
+    }
+    return s;
+}
+
+} // namespace ladm

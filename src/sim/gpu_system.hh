@@ -1,7 +1,10 @@
 /**
  * @file
  * GpuSystem: one simulated machine instance -- configuration, memory
- * system, and a running clock across kernel launches.
+ * system, a running clock across kernel launches, and the machine's
+ * telemetry registry (every component registers its stats here at
+ * construction; per-kernel stat windows are captured at launch
+ * boundaries when a stats sink is active).
  */
 
 #ifndef LADM_SIM_GPU_SYSTEM_HH
@@ -14,6 +17,7 @@
 #include "sim/kernel_engine.hh"
 #include "sim/memory_system.hh"
 #include "sim/trace_source.hh"
+#include "telemetry/session.hh"
 
 namespace ladm
 {
@@ -21,10 +25,7 @@ namespace ladm
 class GpuSystem
 {
   public:
-    explicit GpuSystem(const SystemConfig &cfg)
-        : cfg_(cfg), mem_(cfg), engine_(cfg_, mem_)
-    {
-    }
+    explicit GpuSystem(const SystemConfig &cfg);
 
     /**
      * Run one kernel to completion.
@@ -38,26 +39,37 @@ class GpuSystem
     KernelRunStats
     runKernel(const LaunchDims &dims, TraceSource &trace,
               const std::vector<std::vector<TbId>> &node_queues,
-              L2InsertPolicy policy, bool flush_caches = true)
-    {
-        if (flush_caches)
-            mem_.flushCaches();
-        mem_.setInsertPolicy(policy);
-        KernelRunStats s = engine_.run(dims, trace, node_queues, now_);
-        now_ = s.endCycle;
-        return s;
-    }
+              L2InsertPolicy policy, bool flush_caches = true);
 
     MemorySystem &mem() { return mem_; }
     const MemorySystem &mem() const { return mem_; }
     const SystemConfig &config() const { return cfg_; }
     Cycles now() const { return now_; }
 
+    /** The machine's stat tree; fully populated at construction. */
+    telemetry::StatRegistry &registry() { return reg_; }
+    const telemetry::StatRegistry &registry() const { return reg_; }
+
+    /**
+     * Per-kernel stat windows (delta across each launch), collected only
+     * while a stats sink is active; empty otherwise.
+     */
+    const std::vector<telemetry::KernelRecord> &kernelLog() const
+    {
+        return kernelLog_;
+    }
+
   private:
     SystemConfig cfg_;
     MemorySystem mem_;
     KernelEngine engine_;
     Cycles now_ = 0;
+    // Declared after the components whose members its gauge closures
+    // read: no closure runs during destruction, but keeping the registry
+    // last makes the dependency direction obvious.
+    telemetry::StatRegistry reg_;
+    std::vector<telemetry::KernelRecord> kernelLog_;
+    int kernelIndex_ = 0;
 };
 
 } // namespace ladm

@@ -5,6 +5,8 @@
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace.hh"
 
 namespace ladm
 {
@@ -42,6 +44,31 @@ struct Event
 KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
     : cfg_(cfg), mem_(mem)
 {
+}
+
+void
+KernelEngine::registerStats(telemetry::StatRegistry &reg)
+{
+    const StatKind acc = StatKind::Counter;
+    reg.gauge("engine.kernels",
+              [this] { return static_cast<double>(kernelsRun_); }, acc);
+    reg.gauge("engine.warp_steps",
+              [this] { return static_cast<double>(warpStepsTotal_); },
+              acc);
+    reg.gauge("engine.sector_accesses",
+              [this] {
+                  return static_cast<double>(sectorAccessesTotal_);
+              },
+              acc);
+    reg.gauge("engine.tbs_dispatched",
+              [this] {
+                  return static_cast<double>(tbsDispatchedTotal_);
+              },
+              acc);
+    // Bucket width 8 cycles x 32 buckets spans [0, 256); slower steps
+    // (remote fetches, DRAM queueing) land in the overflow bucket.
+    stepLatencyHist_ =
+        &reg.group("engine").histogram("step_latency", 8, 32);
 }
 
 KernelRunStats
@@ -85,6 +112,16 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
     std::vector<uint32_t> free_warps;
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
 
+    auto &tr = telemetry::tracer();
+    const bool tracing = tr.enabled();
+    // TB dispatch cycles, kept only while tracing (retire closes the span).
+    std::vector<Cycles> tb_start;
+    if (tracing)
+        tb_start.assign(dims.numTbs(), 0);
+    // A warp step this much slower than pure compute counts as a stall
+    // interval worth showing on the timeline.
+    const Cycles stall_floor = cfg_.computeGapCycles + 32;
+
     auto admit = [&](SmId sm, Cycles now) {
         const NodeId node = cfg_.nodeOfSm(sm);
         auto &q = node_queues[node];
@@ -92,6 +129,8 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
         while (st.residentTbs < cfg_.maxResidentTbsPerSm &&
                st.freeWarpSlots >= warps_per_tb && cursor[node] < q.size()) {
             const TbId tb = q[cursor[node]++];
+            if (tracing)
+                tb_start[tb] = now;
             ++st.residentTbs;
             st.freeWarpSlots -= warps_per_tb;
             tb_warps_left[tb] = warps_per_tb;
@@ -133,6 +172,12 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
             free_warps.push_back(ev.warp);
             if (--tb_warps_left[w.tb] == 0) {
                 --st.residentTbs;
+                if (tracing) {
+                    const NodeId node = cfg_.nodeOfSm(w.sm);
+                    tr.complete("tb", "tb" + std::to_string(w.tb),
+                                telemetry::kPidNodeBase + node, w.sm,
+                                tb_start[w.tb], fin);
+                }
                 admit(w.sm, fin);
             }
             stats.endCycle = std::max(stats.endCycle, fin);
@@ -143,11 +188,21 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
         for (const auto &a : buf)
             done = std::max(done, mem_.access(ev.time, w.sm, a.addr,
                                               a.write));
-        stats.totalStepLatency += done - ev.time;
+        const Cycles step_latency = done - ev.time;
+        stats.totalStepLatency += step_latency;
         stats.maxStepLatency = std::max(stats.maxStepLatency,
-                                        done - ev.time);
+                                        step_latency);
         stats.sectorAccesses += buf.size();
         ++stats.warpSteps;
+        if (stepLatencyHist_)
+            stepLatencyHist_->sample(step_latency);
+        if (tracing && step_latency >= stall_floor && tr.sampleTick()) {
+            tr.complete("stall", "warp_stall",
+                        telemetry::kPidNodeBase + cfg_.nodeOfSm(w.sm),
+                        w.sm, ev.time, done,
+                        "{\"cycles\":" + std::to_string(step_latency) +
+                            "}");
+        }
         // A warp may run `depth` loop iterations ahead of the oldest
         // outstanding one: the next step issues once the step `depth`
         // iterations back has completed (scoreboard dependence), but no
@@ -162,6 +217,11 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
 
     stats.warpInstrs =
         static_cast<double>(stats.warpSteps) * trace.instrsPerStep();
+
+    ++kernelsRun_;
+    warpStepsTotal_ += stats.warpSteps;
+    sectorAccessesTotal_ += stats.sectorAccesses;
+    tbsDispatchedTotal_ += static_cast<uint64_t>(stats.tbCount);
     return stats;
 }
 

@@ -25,6 +25,12 @@
 namespace ladm
 {
 
+class Histogram;
+namespace telemetry
+{
+class StatRegistry;
+}
+
 /** Outcome of one kernel execution. */
 struct KernelRunStats
 {
@@ -59,9 +65,25 @@ class KernelEngine
                        const std::vector<std::vector<TbId>> &node_queues,
                        Cycles start);
 
+    /**
+     * Publish cumulative engine counters (kernels, warp steps, sector
+     * accesses, TBs dispatched) and the warp-step service-time histogram
+     * under "engine" in the registry.
+     */
+    void registerStats(telemetry::StatRegistry &reg);
+
   private:
     const SystemConfig &cfg_;
     MemorySystem &mem_;
+
+    // Cumulative across run() calls; published as Counter-kind gauges so
+    // per-kernel deltas recover the per-launch values.
+    uint64_t kernelsRun_ = 0;
+    uint64_t warpStepsTotal_ = 0;
+    uint64_t sectorAccessesTotal_ = 0;
+    uint64_t tbsDispatchedTotal_ = 0;
+    /** Lives in the registry's "engine" group; null until registered. */
+    Histogram *stepLatencyHist_ = nullptr;
 };
 
 } // namespace ladm

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "mem/address.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace ladm
 {
@@ -16,6 +17,9 @@ MemorySystem::MemorySystem(const SystemConfig &cfg)
     const int nodes = cfg_.numNodes();
     const int sms = cfg_.totalSms();
     const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
+
+    fetchLocal_.assign(nodes, 0);
+    fetchRemote_.assign(nodes, 0);
 
     l1_.reserve(sms);
     for (int s = 0; s < sms; ++s)
@@ -181,12 +185,12 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     }
 
     if (home == node) {
-        ++fetchLocal_;
+        ++fetchLocal_[node];
         const Cycles d = dramFor(node, addr).book(now, kSectorSize);
         delayDram_ += d;
         delay += d;
     } else {
-        ++fetchRemote_;
+        ++fetchRemote_[node];
         // Read: small request out, sector back. Write: sector out, ack
         // back.
         {
@@ -239,6 +243,131 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
 }
 
 void
+MemorySystem::registerStats(telemetry::StatRegistry &reg,
+                            std::function<Cycles()> now)
+{
+    using telemetry::StatRegistry;
+    const StatKind acc = StatKind::Counter;
+    const int nodes = cfg_.numNodes();
+    const int sms_per_node = cfg_.smsPerChiplet;
+
+    for (NodeId n = 0; n < nodes; ++n) {
+        const std::string node = "node" + std::to_string(n);
+        l2_[n].registerStats(reg, node + ".l2");
+        reg.gauge(node + ".mem.fetch_local",
+                  [this, n] {
+                      return static_cast<double>(fetchLocal_[n]);
+                  },
+                  acc);
+        reg.gauge(node + ".mem.fetch_remote",
+                  [this, n] {
+                      return static_cast<double>(fetchRemote_[n]);
+                  },
+                  acc);
+        reg.formula(node + ".mem.remote_fraction", [this, n] {
+            const uint64_t total = fetchLocal_[n] + fetchRemote_[n];
+            return total ? static_cast<double>(fetchRemote_[n]) / total
+                         : 0.0;
+        });
+        reg.gauge(node + ".mem.dram_accesses",
+                  [this, n] {
+                      return static_cast<double>(dramAccesses(n));
+                  },
+                  acc);
+        reg.gauge(node + ".mem.dram_busy_cycles",
+                  [this, n] {
+                      return static_cast<double>(dramBusyCycles(n));
+                  },
+                  acc);
+        reg.gauge(node + ".xbar.bytes",
+                  [this, n] {
+                      return static_cast<double>(xbar_[n].totalBytes());
+                  },
+                  acc);
+        // L1s aggregated per node: per-SM leaves would be 6x totalSms()
+        // gauges of noise for a stat nobody reads individually.
+        reg.gauge(node + ".l1.accesses",
+                  [this, n, sms_per_node] {
+                      uint64_t v = 0;
+                      for (int s = 0; s < sms_per_node; ++s)
+                          v += l1_[n * sms_per_node + s].accesses();
+                      return static_cast<double>(v);
+                  },
+                  acc);
+        reg.gauge(node + ".l1.hits",
+                  [this, n, sms_per_node] {
+                      uint64_t v = 0;
+                      for (int s = 0; s < sms_per_node; ++s)
+                          v += l1_[n * sms_per_node + s].hits();
+                      return static_cast<double>(v);
+                  },
+                  acc);
+    }
+
+    reg.gauge("mem.fetch_local",
+              [this] { return static_cast<double>(fetchLocal()); }, acc);
+    reg.gauge("mem.fetch_remote",
+              [this] { return static_cast<double>(fetchRemote()); }, acc);
+    reg.formula("mem.offchip_fraction",
+                [this] { return offChipFraction(); });
+    reg.gauge("mem.l1_accesses",
+              [this] { return static_cast<double>(l1Accesses_); }, acc);
+    reg.gauge("mem.l1_hits",
+              [this] { return static_cast<double>(l1Hits_); }, acc);
+    reg.gauge("mem.mshr_merges",
+              [this] { return static_cast<double>(mshrMerges_); }, acc);
+    reg.gauge("mem.writeback_sectors",
+              [this] {
+                  return static_cast<double>(writebackSectors_);
+              },
+              acc);
+    reg.gauge("mem.delay_xbar",
+              [this] { return static_cast<double>(delayXbar_); }, acc);
+    reg.gauge("mem.delay_net",
+              [this] { return static_cast<double>(delayNet_); }, acc);
+    reg.gauge("mem.delay_dram",
+              [this] { return static_cast<double>(delayDram_); }, acc);
+    for (int c = 0; c < kNumTrafficClasses; ++c) {
+        const std::string cls =
+            std::string("mem.class.") +
+            toString(static_cast<TrafficClass>(c));
+        reg.gauge(cls + ".accesses",
+                  [this, c] {
+                      return static_cast<double>(clsAcc_[c]);
+                  },
+                  acc);
+        reg.gauge(cls + ".hits",
+                  [this, c] {
+                      return static_cast<double>(clsHit_[c]);
+                  },
+                  acc);
+    }
+    reg.gauge("uvm.faults",
+              [this] { return static_cast<double>(uvmFaults()); }, acc);
+    reg.gauge("uvm.page_migrations",
+              [this] { return static_cast<double>(pageMigrations()); },
+              acc);
+    if (host_) {
+        reg.gauge("host.demand_faults",
+                  [this] {
+                      return static_cast<double>(hostDemandFaults());
+                  },
+                  acc);
+        reg.gauge("host.prefetches",
+                  [this] {
+                      return static_cast<double>(hostPrefetches());
+                  },
+                  acc);
+        reg.gauge("host.evictions",
+                  [this] {
+                      return static_cast<double>(hostEvictions());
+                  },
+                  acc);
+    }
+    net_->registerStats(reg, std::move(now));
+}
+
+void
 MemorySystem::flushCaches()
 {
     for (auto &c : l1_)
@@ -249,11 +378,30 @@ MemorySystem::flushCaches()
         p.clear();
 }
 
+uint64_t
+MemorySystem::fetchLocal() const
+{
+    uint64_t v = 0;
+    for (const uint64_t n : fetchLocal_)
+        v += n;
+    return v;
+}
+
+uint64_t
+MemorySystem::fetchRemote() const
+{
+    uint64_t v = 0;
+    for (const uint64_t n : fetchRemote_)
+        v += n;
+    return v;
+}
+
 double
 MemorySystem::offChipFraction() const
 {
-    const uint64_t total = fetchLocal_ + fetchRemote_;
-    return total ? static_cast<double>(fetchRemote_) / total : 0.0;
+    const uint64_t remote = fetchRemote();
+    const uint64_t total = fetchLocal() + remote;
+    return total ? static_cast<double>(remote) / total : 0.0;
 }
 
 uint64_t
@@ -286,8 +434,8 @@ MemorySystem::l2SectorMisses() const
 void
 MemorySystem::resetStats()
 {
-    fetchLocal_ = 0;
-    fetchRemote_ = 0;
+    fetchLocal_.assign(fetchLocal_.size(), 0);
+    fetchRemote_.assign(fetchRemote_.size(), 0);
     l1Hits_ = 0;
     l1Accesses_ = 0;
     mshrMerges_ = 0;

@@ -22,6 +22,7 @@
 #define LADM_SIM_MEMORY_SYSTEM_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -70,11 +71,25 @@ class MemorySystem
 
     // --- statistics ---------------------------------------------------------
     /** Requester-side L2 misses served by local HBM. */
-    uint64_t fetchLocal() const { return fetchLocal_; }
+    uint64_t fetchLocal() const;
     /** Requester-side L2 misses that crossed a chiplet boundary. */
-    uint64_t fetchRemote() const { return fetchRemote_; }
+    uint64_t fetchRemote() const;
+    /** Per-node variants: misses issued by node @p n's SMs. */
+    uint64_t fetchLocal(NodeId n) const { return fetchLocal_[n]; }
+    uint64_t fetchRemote(NodeId n) const { return fetchRemote_[n]; }
     /** Fraction [0,1] of fetches that left the node (Fig. 10 metric). */
     double offChipFraction() const;
+
+    /**
+     * Publish the whole memory path into the hierarchical registry:
+     * per-node groups ("node3.l2", "node3.mem", "node3.l1", "node3.xbar"),
+     * machine-wide aggregates ("mem.*", "uvm.*", traffic classes), the
+     * interconnect ("net.*"), and derived formulas (off-chip fraction,
+     * hit rates, link utilization when @p now is provided). Pull-based:
+     * registration has no effect on simulation speed.
+     */
+    void registerStats(telemetry::StatRegistry &reg,
+                       std::function<Cycles()> now = {});
 
     uint64_t l2Accesses() const;
     uint64_t l2Hits() const;
@@ -145,8 +160,9 @@ class MemorySystem
     /** Control-message size for remote read requests / write acks. */
     static constexpr Bytes kCtrlBytes = 8;
 
-    uint64_t fetchLocal_ = 0;
-    uint64_t fetchRemote_ = 0;
+    /** Per-requesting-node fetch counts (index = NodeId). */
+    std::vector<uint64_t> fetchLocal_;
+    std::vector<uint64_t> fetchRemote_;
     /** Aggregate delay contributed by each path component (diagnostics). */
     Cycles delayXbar_ = 0;
     Cycles delayNet_ = 0;

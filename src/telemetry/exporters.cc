@@ -1,0 +1,142 @@
+#include "telemetry/exporters.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "telemetry/json_writer.hh"
+
+namespace ladm
+{
+namespace telemetry
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> segs;
+    size_t start = 0;
+    while (true) {
+        const size_t dot = path.find('.', start);
+        if (dot == std::string::npos) {
+            segs.push_back(path.substr(start));
+            return segs;
+        }
+        segs.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+std::string
+formatValue(double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<int64_t>(v)))
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+exportText(std::ostream &os, const Snapshot &snap)
+{
+    // The snapshot map is path-sorted, so siblings are adjacent; indent by
+    // the number of segments shared with the previous line's path.
+    std::vector<std::string> prev;
+    for (const auto &[path, s] : snap.values) {
+        const std::vector<std::string> segs = splitPath(path);
+        size_t common = 0;
+        while (common + 1 < segs.size() && common < prev.size() &&
+               segs[common] == prev[common])
+            ++common;
+        for (size_t i = common; i + 1 < segs.size(); ++i) {
+            os << std::string(2 * i, ' ') << segs[i] << "\n";
+        }
+        os << std::string(2 * (segs.size() - 1), ' ') << segs.back()
+           << " = " << formatValue(s.value);
+        if (s.kind != StatKind::Counter)
+            os << "  (" << toString(s.kind) << ")";
+        os << "\n";
+        prev = segs;
+    }
+}
+
+void
+exportText(std::ostream &os, const StatRegistry &reg)
+{
+    exportText(os, reg.snapshot());
+}
+
+void
+exportCsv(std::ostream &os, const Snapshot &snap)
+{
+    os << "path,kind,value\n";
+    for (const auto &[path, s] : snap.values) {
+        os << path << ',' << toString(s.kind) << ','
+           << formatValue(s.value) << "\n";
+    }
+}
+
+void
+exportCsv(std::ostream &os, const StatRegistry &reg)
+{
+    exportCsv(os, reg.snapshot());
+}
+
+void
+exportJsonObject(JsonWriter &jw, const Snapshot &snap)
+{
+    jw.beginObject();
+    std::vector<std::string> open;
+    for (const auto &[path, s] : snap.values) {
+        const std::vector<std::string> segs = splitPath(path);
+        size_t common = 0;
+        while (common + 1 < segs.size() && common < open.size() &&
+               segs[common] == open[common])
+            ++common;
+        while (open.size() > common) {
+            jw.endObject();
+            open.pop_back();
+        }
+        while (open.size() + 1 < segs.size()) {
+            jw.key(segs[open.size()]).beginObject();
+            open.push_back(segs[open.size()]);
+        }
+        jw.kv(segs.back(), s.value);
+    }
+    while (!open.empty()) {
+        jw.endObject();
+        open.pop_back();
+    }
+    jw.endObject();
+}
+
+void
+exportJson(std::ostream &os, const Snapshot &snap, const std::string &label)
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", kStatsSchema);
+    if (!label.empty())
+        jw.kv("label", label);
+    jw.key("stats");
+    exportJsonObject(jw, snap);
+    jw.endObject();
+    os << "\n";
+}
+
+void
+exportJson(std::ostream &os, const StatRegistry &reg,
+           const std::string &label)
+{
+    exportJson(os, reg.snapshot(), label);
+}
+
+} // namespace telemetry
+} // namespace ladm

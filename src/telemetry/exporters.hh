@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exporters over the hierarchical stat registry: pretty text (tree
+ * indented by dotted-path segments), CSV (one row per stat), and
+ * versioned JSON (nested objects mirroring the path hierarchy). All three
+ * also accept a flat Snapshot so per-kernel deltas export the same way as
+ * the live registry.
+ */
+
+#ifndef LADM_TELEMETRY_EXPORTERS_HH
+#define LADM_TELEMETRY_EXPORTERS_HH
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/stat_registry.hh"
+
+namespace ladm
+{
+namespace telemetry
+{
+
+class JsonWriter;
+
+/** Schema tag stamped into every stats JSON document. */
+inline constexpr const char *kStatsSchema = "ladm-stats-v1";
+
+/** Human-readable tree: one line per stat, indented per path segment. */
+void exportText(std::ostream &os, const Snapshot &snap);
+void exportText(std::ostream &os, const StatRegistry &reg);
+
+/** CSV: header "path,kind,value" then one row per stat. */
+void exportCsv(std::ostream &os, const Snapshot &snap);
+void exportCsv(std::ostream &os, const StatRegistry &reg);
+
+/**
+ * JSON object whose keys nest by dotted path:
+ * {"node0": {"l2": {"hits": 5, ...}}}. Emitted as one value into @p jw so
+ * callers can embed it inside a larger document.
+ */
+void exportJsonObject(JsonWriter &jw, const Snapshot &snap);
+
+/**
+ * Standalone versioned JSON document:
+ * {"schema": "ladm-stats-v1", "stats": {...nested...}}.
+ */
+void exportJson(std::ostream &os, const Snapshot &snap,
+                const std::string &label = "");
+void exportJson(std::ostream &os, const StatRegistry &reg,
+                const std::string &label = "");
+
+} // namespace telemetry
+} // namespace ladm
+
+#endif // LADM_TELEMETRY_EXPORTERS_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lightweight wall-clock phase profiling of the simulator itself (not of
+ * the simulated machine): how long the host spends in placement,
+ * scheduling, and the execution engine. LADM_SCOPED_TIMER("phase") times
+ * the enclosing scope and accumulates into the process-wide profiler;
+ * the telemetry session folds the totals into the stats JSON and can
+ * print them at exit (LADM_PROFILE=1).
+ */
+
+#ifndef LADM_TELEMETRY_PROFILE_HH
+#define LADM_TELEMETRY_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ladm
+{
+namespace telemetry
+{
+
+class PhaseProfiler
+{
+  public:
+    struct Phase
+    {
+        double seconds = 0.0;
+        uint64_t calls = 0;
+    };
+
+    void
+    add(const std::string &phase, double seconds)
+    {
+        Phase &p = phases_[phase];
+        p.seconds += seconds;
+        ++p.calls;
+    }
+
+    const std::map<std::string, Phase> &phases() const { return phases_; }
+    bool empty() const { return phases_.empty(); }
+    void clear() { phases_.clear(); }
+
+    /** One line per phase: name, total seconds, calls, mean ms. */
+    void report(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Phase> phases_;
+};
+
+/** The process-wide profiler (owned by the telemetry Session). */
+PhaseProfiler &profiler();
+
+/** RAII scope timer feeding the process-wide profiler. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *phase)
+        : phase_(phase), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        const auto end = std::chrono::steady_clock::now();
+        profiler().add(
+            phase_,
+            std::chrono::duration<double>(end - start_).count());
+    }
+
+  private:
+    const char *phase_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace telemetry
+} // namespace ladm
+
+#define LADM_TIMER_CONCAT2(a, b) a##b
+#define LADM_TIMER_CONCAT(a, b) LADM_TIMER_CONCAT2(a, b)
+
+/** Time the enclosing scope under @p phase (a string literal). */
+#define LADM_SCOPED_TIMER(phase) \
+    ::ladm::telemetry::ScopedTimer LADM_TIMER_CONCAT(ladm_scoped_timer_, \
+                                                     __LINE__)(phase)
+
+#endif // LADM_TELEMETRY_PROFILE_HH

@@ -1,0 +1,208 @@
+#include "telemetry/session.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "telemetry/exporters.hh"
+#include "telemetry/json_writer.hh"
+
+namespace ladm
+{
+namespace telemetry
+{
+
+TraceEmitter &
+tracer()
+{
+    return Session::instance().traceEmitter();
+}
+
+PhaseProfiler &
+profiler()
+{
+    return Session::instance().phaseProfiler();
+}
+
+void
+PhaseProfiler::report(std::ostream &os) const
+{
+    os << "--- host phase profile ---\n";
+    for (const auto &[name, p] : phases_) {
+        os << "  " << name << ": " << p.seconds << " s over " << p.calls
+           << " calls (" << (p.calls ? 1e3 * p.seconds / p.calls : 0.0)
+           << " ms/call)\n";
+    }
+}
+
+Session &
+Session::instance()
+{
+    static Session s;
+    return s;
+}
+
+Session &
+session()
+{
+    return Session::instance();
+}
+
+void
+Session::configure(const TelemetryOptions &opts)
+{
+    opts_ = opts;
+    finalized_ = false;
+    tracer_.configure(opts.traceSampleEvery, opts.traceMaxEvents);
+    tracer_.enable(opts.traceEnabled());
+    if (opts.anySink() && !atexitRegistered_) {
+        atexitRegistered_ = true;
+        std::atexit([] { Session::instance().finalize(); });
+    }
+}
+
+void
+Session::recordRun(RunRecord rec)
+{
+    if (!statsActive())
+        return;
+    runs_.push_back(std::move(rec));
+}
+
+void
+Session::writeStatsJson(std::ostream &os) const
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", kStatsSchema);
+    jw.kv("generator", "ladm");
+    jw.key("runs").beginArray();
+    for (const RunRecord &r : runs_) {
+        jw.beginObject();
+        jw.kv("workload", r.workload);
+        jw.kv("policy", r.policy);
+        jw.kv("system", r.system);
+        jw.kv("scheduler", r.scheduler);
+        jw.kv("cycles", static_cast<uint64_t>(r.cycles));
+        jw.kv("tb_count", r.tbCount);
+        jw.key("kernels").beginArray();
+        for (const KernelRecord &k : r.kernels) {
+            jw.beginObject();
+            jw.kv("index", k.index);
+            jw.kv("start_cycle", static_cast<uint64_t>(k.startCycle));
+            jw.kv("end_cycle", static_cast<uint64_t>(k.endCycle));
+            jw.key("stats");
+            exportJsonObject(jw, k.stats);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.key("final");
+        exportJsonObject(jw, r.final);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.key("profile").beginObject();
+    for (const auto &[name, p] : profiler_.phases()) {
+        jw.key(name).beginObject();
+        jw.kv("seconds", p.seconds);
+        jw.kv("calls", p.calls);
+        jw.endObject();
+    }
+    jw.endObject();
+    jw.endObject();
+    os << "\n";
+}
+
+namespace
+{
+
+/** Open @p path for writing, "-" meaning stdout; warn on failure. */
+bool
+openSink(const std::string &path, std::ofstream &file, std::ostream *&os)
+{
+    if (path == "-") {
+        os = &std::cout;
+        return true;
+    }
+    file.open(path);
+    if (!file) {
+        ladm_warn("telemetry: cannot open sink '", path, "'");
+        return false;
+    }
+    os = &file;
+    return true;
+}
+
+} // namespace
+
+void
+Session::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    if (!opts_.statsJsonPath.empty()) {
+        std::ofstream f;
+        std::ostream *os = nullptr;
+        if (openSink(opts_.statsJsonPath, f, os))
+            writeStatsJson(*os);
+    }
+    if (!opts_.statsCsvPath.empty()) {
+        std::ofstream f;
+        std::ostream *os = nullptr;
+        if (openSink(opts_.statsCsvPath, f, os)) {
+            *os << "run,workload,policy,path,kind,value\n";
+            for (size_t i = 0; i < runs_.size(); ++i) {
+                const RunRecord &r = runs_[i];
+                for (const auto &[path, s] : r.final.values) {
+                    *os << i << ',' << r.workload << ',' << r.policy
+                        << ',' << path << ',' << toString(s.kind) << ','
+                        << s.value << "\n";
+                }
+            }
+        }
+    }
+    if (!opts_.statsTextPath.empty()) {
+        std::ofstream f;
+        std::ostream *os = nullptr;
+        if (openSink(opts_.statsTextPath, f, os)) {
+            for (const RunRecord &r : runs_) {
+                *os << "=== " << r.workload << " / " << r.policy << " / "
+                    << r.system << " (" << r.cycles << " cycles) ===\n";
+                exportText(*os, r.final);
+            }
+            if (!profiler_.empty())
+                profiler_.report(*os);
+        }
+    }
+    if (opts_.traceEnabled()) {
+        std::ofstream f;
+        std::ostream *os = nullptr;
+        if (openSink(opts_.traceOutPath, f, os)) {
+            tracer_.write(*os);
+            if (tracer_.droppedEvents() > 0) {
+                ladm_warn("telemetry: trace dropped ",
+                          tracer_.droppedEvents(),
+                          " events past the --trace-max-events cap");
+            }
+        }
+    }
+    if (std::getenv("LADM_PROFILE") && !profiler_.empty())
+        profiler_.report(std::cerr);
+}
+
+void
+Session::resetForTest()
+{
+    opts_ = TelemetryOptions{};
+    runs_.clear();
+    profiler_.clear();
+    tracer_.enable(false);
+    tracer_.clear();
+    finalized_ = false;
+}
+
+} // namespace telemetry
+} // namespace ladm

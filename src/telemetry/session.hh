@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Telemetry session: process-wide collection point tying the pieces
+ * together. Examples and tools configure it once (from CLI flags or
+ * LADM_* environment variables); runExperiment() contributes one
+ * RunRecord per run (final stat snapshot + per-kernel deltas); finalize()
+ * writes every selected sink -- versioned stats JSON, CSV, pretty text,
+ * and the Chrome trace. With no sink configured the session is inert and
+ * records nothing.
+ */
+
+#ifndef LADM_TELEMETRY_SESSION_HH
+#define LADM_TELEMETRY_SESSION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/system_config.hh"
+#include "telemetry/profile.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace.hh"
+
+namespace ladm
+{
+namespace telemetry
+{
+
+/** Stat window of one kernel launch (delta across the launch). */
+struct KernelRecord
+{
+    int index = 0;
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+    Snapshot stats;
+};
+
+/** Everything the stats sinks report about one experiment run. */
+struct RunRecord
+{
+    std::string workload;
+    std::string policy;
+    std::string system;
+    std::string scheduler;
+    Cycles cycles = 0;
+    uint64_t tbCount = 0;
+    std::vector<KernelRecord> kernels;
+    Snapshot final;
+};
+
+class Session
+{
+  public:
+    static Session &instance();
+
+    /**
+     * Select sinks; arms the tracer when a trace path is set and
+     * registers an atexit finalize so sinks are written even if the tool
+     * never calls finalize() itself.
+     */
+    void configure(const TelemetryOptions &opts);
+
+    const TelemetryOptions &options() const { return opts_; }
+    /** True when any stats sink wants per-run records. */
+    bool statsActive() const { return opts_.anyStatsSink(); }
+
+    TraceEmitter &traceEmitter() { return tracer_; }
+    PhaseProfiler &phaseProfiler() { return profiler_; }
+
+    void recordRun(RunRecord rec);
+    size_t numRuns() const { return runs_.size(); }
+
+    /** Write every configured sink; idempotent until reconfigured. */
+    void finalize();
+
+    /** Drop all state (tests only). */
+    void resetForTest();
+
+    /** Render the stats document for the configured runs (JSON sink). */
+    void writeStatsJson(std::ostream &os) const;
+
+  private:
+    Session() = default;
+
+    TelemetryOptions opts_;
+    TraceEmitter tracer_;
+    PhaseProfiler profiler_;
+    std::vector<RunRecord> runs_;
+    bool finalized_ = false;
+    bool atexitRegistered_ = false;
+};
+
+/** Shorthand for Session::instance(). */
+Session &session();
+
+} // namespace telemetry
+} // namespace ladm
+
+#endif // LADM_TELEMETRY_SESSION_HH

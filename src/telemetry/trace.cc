@@ -1,0 +1,155 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "telemetry/json_writer.hh"
+
+namespace ladm
+{
+namespace telemetry
+{
+
+void
+TraceEmitter::configure(uint32_t sample_every, size_t max_events)
+{
+    sampleEvery_ = std::max<uint32_t>(1, sample_every);
+    maxEvents_ = std::max<size_t>(1, max_events);
+}
+
+void
+TraceEmitter::setClockGhz(double ghz)
+{
+    ladm_assert(ghz > 0.0, "trace clock must be positive");
+    usPerCycle_ = 1.0 / (ghz * 1000.0);
+}
+
+void
+TraceEmitter::newTimeline(const std::string &label)
+{
+    if (!enabled_)
+        return;
+    // Leave a visible gap between machines so experiments render as
+    // separate bursts rather than one merged blob.
+    offsetUs_ = maxTsUs_ + 50.0;
+    push(TraceEvent{offsetUs_, 0.0, 'i', kPidRuntime, 0,
+                    "timeline:" + label, "runtime", ""});
+}
+
+bool
+TraceEmitter::admit()
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+TraceEmitter::push(TraceEvent ev)
+{
+    if (!admit())
+        return;
+    maxTsUs_ = std::max(maxTsUs_, ev.tsUs + ev.durUs);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceEmitter::complete(const char *cat, std::string name, int pid, int tid,
+                       Cycles start_cycle, Cycles end_cycle,
+                       std::string args_json)
+{
+    if (!enabled_)
+        return;
+    const double ts = tsUs(start_cycle);
+    const double end = tsUs(std::max(start_cycle, end_cycle));
+    push(TraceEvent{ts, end - ts, 'X', pid, tid, std::move(name), cat,
+                    std::move(args_json)});
+}
+
+void
+TraceEmitter::instant(const char *cat, std::string name, int pid, int tid,
+                      Cycles at_cycle, std::string args_json)
+{
+    if (!enabled_)
+        return;
+    push(TraceEvent{tsUs(at_cycle), 0.0, 'i', pid, tid, std::move(name),
+                    cat, std::move(args_json)});
+}
+
+void
+TraceEmitter::processName(int pid, const std::string &name)
+{
+    if (!enabled_ || !namedLanes_.insert({pid, -1}).second)
+        return;
+    push(TraceEvent{0.0, 0.0, 'M', pid, 0, "process_name", "__metadata",
+                    "{\"name\": \"" + jsonEscape(name) + "\"}"});
+}
+
+void
+TraceEmitter::threadName(int pid, int tid, const std::string &name)
+{
+    if (!enabled_ || !namedLanes_.insert({pid, tid}).second)
+        return;
+    push(TraceEvent{0.0, 0.0, 'M', pid, tid, "thread_name", "__metadata",
+                    "{\"name\": \"" + jsonEscape(name) + "\"}"});
+}
+
+void
+TraceEmitter::write(std::ostream &os) const
+{
+    // Metadata first, then spans/instants sorted by timestamp: consumers
+    // (and the telemetry tests) can assert a monotone stream.
+    std::vector<const TraceEvent *> order;
+    order.reserve(events_.size());
+    for (const auto &ev : events_)
+        order.push_back(&ev);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         const bool ma = a->ph == 'M', mb = b->ph == 'M';
+                         if (ma != mb)
+                             return ma;
+                         return a->tsUs < b->tsUs;
+                     });
+
+    JsonWriter jw(os, /*indent=*/0);
+    jw.beginObject();
+    jw.kv("displayTimeUnit", "ms");
+    jw.kv("ladmTraceSchema", "ladm-trace-v1");
+    jw.kv("droppedEvents", static_cast<uint64_t>(dropped_));
+    jw.key("traceEvents").beginArray();
+    for (const TraceEvent *ev : order) {
+        jw.beginObject();
+        jw.kv("name", ev->name);
+        jw.kv("cat", ev->cat.empty() ? std::string("sim") : ev->cat);
+        jw.kv("ph", std::string(1, ev->ph));
+        jw.kv("ts", ev->tsUs);
+        if (ev->ph == 'X')
+            jw.kv("dur", ev->durUs);
+        if (ev->ph == 'i')
+            jw.kv("s", "t");
+        jw.kv("pid", ev->pid);
+        jw.kv("tid", ev->tid);
+        if (!ev->argsJson.empty())
+            jw.key("args").raw(ev->argsJson);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << "\n";
+}
+
+void
+TraceEmitter::clear()
+{
+    events_.clear();
+    namedLanes_.clear();
+    dropped_ = 0;
+    tick_ = 0;
+    offsetUs_ = 0.0;
+    maxTsUs_ = 0.0;
+}
+
+} // namespace telemetry
+} // namespace ladm

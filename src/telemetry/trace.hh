@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Chrome trace-event emitter (chrome://tracing / Perfetto JSON format).
+ *
+ * The simulator records TB dispatch/retire spans per SM, long warp-stall
+ * intervals, link-transfer spans on the interconnect, scheduler/CRB
+ * decisions, and one span per kernel launch. Timestamps are simulated
+ * cycles converted to microseconds of simulated time via the core clock;
+ * each new machine (GpuSystem) opens a fresh timeline offset so
+ * back-to-back experiments do not overlap in the viewer.
+ *
+ * The emitter is reached through telemetry::tracer() (one per process;
+ * the simulator is single-threaded). When disabled -- the default --
+ * every hook is a single inline bool test, so tier-1 runtime is
+ * unaffected. High-rate categories (link transfers, warp stalls) are
+ * additionally thinned by the sampling knob, and a hard event cap
+ * protects against unbounded memory on huge runs.
+ */
+
+#ifndef LADM_TELEMETRY_TRACE_HH
+#define LADM_TELEMETRY_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ladm
+{
+namespace telemetry
+{
+
+/** Well-known pid rows of the trace (Perfetto process lanes). */
+enum TracePid : int
+{
+    kPidRuntime = 0,       ///< scheduler/CRB/kernel-level events
+    kPidInterconnect = 9000, ///< link-transfer spans (tid = src node)
+    kPidNodeBase = 1,      ///< node n renders as pid kPidNodeBase + n
+};
+
+struct TraceEvent
+{
+    double tsUs = 0.0;   ///< microseconds of simulated time
+    double durUs = 0.0;  ///< span duration ("X" events)
+    char ph = 'X';       ///< "X" complete, "i" instant, "M" metadata
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    std::string cat;
+    std::string argsJson; ///< pre-rendered JSON object, may be empty
+};
+
+class TraceEmitter
+{
+  public:
+    TraceEmitter() = default;
+
+    /** Master switch; see also configure(). */
+    void enable(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * @param sample_every thin high-rate categories to 1-in-N
+     * @param max_events   hard cap; later events are dropped and counted
+     */
+    void configure(uint32_t sample_every, size_t max_events);
+
+    /** Cycles-to-microseconds conversion for the current machine. */
+    void setClockGhz(double ghz);
+
+    /**
+     * Open a fresh timeline for a new simulated machine: subsequent
+     * events are shifted past everything already recorded.
+     */
+    void newTimeline(const std::string &label);
+
+    /** 1-in-N admission test for high-rate categories. */
+    bool
+    sampleTick()
+    {
+        return sampleEvery_ <= 1 || (tick_++ % sampleEvery_) == 0;
+    }
+
+    /** Record a complete ("X") span covering [startCycle, endCycle]. */
+    void complete(const char *cat, std::string name, int pid, int tid,
+                  Cycles start_cycle, Cycles end_cycle,
+                  std::string args_json = "");
+
+    /** Record an instant ("i") event at @p at_cycle. */
+    void instant(const char *cat, std::string name, int pid, int tid,
+                 Cycles at_cycle, std::string args_json = "");
+
+    /** Name a process/thread lane in the viewer (emitted lazily once). */
+    void processName(int pid, const std::string &name);
+    void threadName(int pid, int tid, const std::string &name);
+
+    /**
+     * Serialize as a Chrome trace JSON document
+     * {"traceEvents": [...], ...}; events are emitted sorted by
+     * timestamp so consumers see a monotone stream.
+     */
+    void write(std::ostream &os) const;
+
+    size_t numEvents() const { return events_.size(); }
+    size_t droppedEvents() const { return dropped_; }
+    void clear();
+
+  private:
+    bool admit();
+    double tsUs(Cycles c) const { return offsetUs_ + usPerCycle_ * c; }
+    void push(TraceEvent ev);
+
+    bool enabled_ = false;
+    uint32_t sampleEvery_ = 64;
+    uint64_t tick_ = 0;
+    size_t maxEvents_ = 1'000'000;
+    size_t dropped_ = 0;
+    double usPerCycle_ = 1e-3; // 1 GHz default
+    double offsetUs_ = 0.0;
+    double maxTsUs_ = 0.0;
+    std::vector<TraceEvent> events_;
+    std::set<std::pair<int, int>> namedLanes_;
+};
+
+/** The process-wide emitter (owned by the telemetry Session). */
+TraceEmitter &tracer();
+
+} // namespace telemetry
+} // namespace ladm
+
+#endif // LADM_TELEMETRY_TRACE_HH
