@@ -16,8 +16,10 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Fig. 4 -- bandwidth sensitivity of prior NUMA-GPU "
                     "techniques (vs monolithic)");
 
@@ -45,22 +47,33 @@ main()
     const auto names = representativeWorkloads();
     const SystemConfig mono = presets::monolithic256();
 
-    // Monolithic reference cycles per workload.
-    std::vector<Cycles> mono_cycles;
+    // One grid: monolithic references first, then every
+    // (config, policy, workload) cell in print order.
+    std::vector<core::SweepCell> cells;
     for (const auto &w : names)
-        mono_cycles.push_back(run(w, Policy::KernelWide, mono).cycles);
+        cells.push_back(cell(w, Policy::KernelWide, mono));
+    for (const auto &pt : points)
+        for (const auto &[pname, p] : policies)
+            for (const auto &w : names)
+                cells.push_back(cell(w, p, pt.cfg));
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
+    std::vector<Cycles> mono_cycles;
+    for (size_t i = 0; i < names.size(); ++i)
+        mono_cycles.push_back(results[i].cycles);
 
     std::printf("%-16s", "config");
     for (const auto &[pname, p] : policies)
         std::printf(" %14s", pname.c_str());
     std::printf("\n");
 
+    size_t idx = names.size();
     for (const auto &pt : points) {
         std::printf("%-16s", pt.name.c_str());
         for (const auto &[pname, p] : policies) {
             std::vector<double> rel;
             for (size_t i = 0; i < names.size(); ++i) {
-                const auto m = run(names[i], p, pt.cfg);
+                const RunMetrics &m = results[idx++];
                 rel.push_back(static_cast<double>(mono_cycles[i]) /
                               m.cycles);
             }

@@ -11,8 +11,10 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Fig. 9 -- performance normalized to H-CODA "
                     "(multi-GPU 4x4, Table III)");
 
@@ -21,19 +23,33 @@ main()
     const CsvSink csv("fig09");
     BenchJsonSink json("fig09");
 
+    // Five policy columns per workload, in print order.
+    std::vector<core::SweepCell> cells;
+    for (const auto &[section, names] : workloadSections()) {
+        for (const auto &name : names) {
+            cells.push_back(cell(name, Policy::Coda, multi));
+            cells.push_back(cell(name, Policy::LaspRtwice, multi));
+            cells.push_back(cell(name, Policy::LaspRonce, multi));
+            cells.push_back(cell(name, Policy::Ladm, multi));
+            cells.push_back(cell(name, Policy::KernelWide, mono));
+        }
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
     std::printf("%-14s %9s %9s %9s %9s %9s\n", "workload", "H-CODA",
                 "LASP+RT", "LASP+RO", "LADM", "Monolith");
 
     std::vector<double> ladm_vs_hcoda;
     std::vector<double> ladm_vs_mono;
+    size_t i = 0;
     for (const auto &[section, names] : workloadSections()) {
         std::printf("--- %s\n", section.c_str());
         for (const auto &name : names) {
-            const auto hc_m = run(name, Policy::Coda, multi);
-            const auto rt_m = run(name, Policy::LaspRtwice, multi);
-            const auto ro_m = run(name, Policy::LaspRonce, multi);
-            const auto la_m = run(name, Policy::Ladm, multi);
-            const auto mo_m = run(name, Policy::KernelWide, mono);
+            const RunMetrics &hc_m = results[i++];
+            const RunMetrics &rt_m = results[i++];
+            const RunMetrics &ro_m = results[i++];
+            const RunMetrics &la_m = results[i++];
+            const RunMetrics &mo_m = results[i++];
             for (const auto *m : {&hc_m, &rt_m, &ro_m, &la_m, &mo_m}) {
                 csv.add(*m);
                 json.add(*m);

@@ -10,14 +10,27 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Fig. 10 -- off-chip traffic percentage "
                     "(multi-GPU 4x4, Table III)");
 
     const SystemConfig multi = presets::multiGpu4x4();
     const CsvSink csv("fig10");
     BenchJsonSink json("fig10");
+
+    std::vector<core::SweepCell> cells;
+    for (const auto &[section, names] : workloadSections()) {
+        for (const auto &name : names) {
+            cells.push_back(cell(name, Policy::Coda, multi));
+            cells.push_back(cell(name, Policy::LaspRtwice, multi));
+            cells.push_back(cell(name, Policy::LaspRonce, multi));
+            cells.push_back(cell(name, Policy::Ladm, multi));
+        }
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
 
     std::printf("%-14s %9s %9s %9s %9s\n", "workload", "H-CODA",
                 "LASP+RT", "LASP+RO", "LADM");
@@ -26,13 +39,14 @@ main()
     uint64_t fetch_hc = 0, fetch_la = 0, remote_hc = 0, remote_la = 0;
     std::vector<double> per_workload_cut;
     int n = 0;
+    size_t i = 0;
     for (const auto &[section, names] : workloadSections()) {
         std::printf("--- %s\n", section.c_str());
         for (const auto &name : names) {
-            const auto hc = run(name, Policy::Coda, multi);
-            const auto rt = run(name, Policy::LaspRtwice, multi);
-            const auto ro = run(name, Policy::LaspRonce, multi);
-            const auto la = run(name, Policy::Ladm, multi);
+            const RunMetrics &hc = results[i++];
+            const RunMetrics &rt = results[i++];
+            const RunMetrics &ro = results[i++];
+            const RunMetrics &la = results[i++];
             for (const auto *m : {&hc, &rt, &ro, &la}) {
                 csv.add(*m);
                 json.add(*m);

@@ -15,15 +15,14 @@ namespace
 {
 
 void
-caseStudy(const std::string &workload)
+caseStudy(const std::string &workload, const RunMetrics *results)
 {
-    const SystemConfig multi = presets::multiGpu4x4();
     std::printf("\n--- %s\n", workload.c_str());
     std::printf("%-8s | %22s | %22s | %10s\n", "policy",
                 "traffic share (LL/LR/RL)", "hit rate (LL/LR/RL)",
                 "cycles");
     for (const Policy p : {Policy::LaspRtwice, Policy::LaspRonce}) {
-        const auto m = run(workload, p, multi);
+        const RunMetrics &m = *results++;
         const double total = static_cast<double>(
             m.classAccesses[0] + m.classAccesses[1] + m.classAccesses[2]);
         std::printf("%-8s | %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% "
@@ -42,16 +41,27 @@ caseStudy(const std::string &workload)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Fig. 11 -- cache-remote-once case study "
                     "(L2 traffic classes)");
+
+    const SystemConfig multi = presets::multiGpu4x4();
+    std::vector<core::SweepCell> cells;
+    for (const char *w : {"Random-loc", "SQ-GEMM"}) {
+        cells.push_back(cell(w, Policy::LaspRtwice, multi));
+        cells.push_back(cell(w, Policy::LaspRonce, multi));
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
     // (a) low-reuse ITL workload: bypassing REMOTE-LOCAL frees home L2
     //     capacity for local traffic.
-    caseStudy("Random-loc");
+    caseStudy("Random-loc", &results[0]);
     // (b) high-reuse RCL workload: the home-side copy serves inter-GPU
     //     sharing, so bypassing it hurts.
-    caseStudy("SQ-GEMM");
+    caseStudy("SQ-GEMM", &results[2]);
 
     std::printf("\npaper shape: random_loc REMOTE-LOCAL is a large, "
                 "low-hit-rate class whose\n  bypass raises the other "

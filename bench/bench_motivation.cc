@@ -20,22 +20,63 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Motivation studies (Section II)");
     const SystemConfig multi = presets::multiGpu4x4();
 
-    std::printf("\n(a) proactive vs reactive: first-touch + page "
-                "migration vs LADM\n");
     SystemConfig migrate = multi;
     migrate.pageMigration = true;
     migrate.name = "multi-gpu-4x4+migration";
+
+    SystemConfig faulty = multi;
+    faulty.pageFaultCycles = 28000;
+    faulty.name = "multi-gpu-4x4+faults";
+
+    SystemConfig hw = multi;
+    hw.flushL2BetweenKernels = false;
+    hw.name = "multi-gpu-4x4+hmg";
+
+    // All four sections as one grid, in print order.
+    const std::vector<std::string> a_names = {"SQ-GEMM", "CONV",
+                                              "PageRank"};
+    const std::vector<std::string> b_names = {"VecAdd", "ScalarProd"};
+    const std::vector<std::string> c_names = {"SQ-GEMM", "PageRank"};
+    const std::vector<std::string> d_names = {"VecAdd", "Histo-final",
+                                              "SQ-GEMM"};
+    std::vector<core::SweepCell> cells;
+    for (const auto &name : a_names) {
+        cells.push_back(cell(name, Policy::BatchFt, multi));
+        cells.push_back(cell(name, Policy::BatchFt, migrate));
+        cells.push_back(cell(name, Policy::Ladm, multi));
+    }
+    for (const auto &name : b_names) {
+        cells.push_back(cell(name, Policy::BatchFt, multi));
+        cells.push_back(cell(name, Policy::BatchFt, faulty));
+        cells.push_back(cell(name, Policy::Ladm, faulty));
+    }
+    for (const auto &name : c_names) {
+        cells.push_back(cell(name, Policy::Ladm, multi, /*launches=*/3));
+        cells.push_back(cell(name, Policy::Ladm, hw, /*launches=*/3));
+    }
+    for (const auto &name : d_names) {
+        cells.push_back(cell(name, Policy::Coda, multi));
+        cells.push_back(cell(name, Policy::CodaSubPage, multi));
+        cells.push_back(cell(name, Policy::Ladm, multi));
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+    size_t i = 0;
+
+    std::printf("\n(a) proactive vs reactive: first-touch + page "
+                "migration vs LADM\n");
     std::printf("%-14s %12s %12s %12s\n", "workload", "first-touch",
                 "ft+migrate", "LADM");
-    for (const std::string name : {"SQ-GEMM", "CONV", "PageRank"}) {
-        const auto ft = run(name, Policy::BatchFt, multi);
-        const auto mg = run(name, Policy::BatchFt, migrate);
-        const auto la = run(name, Policy::Ladm, multi);
+    for (const std::string &name : a_names) {
+        const RunMetrics &ft = results[i++];
+        const RunMetrics &mg = results[i++];
+        const RunMetrics &la = results[i++];
         std::printf("%-14s %12llu %12llu %12llu\n", name.c_str(),
                     static_cast<unsigned long long>(ft.cycles),
                     static_cast<unsigned long long>(mg.cycles),
@@ -47,13 +88,10 @@ main()
                 "stalls [85]; 28k cycles = 20us @1.4GHz)\n");
     std::printf("%-14s %14s %14s %12s\n", "workload", "FT optimal",
                 "FT 20us/fault", "LADM (0 faults)");
-    for (const std::string name : {"VecAdd", "ScalarProd"}) {
-        SystemConfig faulty = multi;
-        faulty.pageFaultCycles = 28000;
-        faulty.name = "multi-gpu-4x4+faults";
-        const auto opt = run(name, Policy::BatchFt, multi);
-        const auto real = run(name, Policy::BatchFt, faulty);
-        const auto la = run(name, Policy::Ladm, faulty);
+    for (const std::string &name : b_names) {
+        const RunMetrics &opt = results[i++];
+        const RunMetrics &real = results[i++];
+        const RunMetrics &la = results[i++];
         std::printf("%-14s %14llu %14llu %12llu\n", name.c_str(),
                     static_cast<unsigned long long>(opt.cycles),
                     static_cast<unsigned long long>(real.cycles),
@@ -63,18 +101,11 @@ main()
 
     std::printf("\n(c) software L2 coherence flush vs hardware coherence "
                 "(3 back-to-back launches)\n");
-    SystemConfig hw = multi;
-    hw.flushL2BetweenKernels = false;
-    hw.name = "multi-gpu-4x4+hmg";
     std::printf("%-14s %14s %14s %9s\n", "workload", "flush (sw)",
                 "no flush (hw)", "benefit");
-    for (const std::string name : {"SQ-GEMM", "PageRank"}) {
-        auto w1 = workloads::makeWorkload(name, benchScale());
-        auto w2 = workloads::makeWorkload(name, benchScale());
-        auto b1 = makeBundle(Policy::Ladm);
-        auto b2 = makeBundle(Policy::Ladm);
-        const auto sw_m = runExperiment(*w1, *b1, multi, /*launches=*/3);
-        const auto hw_m = runExperiment(*w2, *b2, hw, /*launches=*/3);
+    for (const std::string &name : c_names) {
+        const RunMetrics &sw_m = results[i++];
+        const RunMetrics &hw_m = results[i++];
         std::printf("%-14s %14llu %14llu %8.2fx\n", name.c_str(),
                     static_cast<unsigned long long>(sw_m.cycles),
                     static_cast<unsigned long long>(hw_m.cycles),
@@ -86,10 +117,10 @@ main()
                 "page-granularity placement\n");
     std::printf("%-14s %12s %14s %12s | off-chip\n", "workload", "H-CODA",
                 "CODA-subpage", "LADM");
-    for (const std::string name : {"VecAdd", "Histo-final", "SQ-GEMM"}) {
-        const auto hc = run(name, Policy::Coda, multi);
-        const auto sp = run(name, Policy::CodaSubPage, multi);
-        const auto la = run(name, Policy::Ladm, multi);
+    for (const std::string &name : d_names) {
+        const RunMetrics &hc = results[i++];
+        const RunMetrics &sp = results[i++];
+        const RunMetrics &la = results[i++];
         std::printf("%-14s %12llu %14llu %12llu | %4.1f%% / %4.1f%% / "
                     "%4.1f%%\n",
                     name.c_str(),

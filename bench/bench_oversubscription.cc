@@ -14,17 +14,19 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("UVM oversubscription -- proactive LASP prefetch vs "
                     "reactive demand paging");
 
-    std::printf("%-14s %-10s %12s %12s %12s %12s\n", "workload",
-                "capacity", "ft cycles", "ladm cycles", "ladm/ft",
-                "demand faults (ft)");
-
-    for (const std::string name : {"VecAdd", "ScalarProd", "CONV"}) {
-        // Size device memory so the workload oversubscribes ~2x.
+    const std::vector<std::string> names = {"VecAdd", "ScalarProd",
+                                            "CONV"};
+    // Size device memory so each workload oversubscribes ~2x.
+    std::vector<SystemConfig> cfgs;
+    std::vector<core::SweepCell> cells;
+    for (const std::string &name : names) {
         auto probe = workloads::makeWorkload(name, benchScale());
         Bytes input = 0;
         for (const auto &a : probe->allocs())
@@ -33,9 +35,21 @@ main()
         SystemConfig cfg = presets::multiGpu4x4();
         cfg.hbmCapacityPerNode = input / (2 * cfg.numNodes());
         cfg.name = "multi-gpu-4x4-oversub";
+        cfgs.push_back(cfg);
+        cells.push_back(cell(name, Policy::BatchFt, cfg));
+        cells.push_back(cell(name, Policy::Ladm, cfg));
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
 
-        const auto ft = run(name, Policy::BatchFt, cfg);
-        const auto la = run(name, Policy::Ladm, cfg);
+    std::printf("%-14s %-10s %12s %12s %12s %12s\n", "workload",
+                "capacity", "ft cycles", "ladm cycles", "ladm/ft",
+                "demand faults (ft)");
+
+    for (size_t n = 0; n < names.size(); ++n) {
+        const std::string &name = names[n];
+        const SystemConfig &cfg = cfgs[n];
+        const RunMetrics &ft = results[2 * n];
+        const RunMetrics &la = results[2 * n + 1];
 
         char cap[16];
         std::snprintf(cap, sizeof(cap), "%.2f MB/n",

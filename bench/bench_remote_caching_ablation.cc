@@ -12,8 +12,10 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Remote-caching ablation -- dynamic shared L2 [51] "
                     "on vs off (GEMM family)");
 
@@ -25,14 +27,22 @@ main()
     const std::vector<std::string> gemms = {"SQ-GEMM", "Alexnet-FC-2",
                                             "VGGnet-FC-2", "LSTM-1"};
 
+    std::vector<core::SweepCell> cells;
+    for (const auto &name : gemms) {
+        cells.push_back(cell(name, Policy::Coda, without));
+        cells.push_back(cell(name, Policy::Coda, with));
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
     std::printf("%-14s %12s %12s %9s | %12s %12s %9s\n", "workload",
                 "cyc (off)", "cyc (on)", "speedup", "remote(off)",
                 "remote(on)", "traffic");
 
     std::vector<double> speedup, traffic;
+    size_t i = 0;
     for (const auto &name : gemms) {
-        const auto off = run(name, Policy::Coda, without);
-        const auto on = run(name, Policy::Coda, with);
+        const RunMetrics &off = results[i++];
+        const RunMetrics &on = results[i++];
         const double s = static_cast<double>(off.cycles) / on.cycles;
         const double t = on.fetchRemote
                              ? static_cast<double>(off.fetchRemote) /

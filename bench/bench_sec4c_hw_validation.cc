@@ -13,8 +13,10 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Section IV-C -- LASP on a DGX-1-like 4-GPU box "
                     "(RCL ML workloads)");
 
@@ -23,14 +25,23 @@ main()
                                          "VGGnet-FC-2", "Resnet-50-FC",
                                          "LSTM-1",   "LSTM-2"};
 
+    std::vector<core::SweepCell> cells;
+    for (const auto &name : ml) {
+        cells.push_back(cell(name, Policy::KernelWide, dgx));
+        cells.push_back(cell(name, Policy::Coda, dgx));
+        cells.push_back(cell(name, Policy::LaspRtwice, dgx));
+    }
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
     std::printf("%-14s %12s %12s %12s | %10s %10s\n", "workload",
                 "kernel-wide", "CODA", "LASP", "vs CODA", "vs k-wide");
 
     std::vector<double> vs_coda, vs_kwide;
+    size_t i = 0;
     for (const auto &name : ml) {
-        const Cycles kw = run(name, Policy::KernelWide, dgx).cycles;
-        const Cycles coda = run(name, Policy::Coda, dgx).cycles;
-        const Cycles lasp = run(name, Policy::LaspRtwice, dgx).cycles;
+        const Cycles kw = results[i++].cycles;
+        const Cycles coda = results[i++].cycles;
+        const Cycles lasp = results[i++].cycles;
         vs_coda.push_back(static_cast<double>(coda) / lasp);
         vs_kwide.push_back(static_cast<double>(kw) / lasp);
         std::printf("%-14s %12llu %12llu %12llu | %9.2fx %9.2fx\n",

@@ -26,8 +26,10 @@ struct PatternProbe
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Table I -- which technique captures which pattern "
                     "(measured off-chip traffic)");
 
@@ -49,15 +51,22 @@ main()
         {"Intra-thread loc", "Kmeans-noTex", 10.0},
     };
 
+    std::vector<core::SweepCell> cells;
+    for (const auto &probe : probes)
+        for (const auto &[pname, p] : policies)
+            cells.push_back(cell(probe.workload, p, multi));
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
     std::printf("%-22s", "pattern");
     for (const auto &[name, p] : policies)
         std::printf(" %13s", name.c_str());
     std::printf("\n");
 
+    size_t idx = 0;
     for (const auto &probe : probes) {
         std::printf("%-22s", probe.pattern.c_str());
         for (const auto &[pname, p] : policies) {
-            const auto m = run(probe.workload, p, multi);
+            const RunMetrics &m = results[idx++];
             const bool captured = m.offChipPct < probe.threshold;
             std::printf("   %s (%5.1f%%)", captured ? "Y" : "n",
                         m.offChipPct);

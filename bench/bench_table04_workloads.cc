@@ -14,18 +14,28 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobsFlag(argc, argv);
+
     printHeaderLine("Table IV -- workload characterization "
                     "(as built; inputs are scaled vs the paper)");
 
     const SystemConfig multi = presets::multiGpu4x4();
 
+    // Dynamic side: one LADM run per workload for the MPKI column.
+    const auto names = workloads::allWorkloadNames();
+    std::vector<core::SweepCell> cells;
+    for (const auto &name : names)
+        cells.push_back(cell(name, Policy::Ladm, multi));
+    const std::vector<RunMetrics> results = runGrid(cells, jobs);
+
     std::printf("%-14s %-12s %-16s %-9s %8s %9s %8s\n", "workload",
                 "locality", "scheduler", "TB dim", "input MB",
                 "launched", "L2 MPKI");
 
-    for (const auto &name : workloads::allWorkloadNames()) {
+    size_t idx = 0;
+    for (const auto &name : names) {
         auto w = workloads::makeWorkload(name, benchScale());
 
         // Static side: dominant classification via the runtime pipeline.
@@ -40,9 +50,7 @@ main()
         for (const auto &a : w->allocs())
             input += a.size;
 
-        // Dynamic side: one LADM run for the MPKI column.
-        auto w2 = workloads::makeWorkload(name, benchScale());
-        const auto m = runExperiment(*w2, Policy::Ladm, multi);
+        const RunMetrics &m = results[idx++];
 
         char tbdim[24];
         std::snprintf(tbdim, sizeof(tbdim), "(%lld,%lld)",

@@ -10,6 +10,11 @@
  *
  * LADM_BENCH_SCALE (default 1.0) scales every workload's linear size;
  * use e.g. 0.5 for a quick pass.
+ *
+ * Grids run through core::SweepRunner: `--jobs N` (or LADM_BENCH_JOBS,
+ * default hardware concurrency) fans the independent experiments across
+ * worker threads. Results, printed rows, and the CSV/JSON sinks are
+ * identical at any worker count; tracing forces one worker.
  */
 
 #ifndef LADM_BENCH_BENCH_UTIL_HH
@@ -22,8 +27,11 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "config/presets.hh"
 #include "core/experiment.hh"
+#include "core/sweep_runner.hh"
 #include "telemetry/json_writer.hh"
 #include "workloads/registry.hh"
 
@@ -45,6 +53,69 @@ run(const std::string &workload, Policy policy, const SystemConfig &cfg)
 {
     auto w = workloads::makeWorkload(workload, benchScale());
     return runExperiment(*w, policy, cfg);
+}
+
+/**
+ * Parse and strip "--jobs N" / "--jobs=N" from the command line.
+ * @return the requested worker count, 0 when absent (= resolve from
+ *         LADM_BENCH_JOBS, then hardware concurrency).
+ */
+inline int
+parseJobsFlag(int &argc, char **argv)
+{
+    int jobs = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = std::atoi(argv[i] + 7);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return jobs;
+}
+
+/** One grid cell at the bench scale (SweepCell factory). */
+inline core::SweepCell
+cell(std::string workload, Policy policy, SystemConfig cfg,
+     int launches = 1)
+{
+    core::SweepCell c;
+    c.workload = std::move(workload);
+    c.policy = policy;
+    c.cfg = std::move(cfg);
+    c.launches = launches;
+    c.scale = benchScale();
+    return c;
+}
+
+/**
+ * Run a grid of cells across @p jobs workers (0 = env/hardware), with
+ * results back in cell order so the caller's print/sink loops see the
+ * serial sequence. The worker notice goes to stderr: stdout rows and
+ * the sinks stay byte-identical at any worker count.
+ */
+inline std::vector<RunMetrics>
+runGrid(const std::vector<core::SweepCell> &cells, int jobs = 0)
+{
+    core::SweepRunner::Options opts;
+    opts.jobs = jobs;
+    core::SweepRunner runner(opts);
+    if (runner.jobs() > 1) {
+        std::fprintf(stderr, "[bench] %zu runs across %d workers\n",
+                     cells.size(), runner.jobs());
+    }
+    for (const core::SweepCell &c : cells) {
+        runner.submit([c] {
+            auto w = workloads::makeWorkload(c.workload, c.scale);
+            auto bundle = makeBundle(c.policy);
+            return runExperiment(*w, *bundle, c.cfg, c.launches);
+        });
+    }
+    return runner.results();
 }
 
 inline double

@@ -5,15 +5,20 @@
  * switch-connected multi-GPU, and the full hierarchical system --
  * showing how interconnect bandwidth and hierarchy shape the NUMA
  * penalty (the Fig. 4 design space, from the API).
+ *
+ * The six shapes run concurrently through core::SweepRunner
+ * (--jobs N / LADM_BENCH_JOBS; tracing forces one worker).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "config/presets.hh"
-#include "core/experiment.hh"
+#include "core/sweep_runner.hh"
 #include "telemetry/session.hh"
-#include "workloads/registry.hh"
 
 using namespace ladm;
 
@@ -22,6 +27,18 @@ main(int argc, char **argv)
 {
     telemetry::session().configure(
         TelemetryOptions::parseArgs(argc, argv));
+
+    int jobs = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = std::atoi(argv[i] + 7);
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
     const std::string name = argc > 1 ? argv[1] : "SQ-GEMM";
 
     struct Shape
@@ -38,14 +55,24 @@ main(int argc, char **argv)
         {"hierarchical 4x4", presets::multiGpu4x4()},
     };
 
+    std::vector<core::SweepCell> cells;
+    for (const auto &s : shapes) {
+        core::SweepCell c;
+        c.workload = name;
+        c.policy = Policy::Ladm;
+        c.cfg = s.cfg;
+        cells.push_back(c);
+    }
+    const std::vector<RunMetrics> results = core::runSweep(cells, jobs);
+
     std::printf("%s under LADM across machine shapes\n\n", name.c_str());
     std::printf("%-22s %12s %9s %10s %12s\n", "machine", "cycles",
                 "vs mono", "off-chip", "inter-GPU MB");
 
     Cycles mono = 0;
-    for (const auto &s : shapes) {
-        auto w = workloads::makeWorkload(name);
-        const RunMetrics m = runExperiment(*w, Policy::Ladm, s.cfg);
+    for (size_t i = 0; i < shapes.size(); ++i) {
+        const Shape &s = shapes[i];
+        const RunMetrics &m = results[i];
         if (mono == 0)
             mono = m.cycles;
         std::printf("%-22s %12llu %8.2fx %9.1f%% %12.1f\n", s.label,

@@ -132,6 +132,26 @@ SectoredCache::probe(Addr addr) const
     return false;
 }
 
+bool
+SectoredCache::invalidateSector(Addr addr)
+{
+    const Addr line = lineBase(addr);
+    const int sector = static_cast<int>((addr - line) / kSectorSize);
+    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
+    Set &set = sets_[setIndex(line)];
+    for (auto &w : set.ways) {
+        if (!w.valid || w.tag != line)
+            continue;
+        const bool present = (w.sectorValid & sbit) != 0;
+        w.sectorValid &= static_cast<uint8_t>(~sbit);
+        w.sectorDirty &= static_cast<uint8_t>(~sbit);
+        if (w.sectorValid == 0)
+            w = Way{};
+        return present;
+    }
+    return false;
+}
+
 uint64_t
 SectoredCache::invalidateAll()
 {

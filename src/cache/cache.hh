@@ -71,6 +71,16 @@ class SectoredCache
     bool probe(Addr addr) const;
 
     /**
+     * Drop @p addr's sector if present (write-invalidate of the
+     * write-through L1s: a write must not leave a stale copy behind).
+     * Not counted as an access; a line left with no valid sectors is
+     * freed.
+     *
+     * @return true iff the sector was present.
+     */
+    bool invalidateSector(Addr addr);
+
+    /**
      * Invalidate everything (kernel-boundary software coherence of [51]).
      * @return number of dirty sectors dropped (writeback traffic).
      */

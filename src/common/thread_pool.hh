@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-size worker pool for fanning independent host-side jobs across
+ * cores. Built for the experiment sweep runner: tasks are opaque
+ * closures, submission never blocks, and wait() gives a full barrier
+ * (queue drained AND every in-flight task returned). The pool makes no
+ * ordering promise between tasks -- callers that need deterministic
+ * results write into pre-assigned slots (see core/sweep_runner.hh).
+ */
+
+#ifndef LADM_COMMON_THREAD_POOL_HH
+#define LADM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ladm
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (minimum 1). */
+    explicit ThreadPool(int threads)
+    {
+        if (threads < 1)
+            threads = 1;
+        workers_.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue @p task; returns immediately. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            queue_.push_back(std::move(task));
+        }
+        cv_.notify_one();
+    }
+
+    /** Block until every submitted task has finished. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        idle_.wait(lk, [this] {
+            return queue_.empty() && inflight_ == 0;
+        });
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk, [this] {
+                    return stop_ || !queue_.empty();
+                });
+                if (stop_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+                ++inflight_;
+            }
+            // Tasks must not throw: the sweep runner wraps every job in
+            // a catch-all that parks the exception in its result slot.
+            task();
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                --inflight_;
+            }
+            idle_.notify_all();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;   // work available / stopping
+    std::condition_variable idle_; // queue drained and nothing in flight
+    size_t inflight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace ladm
+
+#endif // LADM_COMMON_THREAD_POOL_HH

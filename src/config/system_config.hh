@@ -176,6 +176,13 @@ struct SystemConfig
      * "Batch+FT-optimal" configuration used in Fig. 4.
      */
     Cycles pageFaultCycles = 0;
+    /**
+     * Home faulted pages round-robin across the nodes (the driver-style
+     * page interleave of the CPU-NUMA playbook) instead of at the
+     * touching node. A first touch can then resolve to a *remote* home,
+     * which the L2 allocation decision must respect.
+     */
+    bool uvmFirstTouchInterleave = false;
 
     // --- derived ------------------------------------------------------------
     int numNodes() const { return numGpus * chipletsPerGpu; }

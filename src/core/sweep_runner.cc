@@ -1,0 +1,119 @@
+#include "core/sweep_runner.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "telemetry/session.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace core
+{
+
+struct SweepRunner::Slot
+{
+    RunMetrics metrics;
+    std::exception_ptr error;
+};
+
+int
+SweepRunner::resolveJobs(int requested)
+{
+    int jobs = requested;
+    if (jobs <= 0) {
+        if (const char *s = std::getenv("LADM_BENCH_JOBS"))
+            jobs = std::atoi(s);
+    }
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? static_cast<int>(hw) : 1;
+    }
+
+    const char *trace_env = std::getenv("LADM_TRACE_OUT");
+    const bool tracing =
+        telemetry::session().options().traceEnabled() ||
+        (trace_env && *trace_env);
+    if (tracing && jobs > 1) {
+        ladm_inform("sweep: tracing is enabled; the trace emitter is "
+                    "single-writer, forcing jobs=1 (requested ",
+                    jobs, ")");
+        jobs = 1;
+    }
+    return jobs;
+}
+
+SweepRunner::SweepRunner() : SweepRunner(Options()) {}
+
+SweepRunner::SweepRunner(Options opts) : jobs_(resolveJobs(opts.jobs))
+{
+    if (jobs_ > 1)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+SweepRunner::~SweepRunner()
+{
+    // Joining before the slots vector dies keeps workers off freed
+    // memory even when results() was never called.
+    if (pool_)
+        pool_->wait();
+}
+
+size_t
+SweepRunner::submit(std::function<RunMetrics()> job)
+{
+    const size_t index = slots_.size();
+    auto slot = std::make_shared<Slot>();
+    slots_.push_back(slot);
+
+    auto task = [slot = std::move(slot), job = std::move(job)] {
+        try {
+            slot->metrics = job();
+        } catch (...) {
+            slot->error = std::current_exception();
+        }
+    };
+    if (pool_)
+        pool_->submit(std::move(task));
+    else
+        task();
+    return index;
+}
+
+std::vector<RunMetrics>
+SweepRunner::results()
+{
+    if (pool_)
+        pool_->wait();
+
+    for (const auto &slot : slots_) {
+        if (slot->error)
+            std::rethrow_exception(slot->error);
+    }
+    std::vector<RunMetrics> out;
+    out.reserve(slots_.size());
+    for (const auto &slot : slots_)
+        out.push_back(std::move(slot->metrics));
+    slots_.clear();
+    return out;
+}
+
+std::vector<RunMetrics>
+runSweep(const std::vector<SweepCell> &cells, int jobs)
+{
+    SweepRunner runner({jobs});
+    for (const SweepCell &cell : cells) {
+        runner.submit([cell] {
+            auto w = workloads::makeWorkload(cell.workload, cell.scale);
+            auto bundle = makeBundle(cell.policy);
+            return runExperiment(*w, *bundle, cell.cfg, cell.launches);
+        });
+    }
+    return runner.results();
+}
+
+} // namespace core
+} // namespace ladm

@@ -8,7 +8,9 @@ namespace ladm
 {
 
 MemorySystem::MemorySystem(const SystemConfig &cfg)
-    : cfg_(cfg), pageTable_(cfg.pageSize), uvm_(cfg.pageFaultCycles),
+    : cfg_(cfg), pageTable_(cfg.pageSize),
+      uvm_(cfg.pageFaultCycles,
+           cfg.uvmFirstTouchInterleave ? cfg.numNodes() : 1),
       net_(makeNetwork(cfg)),
       migration_(cfg.migrationThreshold, cfg.migrationLatencyCycles,
                  cfg.pageSize)
@@ -119,14 +121,17 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     addr = sectorBase(addr);
     const NodeId node = cfg_.nodeOfSm(sm);
 
-    // L1: reads allocate; writes are write-through no-allocate (GPU L1s
-    // do not hold dirty global data).
+    // L1: reads allocate; writes are write-through no-allocate with
+    // write-invalidate (GPU L1s do not hold dirty global data, and a
+    // matching sector must not serve stale data to later reads).
     if (!write) {
         ++l1Accesses_;
         if (l1_[sm].access(addr, false, true) == AccessResult::Hit) {
             ++l1Hits_;
             return now + cfg_.l1LatencyCycles;
         }
+    } else {
+        l1_[sm].invalidateSector(addr);
     }
     Cycles delay = cfg_.l1LatencyCycles;
 
@@ -148,24 +153,33 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         pend.erase(it);
     }
 
+    // Translate before the requester-side L2 decision: whether this L2
+    // may hold the line depends on where the page *actually* homes, so
+    // a first touch must resolve (and possibly fault) the home up
+    // front. Deciding from the pre-fault lookup wrongly allocated
+    // remote-homed first-touch lines in the requester's L2 even with
+    // remote caching off. A hit on an unmapped page is impossible (a
+    // line only enters the L2 through this miss path, which maps the
+    // page), so the fault stall charged on the hit return is zero in
+    // practice.
+    const NodeId mapped_home = pageTable_.lookup(addr);
+    Cycles fault_stall = 0;
+    const NodeId home =
+        mapped_home != kInvalidNode
+            ? mapped_home
+            : uvm_.touch(pageTable_, addr, node, fault_stall);
+
     // Requester-side L2: the dynamic shared L2 [51] caches whatever its
     // own SMs touch; without remote caching it only holds local-homed
     // lines (memory-side L2).
-    const NodeId mapped_home = pageTable_.lookup(addr);
-    const bool req_alloc = cfg_.remoteCachingL2 ||
-                           mapped_home == kInvalidNode ||
-                           mapped_home == node;
+    const bool req_alloc = cfg_.remoteCachingL2 || home == node;
     EvictInfo ev;
     const AccessResult r2 = l2_[node].access(addr, write, req_alloc, &ev);
     if (r2 == AccessResult::Hit) {
-        const NodeId home =
-            mapped_home == kInvalidNode ? node : mapped_home;
         countClass(node, home, node, true);
-        return now + delay + cfg_.l2LatencyCycles;
+        return now + delay + fault_stall + cfg_.l2LatencyCycles;
     }
 
-    Cycles fault_stall = 0;
-    const NodeId home = uvm_.touch(pageTable_, addr, node, fault_stall);
     delay += fault_stall + cfg_.l2LatencyCycles;
     countClass(node, home, node, false);
     handleEviction(now, node, ev);
@@ -453,6 +467,12 @@ MemorySystem::resetStats()
         c.resetStats();
     for (auto &c : l2_)
         c.resetStats();
+    // Outstanding-miss state belongs to the measurement window: a stale
+    // completion time surviving into the next window would satisfy
+    // merges with timestamps from the previous one.
+    for (auto &p : pending_)
+        p.clear();
+    pendingSweepAt_.assign(pendingSweepAt_.size(), 1u << 20);
     // Note: bandwidth servers and the network keep cumulative byte counts;
     // they are owned per-experiment so a fresh MemorySystem is the usual
     // way to reset them fully.

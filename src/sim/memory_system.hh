@@ -131,7 +131,11 @@ class MemorySystem
         return host_ ? host_->evictions() : 0;
     }
 
-    /** Reset all statistics (not cache contents). */
+    /**
+     * Reset all statistics and the outstanding-miss (MSHR) tracking --
+     * a completion time from a previous measurement window must not
+     * satisfy merges in the next one. Cache *contents* survive.
+     */
     void resetStats();
 
   private:

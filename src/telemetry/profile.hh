@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -22,6 +23,12 @@ namespace ladm
 namespace telemetry
 {
 
+/**
+ * add() is mutex-guarded so sweep workers can time phases
+ * concurrently; the read side (phases(), report(), the stats-JSON
+ * fold) must run with no experiment in flight -- the same contract as
+ * telemetry::Session.
+ */
 class PhaseProfiler
 {
   public:
@@ -34,19 +41,31 @@ class PhaseProfiler
     void
     add(const std::string &phase, double seconds)
     {
+        std::lock_guard<std::mutex> lk(mu_);
         Phase &p = phases_[phase];
         p.seconds += seconds;
         ++p.calls;
     }
 
     const std::map<std::string, Phase> &phases() const { return phases_; }
-    bool empty() const { return phases_.empty(); }
-    void clear() { phases_.clear(); }
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return phases_.empty();
+    }
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        phases_.clear();
+    }
 
     /** One line per phase: name, total seconds, calls, mean ms. */
     void report(std::ostream &os) const;
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, Phase> phases_;
 };
 

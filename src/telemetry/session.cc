@@ -67,6 +67,7 @@ Session::recordRun(RunRecord rec)
 {
     if (!statsActive())
         return;
+    std::lock_guard<std::mutex> lk(runsMu_);
     runs_.push_back(std::move(rec));
 }
 
@@ -197,7 +198,10 @@ void
 Session::resetForTest()
 {
     opts_ = TelemetryOptions{};
-    runs_.clear();
+    {
+        std::lock_guard<std::mutex> lk(runsMu_);
+        runs_.clear();
+    }
     profiler_.clear();
     tracer_.enable(false);
     tracer_.clear();

@@ -12,6 +12,7 @@
 #ifndef LADM_TELEMETRY_SESSION_HH
 #define LADM_TELEMETRY_SESSION_HH
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,17 @@ struct RunRecord
     Snapshot final;
 };
 
+/**
+ * Thread-safety contract (the sweep runner fans runExperiment() across
+ * worker threads): recordRun() and numRuns() are mutex-guarded and may
+ * be called concurrently; with jobs > 1 the run *order* in the stats
+ * document follows completion order. The phase profiler is likewise
+ * safe (see profile.hh). Everything else -- configure(), finalize(),
+ * resetForTest(), writeStatsJson() -- must run with no experiment in
+ * flight (before a sweep starts or after it joins). The trace emitter
+ * is single-writer: SweepRunner::resolveJobs() forces serial execution
+ * whenever tracing is armed.
+ */
 class Session
 {
   public:
@@ -67,8 +79,14 @@ class Session
     TraceEmitter &traceEmitter() { return tracer_; }
     PhaseProfiler &phaseProfiler() { return profiler_; }
 
+    /** Append one run's record; safe to call from sweep workers. */
     void recordRun(RunRecord rec);
-    size_t numRuns() const { return runs_.size(); }
+    size_t
+    numRuns() const
+    {
+        std::lock_guard<std::mutex> lk(runsMu_);
+        return runs_.size();
+    }
 
     /** Write every configured sink; idempotent until reconfigured. */
     void finalize();
@@ -85,6 +103,8 @@ class Session
     TelemetryOptions opts_;
     TraceEmitter tracer_;
     PhaseProfiler profiler_;
+    /** Guards runs_ against concurrent sweep workers. */
+    mutable std::mutex runsMu_;
     std::vector<RunRecord> runs_;
     bool finalized_ = false;
     bool atexitRegistered_ = false;

@@ -170,6 +170,62 @@ TEST_F(MemorySystemTest, WritesAreWriteThroughL1)
     EXPECT_GE(mem_.l2(2).accesses(), 2u);
 }
 
+// Regression: the requester-side L2 allocation decision must see the
+// *resolved* home, not the pre-fault page-table lookup. With remote
+// caching off and first-touch pages interleaved across nodes, a cold
+// access whose page homes remotely used to slip into the requester's
+// (memory-side) L2 because the pre-fault lookup returned "unmapped".
+TEST_F(MemorySystemTest, ColdRemoteFirstTouchRespectsMemorySideL2)
+{
+    auto cfg = presets::multiGpu4x4();
+    cfg.remoteCachingL2 = false;
+    cfg.uvmFirstTouchInterleave = true;
+    MemorySystem mem(cfg);
+
+    // Page 0x50 homes at 0x50 % 16 == node 0; touch it from node 2.
+    const Addr addr = 0x50000;
+    EXPECT_FALSE(mem.pageTable().isMapped(addr));
+    mem.access(0, smOf(2), addr, false);
+
+    EXPECT_EQ(mem.pageTable().lookup(addr), 0);
+    EXPECT_EQ(mem.fetchRemote(), 1u);
+    // Memory-side L2: only the home may hold the line.
+    EXPECT_FALSE(mem.l2(2).probe(addr));
+    EXPECT_TRUE(mem.l2(0).probe(addr)); // RTWICE caches at home
+}
+
+// Regression: resetStats() must drop the outstanding-miss (MSHR) maps.
+// A completion time recorded before the reset used to satisfy merges in
+// the next measurement window, handing out a stale (huge) timestamp.
+TEST_F(MemorySystemTest, ResetStatsDropsPendingMisses)
+{
+    mem_.pageTable().place(0x10000, 4096, 9);
+    const Cycles t1 = mem_.access(0, smOf(2), 0x10000, false);
+    ASSERT_GT(t1, 300u); // the remote fetch is genuinely in flight
+
+    mem_.resetStats();
+
+    // A different SM asks "while the old fetch would still be in
+    // flight". The L2 line survives the reset, so this must be a cheap
+    // L2 hit -- not a merge against the previous window's completion.
+    const Cycles t2 = mem_.access(1, smOf(2) + 3, 0x10000, false);
+    EXPECT_EQ(mem_.mshrMerges(), 0u);
+    EXPECT_LT(t2, t1);
+}
+
+// Regression: a write used to skip the L1 entirely (write-through
+// no-allocate), leaving a previously-read copy of the sector stale. The
+// write must invalidate the matching L1 sector so the next read refetches.
+TEST_F(MemorySystemTest, WriteInvalidatesL1Sector)
+{
+    mem_.pageTable().place(0x10000, 4096, 2);
+    const Cycles t1 = mem_.access(0, smOf(2), 0x10000, false); // fills L1
+    mem_.access(t1, smOf(2), 0x10000, true);                   // must drop it
+    mem_.access(t1 + 1000, smOf(2), 0x10000, false);           // refetch
+    EXPECT_EQ(mem_.l1Hits(), 0u);
+    EXPECT_EQ(mem_.l1Accesses(), 2u); // writes don't count as L1 accesses
+}
+
 TEST_F(MemorySystemTest, MonolithicNeverGoesOffChip)
 {
     auto cfg = presets::monolithic256();
