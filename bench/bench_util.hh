@@ -15,6 +15,13 @@
  * default hardware concurrency) fans the independent experiments across
  * worker threads. Results, printed rows, and the CSV/JSON sinks are
  * identical at any worker count; tracing forces one worker.
+ *
+ * Robustness flags, stripped by parseJobsFlag() so every bench gets
+ * them for free:
+ *   --check               arm the ladm::check invariant suite (LADM_CHECK)
+ *   --continue-on-error   a failing grid point becomes an error row in
+ *                         the sinks and the sweep proceeds
+ *                         (LADM_BENCH_CONTINUE)
  */
 
 #ifndef LADM_BENCH_BENCH_UTIL_HH
@@ -29,6 +36,7 @@
 
 #include <cstring>
 
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "core/experiment.hh"
 #include "core/sweep_runner.hh"
@@ -39,6 +47,21 @@ namespace ladm
 {
 namespace bench
 {
+
+/**
+ * Continue-on-error mode (--continue-on-error / LADM_BENCH_CONTINUE):
+ * runGrid() records a failing cell's error in its RunMetrics row instead
+ * of rethrowing.
+ */
+inline bool &
+continueOnError()
+{
+    static bool on = [] {
+        const char *v = std::getenv("LADM_BENCH_CONTINUE");
+        return v && *v && std::strcmp(v, "0") != 0;
+    }();
+    return on;
+}
 
 inline double
 benchScale()
@@ -56,7 +79,9 @@ run(const std::string &workload, Policy policy, const SystemConfig &cfg)
 }
 
 /**
- * Parse and strip "--jobs N" / "--jobs=N" from the command line.
+ * Parse and strip "--jobs N" / "--jobs=N" from the command line, plus
+ * the robustness flags "--check" (arms the invariant suite) and
+ * "--continue-on-error" (error rows instead of sweep death).
  * @return the requested worker count, 0 when absent (= resolve from
  *         LADM_BENCH_JOBS, then hardware concurrency).
  */
@@ -70,6 +95,10 @@ parseJobsFlag(int &argc, char **argv)
             jobs = std::atoi(argv[++i]);
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             jobs = std::atoi(argv[i] + 7);
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check::setEnabled(true);
+        } else if (std::strcmp(argv[i], "--continue-on-error") == 0) {
+            continueOnError() = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -112,22 +141,32 @@ runGrid(const std::vector<core::SweepCell> &cells, int jobs = 0)
         runner.submit([c] {
             auto w = workloads::makeWorkload(c.workload, c.scale);
             auto bundle = makeBundle(c.policy);
-            return runExperiment(*w, *bundle, c.cfg, c.launches);
+            RunMetrics m = runExperiment(*w, *bundle, c.cfg, c.launches);
+            return m;
         });
     }
-    return runner.results();
+    if (!continueOnError())
+        return runner.results();
+
+    std::vector<RunMetrics> out = runner.outcomes();
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (!out[i].failed())
+            continue;
+        // Identify the failed cell even though runExperiment never got
+        // to stamp the labels.
+        if (out[i].workload.empty())
+            out[i].workload = cells[i].workload;
+        if (out[i].system.empty())
+            out[i].system = cells[i].cfg.name;
+        std::fprintf(stderr, "[bench] cell %zu (%s on %s) failed: %s\n",
+                     i, out[i].workload.c_str(), out[i].system.c_str(),
+                     out[i].error.c_str());
+    }
+    return out;
 }
 
-inline double
-geomean(const std::vector<double> &v)
-{
-    if (v.empty())
-        return 0.0;
-    double s = 0.0;
-    for (const double x : v)
-        s += std::log(x);
-    return std::exp(s / static_cast<double>(v.size()));
-}
+// Cross-workload aggregation uses the NaN-safe ladm::geomean / ladm::mean
+// from core/metrics.hh (previously a private copy lived here).
 
 /** The locality-class section labels of Figs. 9/10, in Table IV order. */
 inline const std::vector<std::pair<std::string, std::vector<std::string>>> &
@@ -236,10 +275,13 @@ class BenchJsonSink
         w.key("runs");
         w.beginArray();
         uint64_t total_cycles = 0, total_local = 0, total_remote = 0;
+        uint64_t failed_runs = 0;
         for (const RunMetrics &m : runs_) {
             total_cycles += m.cycles;
             total_local += m.fetchLocal;
             total_remote += m.fetchRemote;
+            if (m.failed())
+                ++failed_runs;
             w.beginObject();
             w.kv("workload", m.workload);
             w.kv("policy", m.policy);
@@ -270,12 +312,21 @@ class BenchJsonSink
             w.kv("l1_hit_rate", m.l1HitRate);
             w.kv("l2_hit_rate", m.l2HitRate);
             w.kv("l2_mpki", m.l2Mpki);
+            if (m.rehomedPages || m.failedNodeAccesses) {
+                w.kv("rehomed_pages",
+                     static_cast<double>(m.rehomedPages));
+                w.kv("failed_node_accesses",
+                     static_cast<double>(m.failedNodeAccesses));
+            }
+            if (m.failed())
+                w.kv("error", m.error);
             w.endObject();
         }
         w.endArray();
         w.key("summary");
         w.beginObject();
         w.kv("num_runs", static_cast<double>(runs_.size()));
+        w.kv("failed_runs", static_cast<double>(failed_runs));
         w.kv("total_cycles", static_cast<double>(total_cycles));
         w.kv("total_fetch_local", static_cast<double>(total_local));
         w.kv("total_fetch_remote", static_cast<double>(total_remote));

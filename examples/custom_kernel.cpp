@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "runtime/ladm_runtime.hh"
 
@@ -19,7 +20,7 @@ using namespace ladm;
 using namespace ladm::dsl;
 
 int
-main()
+runExample()
 {
     // 1. Describe the kernel: one access expression per global load or
     //    store, in prime components (Fig. 6 of the paper).
@@ -83,4 +84,13 @@ main()
     }
     std::printf("\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --check arms the invariant suite; runMain renders a SimError as a
+    // structured report instead of an unhandled-exception backtrace.
+    ladm::check::parseArgs(argc, argv);
+    return ladm::check::runMain([&] { return runExample(); });
 }

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "compiler/parser.hh"
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "runtime/ladm_runtime.hh"
 
@@ -38,7 +39,7 @@ kernel sgemm(A, B, C) {
 } // namespace
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     std::string source = kDefaultKernel;
     if (argc > 1) {
@@ -117,4 +118,13 @@ main(int argc, char **argv)
     for (const auto &n : plan.notes)
         std::printf("  placement: %s\n", n.c_str());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --check arms the invariant suite; runMain renders a SimError as a
+    // structured report instead of an unhandled-exception backtrace.
+    ladm::check::parseArgs(argc, argv);
+    return ladm::check::runMain([&] { return runExample(argc, argv); });
 }

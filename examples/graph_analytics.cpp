@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "core/experiment.hh"
 #include "workloads/registry.hh"
@@ -15,7 +16,7 @@
 using namespace ladm;
 
 int
-main()
+runExample()
 {
     const SystemConfig multi = presets::multiGpu4x4();
 
@@ -56,4 +57,13 @@ main()
                 "copies of remote data only displace useful lines.\n",
                 toString(crb.insertPolicy));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --check arms the invariant suite; runMain renders a SimError as a
+    // structured report instead of an unhandled-exception backtrace.
+    ladm::check::parseArgs(argc, argv);
+    return ladm::check::runMain([&] { return runExample(); });
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "core/experiment.hh"
 #include "mem/placement.hh"
@@ -62,7 +63,7 @@ class HandTunedGemm : public PolicyBundle
 } // namespace
 
 int
-main()
+runExample()
 {
     const SystemConfig multi = presets::multiGpu4x4();
 
@@ -99,4 +100,13 @@ main()
                     100.0 * (1.0 / vs_hand - 1.0));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --check arms the invariant suite; runMain renders a SimError as a
+    // structured report instead of an unhandled-exception backtrace.
+    ladm::check::parseArgs(argc, argv);
+    return ladm::check::runMain([&] { return runExample(); });
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "core/experiment.hh"
 #include "telemetry/session.hh"
@@ -23,7 +24,7 @@
 using namespace ladm;
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     telemetry::session().configure(
         TelemetryOptions::parseArgs(argc, argv));
@@ -83,4 +84,13 @@ main(int argc, char **argv)
 
     telemetry::session().finalize();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --check arms the invariant suite; runMain renders a SimError as a
+    // structured report instead of an unhandled-exception backtrace.
+    ladm::check::parseArgs(argc, argv);
+    return ladm::check::runMain([&] { return runExample(argc, argv); });
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hh"
 #include "config/presets.hh"
 #include "core/sweep_runner.hh"
 #include "telemetry/session.hh"
@@ -23,7 +24,7 @@
 using namespace ladm;
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     telemetry::session().configure(
         TelemetryOptions::parseArgs(argc, argv));
@@ -94,4 +95,13 @@ main(int argc, char **argv)
                 "one, e.g. %s PageRank)\n", argv[0]);
     telemetry::session().finalize();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --check arms the invariant suite; runMain renders a SimError as a
+    // structured report instead of an unhandled-exception backtrace.
+    ladm::check::parseArgs(argc, argv);
+    return ladm::check::runMain([&] { return runExample(argc, argv); });
 }

@@ -1,0 +1,346 @@
+#include "check/fault_plan.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "config/system_config.hh"
+
+namespace ladm
+{
+namespace check
+{
+
+namespace
+{
+
+/** Split @p s on @p sep, keeping empty pieces (they are parse errors). */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+bool
+parseInt(const std::string &s, int &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (*end != '\0' || v < 0)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseCycle(const std::string &s, Cycles &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (*end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseFactor(const std::string &s, double &out)
+{
+    if (s == "sever" || s == "fail") {
+        out = 0.0;
+        return true;
+    }
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (*end != '\0' || v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Render a factor canonically ("sever" for 0, %g otherwise). */
+std::string
+factorToString(double f)
+{
+    if (f == 0.0)
+        return "sever";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", f);
+    return buf;
+}
+
+Diagnostic
+badEvent(size_t index, const std::string &text, std::string constraint,
+         std::string hint)
+{
+    Diagnostic d;
+    d.field = "faultSpec[" + std::to_string(index) + "]";
+    d.value = text;
+    d.constraint = std::move(constraint);
+    d.hint = std::move(hint);
+    return d;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+
+    std::vector<Diagnostic> diags;
+    const std::vector<std::string> events = split(spec, ';');
+    for (size_t i = 0; i < events.size(); ++i) {
+        const std::string &text = events[i];
+        // <kind>:<target>:<factor>@<cycle>
+        const std::vector<std::string> parts = split(text, ':');
+        if (parts.size() != 3) {
+            diags.push_back(badEvent(
+                i, text, "event needs kind:target:factor@cycle",
+                "e.g. link:0-1:0.5@1000 or chiplet:3:fail@0"));
+            continue;
+        }
+        const std::vector<std::string> tail = split(parts[2], '@');
+        if (tail.size() != 2) {
+            diags.push_back(badEvent(i, text,
+                                     "missing '@<cycle>' activation",
+                                     "append @0 for a fault active from "
+                                     "launch"));
+            continue;
+        }
+
+        FaultEvent ev;
+        if (!parseFactor(tail[0], ev.factor)) {
+            diags.push_back(badEvent(
+                i, text, "factor must be in [0,1], 'sever' or 'fail'",
+                "use the remaining bandwidth fraction, e.g. 0.25"));
+            continue;
+        }
+        if (!parseCycle(tail[1], ev.atCycle)) {
+            diags.push_back(badEvent(i, text,
+                                     "activation cycle must be a "
+                                     "non-negative integer",
+                                     "e.g. @1000"));
+            continue;
+        }
+
+        if (parts[0] == "link") {
+            ev.kind = FaultEvent::Kind::InterGpuLink;
+            const std::vector<std::string> pair = split(parts[1], '-');
+            if (pair.size() != 2 || !parseInt(pair[0], ev.a) ||
+                !parseInt(pair[1], ev.b) || ev.a == ev.b) {
+                diags.push_back(badEvent(
+                    i, text,
+                    "link target must be two distinct GPU ids 'a-b'",
+                    "e.g. link:0-1:0.5@0"));
+                continue;
+            }
+        } else if (parts[0] == "ring") {
+            ev.kind = FaultEvent::Kind::Ring;
+            if (!parseInt(parts[1], ev.a)) {
+                diags.push_back(badEvent(i, text,
+                                         "ring target must be a GPU id",
+                                         "e.g. ring:0:0.5@0"));
+                continue;
+            }
+        } else if (parts[0] == "chiplet") {
+            ev.kind = FaultEvent::Kind::Chiplet;
+            ev.factor = 0.0;
+            if (!parseInt(parts[1], ev.a)) {
+                diags.push_back(badEvent(
+                    i, text, "chiplet target must be a node id",
+                    "e.g. chiplet:3:fail@0"));
+                continue;
+            }
+            if (tail[0] != "fail") {
+                diags.push_back(badEvent(
+                    i, text, "chiplet faults only support 'fail'",
+                    "partial HBM degradation is not modeled; use "
+                    "ring/link factors instead"));
+                continue;
+            }
+        } else {
+            diags.push_back(badEvent(
+                i, text, "unknown fault kind '" + parts[0] + "'",
+                "one of: link, ring, chiplet"));
+            continue;
+        }
+        plan.events_.push_back(ev);
+    }
+
+    if (!diags.empty()) {
+        throw SimError(SimError::Kind::Fault,
+                       "fault spec '" + spec + "' did not parse",
+                       std::move(diags));
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::toSpec() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < events_.size(); ++i) {
+        const FaultEvent &ev = events_[i];
+        if (i)
+            os << ';';
+        switch (ev.kind) {
+          case FaultEvent::Kind::InterGpuLink:
+            os << "link:" << ev.a << '-' << ev.b << ':'
+               << factorToString(ev.factor);
+            break;
+          case FaultEvent::Kind::Ring:
+            os << "ring:" << ev.a << ':' << factorToString(ev.factor);
+            break;
+          case FaultEvent::Kind::Chiplet:
+            os << "chiplet:" << ev.a << ":fail";
+            break;
+        }
+        os << '@' << ev.atCycle;
+    }
+    return os.str();
+}
+
+double
+FaultPlan::interGpuFactor(Cycles now, GpuId a, GpuId b) const
+{
+    double f = 1.0;
+    for (const FaultEvent &ev : events_) {
+        if (ev.kind != FaultEvent::Kind::InterGpuLink || now < ev.atCycle)
+            continue;
+        if ((ev.a == a && ev.b == b) || (ev.a == b && ev.b == a))
+            f *= ev.factor;
+    }
+    return f;
+}
+
+double
+FaultPlan::ringFactor(Cycles now, GpuId g) const
+{
+    double f = 1.0;
+    for (const FaultEvent &ev : events_) {
+        if (ev.kind == FaultEvent::Kind::Ring && ev.a == g &&
+            now >= ev.atCycle) {
+            f *= ev.factor;
+        }
+    }
+    return f;
+}
+
+bool
+FaultPlan::nodeFailed(Cycles now, NodeId n) const
+{
+    for (const FaultEvent &ev : events_) {
+        if (ev.kind == FaultEvent::Kind::Chiplet && ev.a == n &&
+            now >= ev.atCycle) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultPlan::anyChipletFaults() const
+{
+    for (const FaultEvent &ev : events_) {
+        if (ev.kind == FaultEvent::Kind::Chiplet)
+            return true;
+    }
+    return false;
+}
+
+NodeId
+FaultPlan::fallbackNode(Cycles now, NodeId failed,
+                        const SystemConfig &cfg) const
+{
+    // Same GPU first (ring hop beats switch crossing), then global scan.
+    const GpuId gpu = cfg.gpuOfNode(failed);
+    for (int c = 1; c < cfg.chipletsPerGpu; ++c) {
+        const NodeId n = cfg.nodeOf(
+            gpu, (cfg.chipletOfNode(failed) + c) % cfg.chipletsPerGpu);
+        if (!nodeFailed(now, n))
+            return n;
+    }
+    const int nodes = cfg.numNodes();
+    for (int i = 1; i < nodes; ++i) {
+        const NodeId n = static_cast<NodeId>((failed + i) % nodes);
+        if (!nodeFailed(now, n))
+            return n;
+    }
+    throw SimError(SimError::Kind::Fault,
+                   "every chiplet has failed; no node left to re-home "
+                   "pages onto",
+                   {{"faultSpec", toSpec(),
+                     "at least one chiplet must stay healthy",
+                     "drop one chiplet:N:fail event"}});
+}
+
+std::vector<Diagnostic>
+FaultPlan::validateAgainst(const SystemConfig &cfg) const
+{
+    std::vector<Diagnostic> diags;
+    int failed_everywhere = 0;
+    std::vector<bool> failed(cfg.numNodes(), false);
+    for (size_t i = 0; i < events_.size(); ++i) {
+        const FaultEvent &ev = events_[i];
+        const std::string field = "faultSpec[" + std::to_string(i) + "]";
+        switch (ev.kind) {
+          case FaultEvent::Kind::InterGpuLink:
+            if (ev.a >= cfg.numGpus || ev.b >= cfg.numGpus) {
+                diags.push_back({field,
+                                 std::to_string(ev.a) + "-" +
+                                     std::to_string(ev.b),
+                                 "GPU ids must be < numGpus (" +
+                                     std::to_string(cfg.numGpus) + ")",
+                                 "fix the link endpoints"});
+            }
+            break;
+          case FaultEvent::Kind::Ring:
+            if (ev.a >= cfg.numGpus) {
+                diags.push_back({field, std::to_string(ev.a),
+                                 "GPU id must be < numGpus (" +
+                                     std::to_string(cfg.numGpus) + ")",
+                                 "fix the ring target"});
+            }
+            break;
+          case FaultEvent::Kind::Chiplet:
+            if (ev.a >= cfg.numNodes()) {
+                diags.push_back({field, std::to_string(ev.a),
+                                 "node id must be < numNodes (" +
+                                     std::to_string(cfg.numNodes()) + ")",
+                                 "fix the chiplet target"});
+            } else if (!failed[ev.a]) {
+                failed[ev.a] = true;
+                ++failed_everywhere;
+            }
+            break;
+        }
+    }
+    if (failed_everywhere == cfg.numNodes() && cfg.numNodes() > 0) {
+        diags.push_back({"faultSpec", toSpec(),
+                         "at least one chiplet must stay healthy",
+                         "drop one chiplet:N:fail event"});
+    }
+    return diags;
+}
+
+} // namespace check
+} // namespace ladm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * FaultPlan: scripted NUMA-fabric fault injection.
+ *
+ * Chiplet systems degrade asymmetrically in practice -- an inter-GPU
+ * link trains down to a fraction of its lanes, a package ring loses a
+ * lane, an HBM stack drops out. A FaultPlan is a list of such events,
+ * each activating at a simulated cycle, parsed from a compact spec
+ * string carried in SystemConfig::faultSpec so fault scenarios flow
+ * through presets, sweep grids and the CSV/JSON sinks like any other
+ * config knob.
+ *
+ * Spec grammar (events joined by ';'):
+ *
+ *   link:<gpuA>-<gpuB>:<factor>@<cycle>   inter-GPU link degradation
+ *   ring:<gpu>:<factor>@<cycle>           intra-GPU chiplet-ring degradation
+ *   chiplet:<node>:fail@<cycle>           chiplet's HBM stack drops out
+ *
+ * <factor> is the remaining bandwidth fraction in [0,1]; the word
+ * "sever" means 0 (the link is cut; residual traffic crawls over the
+ * maintenance path at kSeveredResidualFactor). Example:
+ *
+ *   "link:0-1:0.25@1000;chiplet:5:fail@0"
+ *
+ * The interconnect models consult the plan on every routed transfer;
+ * MemorySystem re-homes pages off failed chiplets and the schedulers
+ * re-bind their threadblocks when SystemConfig::faultDegradation is on
+ * (LASP's graceful-degradation mode).
+ */
+
+#ifndef LADM_CHECK_FAULT_PLAN_HH
+#define LADM_CHECK_FAULT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "common/types.hh"
+
+namespace ladm
+{
+
+struct SystemConfig;
+
+namespace check
+{
+
+/**
+ * Residual bandwidth fraction applied to traffic that insists on
+ * crossing a severed link / failed stack (retry-and-crawl maintenance
+ * path). Keeps severed timing finite so the no-degradation ablation
+ * still completes -- slowly -- instead of dividing by zero.
+ */
+constexpr double kSeveredResidualFactor = 1.0 / 64.0;
+
+struct FaultEvent
+{
+    enum class Kind
+    {
+        InterGpuLink, ///< a-b inter-GPU link (unordered pair)
+        Ring,         ///< GPU a's chiplet ring
+        Chiplet,      ///< node a's HBM stack fails (factor ignored)
+    };
+
+    Kind kind = Kind::InterGpuLink;
+    int a = -1;
+    int b = -1;
+    /** Remaining bandwidth fraction in [0,1]; 0 = severed/failed. */
+    double factor = 1.0;
+    /** Cycle at which the fault activates (active from then on). */
+    Cycles atCycle = 0;
+};
+
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse a spec string (see grammar above).
+     * @throws SimError(Kind::Fault) with one Diagnostic per bad event.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Canonical spec string; parse(toSpec()) round-trips. */
+    std::string toSpec() const;
+
+    bool empty() const { return events_.empty(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /**
+     * Combined remaining-bandwidth fraction of the a<->b inter-GPU link
+     * at @p now (events multiply; 1.0 = healthy, 0.0 = severed).
+     */
+    double interGpuFactor(Cycles now, GpuId a, GpuId b) const;
+
+    /** Combined remaining fraction of GPU @p g's chiplet ring at @p now. */
+    double ringFactor(Cycles now, GpuId g) const;
+
+    /** True when node @p n's HBM stack has failed by @p now. */
+    bool nodeFailed(Cycles now, NodeId n) const;
+
+    /** True when any chiplet-failure event exists (any activation cycle). */
+    bool anyChipletFaults() const;
+
+    /**
+     * Deterministic healthy re-home target for a failed node: the next
+     * healthy chiplet on the same GPU, else the next healthy node
+     * globally (wrapping).
+     * @throws SimError(Kind::Fault) when every node has failed.
+     */
+    NodeId fallbackNode(Cycles now, NodeId failed,
+                        const SystemConfig &cfg) const;
+
+    /**
+     * Check every event against the machine shape: ids in range,
+     * factors in [0,1], at least one chiplet left standing.
+     * @return one Diagnostic per violation (empty = plan is valid).
+     */
+    std::vector<Diagnostic> validateAgainst(const SystemConfig &cfg) const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace check
+} // namespace ladm
+
+#endif // LADM_CHECK_FAULT_PLAN_HH

@@ -1,0 +1,96 @@
+#include "check/invariants.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace ladm
+{
+namespace check
+{
+
+namespace
+{
+
+bool
+envEnabled()
+{
+    const char *v = std::getenv("LADM_CHECK");
+    return v && *v && std::strcmp(v, "0") != 0;
+}
+
+uint64_t
+envWatchdog()
+{
+    if (const char *v = std::getenv("LADM_CHECK_WATCHDOG")) {
+        const unsigned long long n = std::strtoull(v, nullptr, 10);
+        if (n > 0)
+            return n;
+    }
+    // A healthy kernel advances time every O(warp-slot) events; one
+    // million zero-progress events is far past any legitimate burst of
+    // same-cycle wakeups yet fires within a second of wall-clock.
+    return 1'000'000;
+}
+
+bool g_enabled = envEnabled();
+uint64_t g_watchdog = envWatchdog();
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled;
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled = on;
+}
+
+uint64_t
+watchdogLimit()
+{
+    return g_watchdog;
+}
+
+void
+setWatchdogLimit(uint64_t events)
+{
+    g_watchdog = events ? events : 1;
+}
+
+void
+parseArgs(int &argc, char **argv)
+{
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            setEnabled(true);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+}
+
+int
+runMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "%s", e.report().c_str());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace check
+} // namespace ladm

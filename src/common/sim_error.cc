@@ -1,0 +1,68 @@
+#include "common/sim_error.hh"
+
+#include <sstream>
+
+namespace ladm
+{
+
+std::string
+toString(const Diagnostic &d)
+{
+    std::ostringstream os;
+    os << d.field;
+    if (!d.value.empty())
+        os << " = " << d.value;
+    if (!d.constraint.empty())
+        os << ": " << d.constraint;
+    if (!d.hint.empty())
+        os << " (fix: " << d.hint << ")";
+    return os.str();
+}
+
+const char *
+toString(SimError::Kind k)
+{
+    switch (k) {
+      case SimError::Kind::Config:
+        return "config";
+      case SimError::Kind::Usage:
+        return "usage";
+      case SimError::Kind::Invariant:
+        return "invariant";
+      case SimError::Kind::Fault:
+        return "fault";
+    }
+    return "?";
+}
+
+std::string
+SimError::buildWhat(Kind kind, const std::string &summary,
+                    const std::vector<Diagnostic> &diags)
+{
+    // what() is single-line (exception messages get logged as one row);
+    // report() is the multi-line form.
+    std::ostringstream os;
+    os << "[" << toString(kind) << "] " << summary;
+    for (const Diagnostic &d : diags)
+        os << "; " << toString(d);
+    return os.str();
+}
+
+SimError::SimError(Kind kind, std::string summary,
+                   std::vector<Diagnostic> diags)
+    : std::runtime_error(buildWhat(kind, summary, diags)), kind_(kind),
+      summary_(std::move(summary)), diags_(std::move(diags))
+{
+}
+
+std::string
+SimError::report() const
+{
+    std::ostringstream os;
+    os << toString(kind_) << " error: " << summary_ << "\n";
+    for (const Diagnostic &d : diags_)
+        os << "  - " << toString(d) << "\n";
+    return os.str();
+}
+
+} // namespace ladm

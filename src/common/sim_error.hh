@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Structured, recoverable error reporting for the simulator.
+ *
+ * ladm_fatal() kills the process, which is the right behavior for a CLI
+ * tool but the wrong one inside a SweepRunner worker: one bad grid point
+ * must not take down a thousand-cell sweep. SimError is the recoverable
+ * counterpart -- an exception carrying a list of Diagnostics (field,
+ * offending value, violated constraint, fix hint) that the sweep layer
+ * turns into an actionable per-job error row and every entry point can
+ * render as a readable report.
+ *
+ * Conventions:
+ *  - Config:    a SystemConfig / workload / bundle parameter is invalid.
+ *  - Usage:     an API was called with inconsistent arguments.
+ *  - Invariant: internal bookkeeping is inconsistent (LADM_CHECK suite);
+ *               thrown as the InvariantViolation subclass.
+ *  - Fault:     a fault-injection spec could not be honored.
+ */
+
+#ifndef LADM_COMMON_SIM_ERROR_HH
+#define LADM_COMMON_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh" // detail::format used by ladm_require
+
+namespace ladm
+{
+
+/** One structured finding inside a SimError. */
+struct Diagnostic
+{
+    /** Dotted path of the offending knob, e.g. "system.chipletsPerGpu". */
+    std::string field;
+    /** The offending value, rendered as text. */
+    std::string value;
+    /** The constraint that must hold, e.g. "must be >= 1". */
+    std::string constraint;
+    /** How to fix it, e.g. "set chipletsPerGpu to at least 1". */
+    std::string hint;
+};
+
+/** "field = value: constraint (hint)" single-line rendering. */
+std::string toString(const Diagnostic &d);
+
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        Config,    ///< invalid configuration parameter(s)
+        Usage,     ///< inconsistent API arguments
+        Invariant, ///< internal bookkeeping inconsistency (LADM_CHECK)
+        Fault,     ///< unhonorable fault-injection spec
+    };
+
+    SimError(Kind kind, std::string summary,
+             std::vector<Diagnostic> diags = {});
+
+    Kind kind() const { return kind_; }
+    const std::string &summary() const { return summary_; }
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** Multi-line report: summary plus one indented line per finding. */
+    std::string report() const;
+
+  private:
+    static std::string buildWhat(Kind kind, const std::string &summary,
+                                 const std::vector<Diagnostic> &diags);
+
+    Kind kind_;
+    std::string summary_;
+    std::vector<Diagnostic> diags_;
+};
+
+const char *toString(SimError::Kind k);
+
+/**
+ * A runtime invariant of the simulator's own bookkeeping failed (the
+ * LADM_CHECK suite). Distinct type so tests can assert that the checker
+ * -- not ordinary config validation -- caught a planted bug.
+ */
+class InvariantViolation : public SimError
+{
+  public:
+    explicit InvariantViolation(std::string summary,
+                                std::vector<Diagnostic> diags = {})
+        : SimError(Kind::Invariant, std::move(summary), std::move(diags))
+    {
+    }
+};
+
+/**
+ * Throw SimError(Usage) if @p cond does not hold. The recoverable
+ * sibling of ladm_assert/ladm_fatal for conditions a caller (workload
+ * spec, bundle, bench grid cell) can violate: a SweepRunner worker
+ * reports the message as its job's error instead of dying.
+ */
+#define ladm_require(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            throw ::ladm::SimError( \
+                ::ladm::SimError::Kind::Usage, \
+                ::ladm::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace ladm
+
+#endif // LADM_COMMON_SIM_ERROR_HH

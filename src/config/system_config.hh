@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/sim_error.hh"
 #include "common/types.hh"
 
 namespace ladm
@@ -184,6 +186,22 @@ struct SystemConfig
      */
     bool uvmFirstTouchInterleave = false;
 
+    // --- robustness / fault injection ---------------------------------------
+    /**
+     * Scripted NUMA-fabric faults (check::FaultPlan grammar, e.g.
+     * "link:0-1:0.25@1000;chiplet:5:fail@0"). Empty = healthy machine;
+     * the interconnect models, MemorySystem and the schedulers all
+     * consult the parsed plan. See docs/robustness.md.
+     */
+    std::string faultSpec;
+    /**
+     * Graceful degradation under faults: re-home pages off failed
+     * chiplets on first access and re-bind their threadblocks to healthy
+     * nodes at launch. Disabling models a fault-oblivious runtime (the
+     * ablation bench_fault_sweep contrasts).
+     */
+    bool faultDegradation = true;
+
     // --- derived ------------------------------------------------------------
     int numNodes() const { return numGpus * chipletsPerGpu; }
     int totalSms() const { return numNodes() * smsPerChiplet; }
@@ -199,8 +217,17 @@ struct SystemConfig
     /** Convert a GB/s figure to bytes per core cycle. */
     double bytesPerCycle(double gbs) const { return gbs / clockGhz; }
 
-    /** Sanity-check parameter consistency; fatal() on user error. */
+    /**
+     * Check every parameter for consistency.
+     * @throws SimError(Kind::Config) carrying one Diagnostic (field,
+     *         value, constraint, fix hint) per violation -- recoverable,
+     *         so a SweepRunner worker reports a bad grid point as that
+     *         job's error instead of killing the sweep.
+     */
     void validate() const;
+
+    /** validate() without the throw: every violation as a Diagnostic. */
+    std::vector<Diagnostic> validateCollect() const;
 };
 
 } // namespace ladm

@@ -1,6 +1,6 @@
 #include "core/experiment.hh"
 
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "sim/gpu_system.hh"
 #include "telemetry/profile.hh"
 #include "telemetry/session.hh"
@@ -13,7 +13,7 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
               const SystemConfig &cfg, int launches)
 {
     LADM_SCOPED_TIMER("experiment.run");
-    ladm_assert(launches >= 1, "need at least one launch");
+    ladm_require(launches >= 1, "need at least one launch");
     GpuSystem sys(cfg);
     MallocRegistry reg(cfg.pageSize);
     workload.allocateAll(reg);
@@ -31,7 +31,8 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
                                   workload.argPcs(), reg,
                                   sys.mem().pageTable(), cfg);
         }
-        ladm_assert(plan.scheduler, "policy bundle produced no scheduler");
+        ladm_require(plan.scheduler,
+                     "policy bundle produced no scheduler");
         ++sched_stats.counter("decisions." + plan.scheduler->name());
 
         auto trace = workload.makeTrace(reg);
@@ -92,6 +93,8 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
                    ? (mem.fetchLocal() + mem.fetchRemote()) / kilo_instr
                    : 0.0;
     m.uvmFaults = mem.uvmFaults();
+    m.rehomedPages = mem.rehomedPages();
+    m.failedNodeAccesses = mem.failedNodeAccesses();
     for (int c = 0; c < kNumTrafficClasses; ++c) {
         const auto tc = static_cast<TrafficClass>(c);
         m.classAccesses[c] = mem.classAccesses(tc);

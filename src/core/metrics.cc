@@ -1,9 +1,29 @@
 #include "core/metrics.hh"
 
+#include <cmath>
 #include <sstream>
+
+#include "common/logging.hh"
 
 namespace ladm
 {
+
+namespace
+{
+
+/** Flatten an error message into one CSV-safe cell. */
+std::string
+csvSanitize(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (c == ',' || c == '\n' || c == '\r')
+            c = ';';
+    }
+    return out;
+}
+
+} // namespace
 
 std::ostream &
 operator<<(std::ostream &os, const RunMetrics &m)
@@ -23,7 +43,8 @@ csvHeader()
            "fetch_remote,offchip_pct,inter_node_bytes,inter_gpu_bytes,"
            "l1_hit_rate,l2_hit_rate,l2_mpki,uvm_faults,"
            "acc_local_local,acc_local_remote,acc_remote_local,"
-           "hit_local_local,hit_local_remote,hit_remote_local";
+           "hit_local_local,hit_local_remote,hit_remote_local,"
+           "rehomed_pages,failed_node_accesses,error";
 }
 
 std::string
@@ -41,7 +62,46 @@ csvRow(const RunMetrics &m)
         os << ',' << m.classAccesses[c];
     for (int c = 0; c < kNumTrafficClasses; ++c)
         os << ',' << m.classHitRate[c];
+    os << ',' << m.rehomedPages << ',' << m.failedNodeAccesses << ','
+       << csvSanitize(m.error);
     return os.str();
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        ladm_warn("mean of zero runs requested; reporting 0");
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        ladm_warn("geomean of zero runs requested; reporting 0");
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    size_t counted = 0;
+    for (const double v : values) {
+        if (v <= 0.0 || !std::isfinite(v)) {
+            ladm_warn("geomean skipping non-positive value ", v);
+            continue;
+        }
+        log_sum += std::log(v);
+        ++counted;
+    }
+    if (counted == 0) {
+        ladm_warn("geomean had no positive values; reporting 0");
+        return 0.0;
+    }
+    return std::exp(log_sum / static_cast<double>(counted));
 }
 
 } // namespace ladm

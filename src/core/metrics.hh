@@ -52,6 +52,19 @@ struct RunMetrics
     std::array<uint64_t, kNumTrafficClasses> classAccesses{};
     std::array<double, kNumTrafficClasses> classHitRate{};
 
+    /** Fault injection: pages rescued off failed chiplets / crawl hits. */
+    uint64_t rehomedPages = 0;
+    uint64_t failedNodeAccesses = 0;
+
+    /**
+     * Non-empty when the run failed: the error's one-line report. A
+     * sweep running --continue-on-error records the failure here and in
+     * the CSV/JSON sinks instead of dying.
+     */
+    std::string error;
+
+    bool failed() const { return !error.empty(); }
+
     /** Performance of this run relative to @p baseline (cycles ratio). */
     double
     speedupOver(const RunMetrics &baseline) const
@@ -68,6 +81,21 @@ std::string csvHeader();
 
 /** One comma-separated row of every metric. */
 std::string csvRow(const RunMetrics &m);
+
+/**
+ * Arithmetic mean of @p values. An empty input is a degenerate sample,
+ * not an arithmetic error: returns 0.0 (with a warning) instead of the
+ * 0/0 NaN that would silently poison every downstream aggregate.
+ */
+double mean(const std::vector<double> &values);
+
+/**
+ * Geometric mean of @p values (the paper's cross-workload aggregate).
+ * Empty input returns 0.0 with a warning; non-positive entries are
+ * skipped with a warning (log of a non-positive value is undefined)
+ * rather than turning the whole aggregate into NaN.
+ */
+double geomean(const std::vector<double> &values);
 
 } // namespace ladm
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "core/experiment.hh"
 #include "telemetry/session.hh"
 #include "workloads/registry.hh"
@@ -97,6 +98,31 @@ SweepRunner::results()
     out.reserve(slots_.size());
     for (const auto &slot : slots_)
         out.push_back(std::move(slot->metrics));
+    slots_.clear();
+    return out;
+}
+
+std::vector<RunMetrics>
+SweepRunner::outcomes()
+{
+    if (pool_)
+        pool_->wait();
+
+    std::vector<RunMetrics> out;
+    out.reserve(slots_.size());
+    for (const auto &slot : slots_) {
+        if (slot->error) {
+            try {
+                std::rethrow_exception(slot->error);
+            } catch (const std::exception &e) {
+                // SimError's what() is already the one-line report.
+                slot->metrics.error = e.what();
+            } catch (...) {
+                slot->metrics.error = "unknown error";
+            }
+        }
+        out.push_back(std::move(slot->metrics));
+    }
     slots_.clear();
     return out;
 }

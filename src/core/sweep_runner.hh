@@ -89,6 +89,15 @@ class SweepRunner
      */
     std::vector<RunMetrics> results();
 
+    /**
+     * Barrier like results(), but never throws for a failed job: the
+     * slot's RunMetrics carries the failure in its `error` field (a
+     * SimError's one-line report, or the exception's what()) so a sweep
+     * records a bad grid point as one error row and keeps going
+     * (--continue-on-error).
+     */
+    std::vector<RunMetrics> outcomes();
+
     /** Resolved worker count. */
     int jobs() const { return jobs_; }
 

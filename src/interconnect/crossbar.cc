@@ -19,6 +19,13 @@ CrossbarNet::CrossbarNet(const SystemConfig &cfg)
 Cycles
 CrossbarNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
 {
+    if (faultsActive()) {
+        // The flat crossbar's links are the per-node switch ports, so a
+        // GPU-pair link fault degrades both endpoints' ports.
+        bytes = faultScaled(bytes,
+                            plan_.interGpuFactor(now, cfg_.gpuOfNode(src),
+                                                 cfg_.gpuOfNode(dst)));
+    }
     Cycles delay = egress_[src].book(now, bytes);
     delay += ingress_[dst].book(now, bytes);
     return delay + switchLatency_;

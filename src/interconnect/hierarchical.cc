@@ -29,14 +29,29 @@ HierarchicalNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
     const int sc = cfg_.chipletOfNode(src);
     const int dc = cfg_.chipletOfNode(dst);
 
-    if (sg == dg)
+    if (sg == dg) {
+        if (faultsActive())
+            bytes = faultScaled(bytes, plan_.ringFactor(now, sg));
         return rings_[sg].routeDelay(now, sc, dc, bytes);
+    }
 
-    Cycles delay = rings_[sg].routeDelay(now, sc, kPortChiplet, bytes);
-    delay += gpuEgress_[sg].book(now, bytes);
-    delay += gpuIngress_[dg].book(now, bytes);
+    // Each leg degrades independently: the source ring, the inter-GPU
+    // link (egress + ingress share the fault), and the destination ring.
+    Bytes src_ring_bytes = bytes;
+    Bytes link_bytes = bytes;
+    Bytes dst_ring_bytes = bytes;
+    if (faultsActive()) {
+        src_ring_bytes = faultScaled(bytes, plan_.ringFactor(now, sg));
+        link_bytes =
+            faultScaled(bytes, plan_.interGpuFactor(now, sg, dg));
+        dst_ring_bytes = faultScaled(bytes, plan_.ringFactor(now, dg));
+    }
+    Cycles delay =
+        rings_[sg].routeDelay(now, sc, kPortChiplet, src_ring_bytes);
+    delay += gpuEgress_[sg].book(now, link_bytes);
+    delay += gpuIngress_[dg].book(now, link_bytes);
     delay += switchLatency_;
-    delay += rings_[dg].routeDelay(now, kPortChiplet, dc, bytes);
+    delay += rings_[dg].routeDelay(now, kPortChiplet, dc, dst_ring_bytes);
     return delay;
 }
 

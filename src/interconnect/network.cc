@@ -20,6 +20,13 @@ Network::registerStats(telemetry::StatRegistry &reg,
     reg.gauge("net.inter_gpu_bytes",
               [this] { return static_cast<double>(interGpuBytes_); },
               StatKind::Counter);
+    if (faulted_) {
+        reg.gauge("net.fault.severed_crossings",
+                  [this] {
+                      return static_cast<double>(severedCrossings_);
+                  },
+                  StatKind::Counter);
+    }
 }
 
 void

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "check/fault_plan.hh"
 #include "common/types.hh"
 #include "config/system_config.hh"
 #include "telemetry/trace.hh"
@@ -34,7 +35,12 @@ class StatRegistry;
 class Network
 {
   public:
-    explicit Network(const SystemConfig &cfg) : cfg_(cfg) {}
+    /** @throws SimError when cfg.faultSpec does not parse. */
+    explicit Network(const SystemConfig &cfg)
+        : cfg_(cfg), plan_(check::FaultPlan::parse(cfg.faultSpec)),
+          faulted_(!plan_.empty())
+    {
+    }
     virtual ~Network() = default;
 
     /**
@@ -62,6 +68,11 @@ class Network
     Bytes interNodeBytes() const { return interNodeBytes_; }
     Bytes interGpuBytes() const { return interGpuBytes_; }
 
+    /** The active fault-injection plan (empty when cfg.faultSpec is). */
+    const check::FaultPlan &faultPlan() const { return plan_; }
+    /** Transfers that insisted on crossing a severed link. */
+    uint64_t severedCrossings() const { return severedCrossings_; }
+
     /**
      * Publish fabric statistics into @p reg under "net". The base class
      * registers the boundary-crossing byte totals; topologies add their
@@ -81,14 +92,40 @@ class Network
     virtual Cycles delayImpl(Cycles now, NodeId src, NodeId dst,
                              Bytes bytes) = 0;
 
+    bool faultsActive() const { return faulted_; }
+
+    /**
+     * Apply a fault-plan bandwidth factor to a transfer: a link serving
+     * fraction f of its lanes takes 1/f as long, i.e. behaves as if the
+     * payload were bytes/f. Severed (f == 0) clamps to
+     * check::kSeveredResidualFactor and counts the crossing, keeping the
+     * fault-oblivious ablation finite instead of dividing by zero.
+     */
+    Bytes
+    faultScaled(Bytes bytes, double factor)
+    {
+        if (factor >= 1.0)
+            return bytes;
+        if (factor <= 0.0) {
+            ++severedCrossings_;
+            factor = check::kSeveredResidualFactor;
+        } else if (factor < check::kSeveredResidualFactor) {
+            factor = check::kSeveredResidualFactor;
+        }
+        return static_cast<Bytes>(static_cast<double>(bytes) / factor);
+    }
+
     const SystemConfig cfg_;
+    const check::FaultPlan plan_;
 
   private:
     void traceTransfer(telemetry::TraceEmitter &tr, Cycles now,
                        Cycles delay, NodeId src, NodeId dst, Bytes bytes);
 
+    const bool faulted_;
     Bytes interNodeBytes_ = 0;
     Bytes interGpuBytes_ = 0;
+    uint64_t severedCrossings_ = 0;
 };
 
 /** Build the topology named by cfg.topology. */

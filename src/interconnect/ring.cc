@@ -70,6 +70,10 @@ RingNet::RingNet(const SystemConfig &cfg)
 Cycles
 RingNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
 {
+    // The flat ring is one fabric: a "ring:0" fault covers it. Scaling
+    // the payload once is equivalent to scaling every booked segment.
+    if (faultsActive())
+        bytes = faultScaled(bytes, plan_.ringFactor(now, 0));
     return ring_.routeDelay(now, src, dst, bytes);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "kernel/datablock.hh"
 #include "mem/placement.hh"
 #include "runtime/lasp_placement.hh"
@@ -68,9 +69,9 @@ LadmRuntime::prepareLaunch(const KernelDesc &kernel, const LaunchDims &dims,
                            const MallocRegistry &reg, PageTable &pt)
 {
     LADM_SCOPED_TIMER("runtime.prepare_launch");
-    ladm_assert(static_cast<int>(arg_pcs.size()) == kernel.numArgs,
-                "kernel '", kernel.name, "' expects ", kernel.numArgs,
-                " args, got ", arg_pcs.size());
+    ladm_require(static_cast<int>(arg_pcs.size()) == kernel.numArgs,
+                 "kernel '", kernel.name, "' expects ", kernel.numArgs,
+                 " args, got ", arg_pcs.size());
 
     LaunchPlan plan;
 

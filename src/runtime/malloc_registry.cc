@@ -1,7 +1,7 @@
 #include "runtime/malloc_registry.hh"
 
 #include "common/bitutils.hh"
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace ladm
 {
@@ -16,11 +16,10 @@ Addr
 MallocRegistry::mallocManaged(uint64_t malloc_pc, Bytes size,
                               const std::string &name)
 {
-    ladm_assert(size > 0, "zero-byte allocation '", name, "'");
+    ladm_require(size > 0, "zero-byte allocation '", name, "'");
     for (const auto &a : allocs_) {
-        if (a.mallocPc == malloc_pc)
-            ladm_fatal("duplicate MallocPC ", malloc_pc, " ('", a.name,
-                       "' vs '", name, "')");
+        ladm_require(a.mallocPc != malloc_pc, "duplicate MallocPC ",
+                     malloc_pc, " ('", a.name, "' vs '", name, "')");
     }
     Allocation a;
     a.mallocPc = malloc_pc;
@@ -38,7 +37,9 @@ MallocRegistry::byPc(uint64_t malloc_pc) const
     for (const auto &a : allocs_)
         if (a.mallocPc == malloc_pc)
             return a;
-    ladm_fatal("no allocation registered for MallocPC ", malloc_pc);
+    throw SimError(SimError::Kind::Usage,
+                   "no allocation registered for MallocPC " +
+                       std::to_string(malloc_pc));
 }
 
 const Allocation *

@@ -1,6 +1,10 @@
 #include "sim/gpu_system.hh"
 
+#include <iostream>
 #include <string>
+
+#include "check/invariants.hh"
+#include "telemetry/exporters.hh"
 
 namespace ladm
 {
@@ -38,7 +42,20 @@ GpuSystem::runKernel(const LaunchDims &dims, TraceSource &trace,
     if (windowed)
         before = reg_.snapshot();
 
-    KernelRunStats s = engine_.run(dims, trace, node_queues, now_);
+    KernelRunStats s;
+    try {
+        s = engine_.run(dims, trace, node_queues, now_);
+    } catch (const InvariantViolation &) {
+        // Post-mortem: leave the whole stat tree behind before the
+        // violation propagates, so a hung or leaking run is debuggable
+        // from its stderr alone.
+        if (check::enabled()) {
+            std::cerr << "--- ladm::check post-mortem (" << cfg_.name
+                      << ", kernel " << kernelIndex_ << ") ---\n";
+            telemetry::exportText(std::cerr, reg_);
+        }
+        throw;
+    }
     now_ = s.endCycle;
 
     const int idx = kernelIndex_++;

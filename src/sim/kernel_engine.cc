@@ -3,8 +3,10 @@
 #include <array>
 #include <queue>
 
+#include "check/invariants.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace.hh"
 
@@ -77,23 +79,71 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                   Cycles start)
 {
     const int num_nodes = cfg_.numNodes();
-    ladm_assert(static_cast<int>(node_queues.size()) == num_nodes,
-                "scheduler produced ", node_queues.size(),
-                " node queues for ", num_nodes, " nodes");
+    if (static_cast<int>(node_queues.size()) != num_nodes) {
+        throw InvariantViolation(
+            "scheduler produced " + std::to_string(node_queues.size()) +
+            " node queues for " + std::to_string(num_nodes) + " nodes");
+    }
 
     const int warps_per_tb =
         static_cast<int>(ceilDiv(dims.threadsPerTb(), cfg_.warpSize));
-    if (warps_per_tb > cfg_.warpSlotsPerSm) {
-        ladm_fatal("threadblock needs ", warps_per_tb,
-                   " warps but an SM has only ", cfg_.warpSlotsPerSm,
-                   " slots");
-    }
+    ladm_require(warps_per_tb <= cfg_.warpSlotsPerSm,
+                 "threadblock needs ", warps_per_tb,
+                 " warps but an SM has only ", cfg_.warpSlotsPerSm,
+                 " slots");
 
     int64_t assigned = 0;
     for (const auto &q : node_queues)
         assigned += static_cast<int64_t>(q.size());
-    ladm_assert(assigned == dims.numTbs(), "scheduler assigned ", assigned,
-                " TBs, launch has ", dims.numTbs());
+    if (assigned != dims.numTbs()) {
+        throw InvariantViolation(
+            "scheduler assigned " + std::to_string(assigned) +
+            " TBs, launch has " + std::to_string(dims.numTbs()));
+    }
+
+    // TB-dispatch conservation (opt-in): every TB of the launch must
+    // appear exactly once across the node queues -- a duplicate executes
+    // twice and a hole hangs the launch's dependents.
+    const bool check_on = check::enabled();
+    if (check_on) {
+        std::vector<uint8_t> seen(dims.numTbs(), 0);
+        std::vector<Diagnostic> diags;
+        for (const auto &q : node_queues) {
+            for (const TbId tb : q) {
+                if (tb < 0 || tb >= dims.numTbs()) {
+                    diags.push_back({"scheduler.queue",
+                                     "tb " + std::to_string(tb),
+                                     "TB id outside [0, " +
+                                         std::to_string(dims.numTbs()) +
+                                         ")",
+                                     "scheduler emitted a bogus id"});
+                } else if (seen[tb]++) {
+                    diags.push_back({"scheduler.queue",
+                                     "tb " + std::to_string(tb),
+                                     "TB scheduled more than once",
+                                     "it would execute twice"});
+                }
+            }
+        }
+        if (diags.size() < 8) {
+            for (TbId tb = 0; tb < dims.numTbs(); ++tb) {
+                if (!seen[tb]) {
+                    diags.push_back({"scheduler.queue",
+                                     "tb " + std::to_string(tb),
+                                     "TB never scheduled",
+                                     "the launch would hang waiting for "
+                                     "it"});
+                    if (diags.size() >= 8)
+                        break;
+                }
+            }
+        }
+        if (!diags.empty()) {
+            throw InvariantViolation(
+                "TB dispatch not a permutation of the launch",
+                std::move(diags));
+        }
+    }
 
     KernelRunStats stats;
     stats.startCycle = start;
@@ -154,11 +204,51 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
 
     const int depth = std::clamp(cfg_.warpPipelineDepth, 1, 4);
 
+    // No-progress watchdog (opt-in): a healthy kernel advances simulated
+    // time within a bounded number of events (every warp's next wake-up
+    // moves forward by at least the compute gap). A trace that never
+    // retires combined with a zero gap spins here forever; the watchdog
+    // turns that hang into a structured abort with the machine state.
+    const uint64_t watchdog_limit = check_on ? check::watchdogLimit() : 0;
+    Cycles watchdog_time = start;
+    uint64_t watchdog_stuck = 0;
+
     std::vector<MemAccess> buf;
     while (!pq.empty()) {
         const Event ev = pq.top();
         pq.pop();
         WarpState &w = warps[ev.warp];
+
+        if (check_on) {
+            if (ev.time > watchdog_time) {
+                watchdog_time = ev.time;
+                watchdog_stuck = 0;
+            } else if (++watchdog_stuck > watchdog_limit) {
+                size_t dispatched = 0, queued = 0;
+                for (int n = 0; n < num_nodes; ++n) {
+                    dispatched += cursor[n];
+                    queued += node_queues[n].size();
+                }
+                throw InvariantViolation(
+                    "engine made no progress for " +
+                        std::to_string(watchdog_stuck) +
+                        " events (hung kernel?)",
+                    {{"engine.cycle", std::to_string(ev.time),
+                      "simulated time stopped advancing",
+                      "raise LADM_CHECK_WATCHDOG if the kernel is "
+                      "legitimately this dense"},
+                     {"engine.live_warps",
+                      std::to_string(warps.size() - free_warps.size()),
+                      "warps still in flight at the stuck cycle",
+                      "check the trace source's retire condition"},
+                     {"engine.tbs_dispatched",
+                      std::to_string(dispatched) + " of " +
+                          std::to_string(queued),
+                      "threadblocks handed to SMs so far",
+                      "undispatched TBs are waiting on the stuck "
+                      "ones"}});
+            }
+        }
 
         buf.clear();
         if (!trace.warpStep(w.tb, w.warpInTb, w.step, buf)) {
@@ -217,6 +307,40 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
 
     stats.warpInstrs =
         static_cast<double>(stats.warpSteps) * trace.instrsPerStep();
+
+    if (check_on) {
+        // Dispatch conservation at drain: every queue fully consumed and
+        // every TB's warps retired. A shortfall means admit() starved --
+        // a resident-limit accounting bug, not a workload property.
+        std::vector<Diagnostic> diags;
+        for (int n = 0; n < num_nodes; ++n) {
+            if (cursor[n] != node_queues[n].size()) {
+                diags.push_back(
+                    {"node" + std::to_string(n) + ".queue",
+                     std::to_string(cursor[n]) + " of " +
+                         std::to_string(node_queues[n].size()) +
+                         " dispatched",
+                     "TB queue not drained at kernel end",
+                     "an SM stopped pulling work while TBs remained"});
+            }
+        }
+        for (TbId tb = 0; tb < dims.numTbs() && diags.size() < 8; ++tb) {
+            if (tb_warps_left[tb] != 0) {
+                diags.push_back(
+                    {"tb" + std::to_string(tb),
+                     std::to_string(tb_warps_left[tb]) + " warps left",
+                     "threadblock never fully retired",
+                     "warp retirement accounting leaked"});
+            }
+        }
+        if (!diags.empty()) {
+            throw InvariantViolation(
+                "kernel ended with undispatched or unretired "
+                "threadblocks",
+                std::move(diags));
+        }
+        mem_.checkDrained(stats.endCycle);
+    }
 
     ++kernelsRun_;
     warpStepsTotal_ += stats.warpSteps;

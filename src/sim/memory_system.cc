@@ -1,5 +1,8 @@
 #include "sim/memory_system.hh"
 
+#include <cstdio>
+
+#include "check/invariants.hh"
 #include "common/logging.hh"
 #include "mem/address.hh"
 #include "telemetry/stat_registry.hh"
@@ -16,6 +19,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg)
                  cfg.pageSize)
 {
     cfg_.validate();
+    chipletFaults_ = net_->faultPlan().anyChipletFaults();
     const int nodes = cfg_.numNodes();
     const int sms = cfg_.totalSms();
     const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
@@ -164,10 +168,33 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     // practice.
     const NodeId mapped_home = pageTable_.lookup(addr);
     Cycles fault_stall = 0;
-    const NodeId home =
+    NodeId home =
         mapped_home != kInvalidNode
             ? mapped_home
             : uvm_.touch(pageTable_, addr, node, fault_stall);
+
+    // Failed chiplet (fault injection): its HBM stack is gone. With
+    // graceful degradation the page is rescued to a healthy node on first
+    // access -- one page transfer, then business as usual. Without it the
+    // access crawls to the dead stack over the maintenance path at
+    // kSeveredResidualFactor of DRAM speed, every time.
+    if (chipletFaults_ &&
+        net_->faultPlan().nodeFailed(now, home)) {
+        if (cfg_.faultDegradation) {
+            const NodeId to =
+                net_->faultPlan().fallbackNode(now, home, cfg_);
+            pageTable_.place(addr, 1, to); // expands to the whole page
+            l2_[home].invalidateSector(addr);
+            fault_stall += net_->routeDelay(now, home, to, cfg_.pageSize);
+            ++rehomedPages_;
+            home = to;
+        } else {
+            fault_stall += cfg_.dramLatencyCycles *
+                           static_cast<Cycles>(
+                               1.0 / check::kSeveredResidualFactor);
+            ++failedNodeAccesses_;
+        }
+    }
 
     // Requester-side L2: the dynamic shared L2 [51] caches whatever its
     // own SMs touch; without remote caching it only holds local-homed
@@ -356,6 +383,18 @@ MemorySystem::registerStats(telemetry::StatRegistry &reg,
                   },
                   acc);
     }
+    if (chipletFaults_) {
+        reg.gauge("mem.fault.rehomed_pages",
+                  [this] {
+                      return static_cast<double>(rehomedPages_);
+                  },
+                  acc);
+        reg.gauge("mem.fault.failed_node_accesses",
+                  [this] {
+                      return static_cast<double>(failedNodeAccesses_);
+                  },
+                  acc);
+    }
     reg.gauge("uvm.faults",
               [this] { return static_cast<double>(uvmFaults()); }, acc);
     reg.gauge("uvm.page_migrations",
@@ -379,6 +418,44 @@ MemorySystem::registerStats(telemetry::StatRegistry &reg,
                   acc);
     }
     net_->registerStats(reg, std::move(now));
+}
+
+void
+MemorySystem::checkDrained(Cycles now) const
+{
+    std::vector<Diagnostic> diags;
+    constexpr size_t kMaxListed = 8;
+    size_t leaked = 0;
+    for (size_t n = 0; n < pending_.size(); ++n) {
+        for (const auto &[addr, ready] : pending_[n]) {
+            if (ready <= now)
+                continue;
+            ++leaked;
+            if (diags.size() < kMaxListed) {
+                char hex[24];
+                std::snprintf(hex, sizeof(hex), "sector 0x%llx",
+                              static_cast<unsigned long long>(addr));
+                diags.push_back(
+                    {"node" + std::to_string(n) + ".mshr", hex,
+                     "completes at cycle " + std::to_string(ready) +
+                         " > drain cycle " + std::to_string(now),
+                     "a completion time was handed out that nobody "
+                     "waited for"});
+            }
+        }
+    }
+    if (!diags.empty()) {
+        throw InvariantViolation(
+            "memory system not drained: " + std::to_string(leaked) +
+                " outstanding miss(es) outlive the drain point",
+            std::move(diags));
+    }
+}
+
+void
+MemorySystem::debugInjectPending(NodeId node, Addr addr, Cycles readyAt)
+{
+    pending_[node][sectorBase(addr)] = readyAt;
 }
 
 void
@@ -454,6 +531,8 @@ MemorySystem::resetStats()
     l1Accesses_ = 0;
     mshrMerges_ = 0;
     writebackSectors_ = 0;
+    rehomedPages_ = 0;
+    failedNodeAccesses_ = 0;
     delayXbar_ = 0;
     delayNet_ = 0;
     delayDram_ = 0;

@@ -65,6 +65,23 @@ class MemorySystem
      */
     void flushCaches();
 
+    /**
+     * Invariant check at a drain point (end of kernel, end of run): no
+     * outstanding miss may complete after @p now, and no mapped page may
+     * home outside the machine. A violation here means an MSHR entry
+     * leaked past the cycle every warp supposedly retired at -- the
+     * engine handed out a completion time nobody waited for.
+     * @throws InvariantViolation listing the leaked sectors.
+     */
+    void checkDrained(Cycles now) const;
+
+    /**
+     * Test hook: plant an in-flight miss (sector @p addr on @p node
+     * completing at @p readyAt) so tests can prove checkDrained() catches
+     * a leak. Never called by the simulator itself.
+     */
+    void debugInjectPending(NodeId node, Addr addr, Cycles readyAt);
+
     /** The page table placement policies write into. */
     PageTable &pageTable() { return pageTable_; }
     const PageTable &pageTable() const { return pageTable_; }
@@ -131,6 +148,12 @@ class MemorySystem
         return host_ ? host_->evictions() : 0;
     }
 
+    // --- fault injection ----------------------------------------------------
+    /** Pages rescued off failed chiplets (faultDegradation on). */
+    uint64_t rehomedPages() const { return rehomedPages_; }
+    /** Accesses that crawled to a failed home (faultDegradation off). */
+    uint64_t failedNodeAccesses() const { return failedNodeAccesses_; }
+
     /**
      * Reset all statistics and the outstanding-miss (MSHR) tracking --
      * a completion time from a previous measurement window must not
@@ -155,6 +178,8 @@ class MemorySystem
     std::unique_ptr<HostMemory> host_; // oversubscription model (opt.)
     std::unique_ptr<Network> net_;
     L2InsertPolicy policy_ = L2InsertPolicy::RTwice;
+    /** Fast-path gate: faultSpec has chiplet failures to police. */
+    bool chipletFaults_ = false;
 
     /** Outstanding-miss table per node: sector -> data-ready cycle. */
     std::vector<std::unordered_map<Addr, Cycles>> pending_;
@@ -175,6 +200,8 @@ class MemorySystem
     uint64_t l1Accesses_ = 0;
     uint64_t mshrMerges_ = 0;
     uint64_t writebackSectors_ = 0;
+    uint64_t rehomedPages_ = 0;
+    uint64_t failedNodeAccesses_ = 0;
     std::array<uint64_t, kNumTrafficClasses> clsAcc_{};
     std::array<uint64_t, kNumTrafficClasses> clsHit_{};
 };

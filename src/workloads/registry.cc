@@ -3,7 +3,7 @@
 #include <functional>
 #include <utility>
 
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "workloads/catalog.hh"
 
 namespace ladm
@@ -69,7 +69,13 @@ makeWorkload(const std::string &name, double scale)
     for (const auto &[n, f] : factories())
         if (n == name)
             return f(scale);
-    ladm_fatal("unknown workload '", name, "'");
+    std::string known;
+    for (const auto &[n, f] : factories())
+        known += (known.empty() ? "" : ", ") + n;
+    throw SimError(SimError::Kind::Usage,
+                   "unknown workload '" + name + "'",
+                   {{"workload", name, "must be a registered workload",
+                     "one of: " + known}});
 }
 
 std::vector<std::unique_ptr<Workload>>

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "common/bitutils.hh"
 #include "core/metrics.hh"
 #include "common/rng.hh"
@@ -126,11 +127,18 @@ TEST(Config, NodeGeometry)
     EXPECT_EQ(c.nodeOf(1, 3), 7);
 }
 
-TEST(ConfigDeathTest, BadConfigIsFatal)
+TEST(ConfigDeathTest, BadConfigThrows)
 {
     auto c = presets::multiGpu4x4();
     c.pageSize = 1000; // not a power of two
-    EXPECT_DEATH(c.validate(), "pageSize");
+    try {
+        c.validate();
+        FAIL() << "validate() accepted a non-power-of-two page size";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Config);
+        EXPECT_NE(std::string(e.what()).find("pageSize"),
+                  std::string::npos);
+    }
 }
 
 TEST(MallocRegistry, AssignsDisjointPageAlignedRanges)
@@ -149,11 +157,11 @@ TEST(MallocRegistry, AssignsDisjointPageAlignedRanges)
     EXPECT_EQ(reg.totalBytes(), 100u + (1 << 20));
 }
 
-TEST(MallocRegistryDeathTest, DuplicatePcIsFatal)
+TEST(MallocRegistryDeathTest, DuplicatePcThrows)
 {
     MallocRegistry reg;
     reg.mallocManaged(1, 100, "a");
-    EXPECT_DEATH(reg.mallocManaged(1, 100, "b"), "duplicate");
+    EXPECT_THROW(reg.mallocManaged(1, 100, "b"), SimError);
 }
 
 TEST(Uvm, FirstTouchPlacesAndCharges)

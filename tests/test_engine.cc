@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "config/presets.hh"
 #include "sched/kernel_wide.hh"
 #include "sim/gpu_system.hh"
@@ -153,20 +154,22 @@ TEST_F(EngineTest, RespectsWarpSlotLimit)
     EXPECT_GT(eight_tbs.cycles(), 2 * two_tbs.cycles());
 }
 
-TEST_F(EngineTest, OversizedTbIsFatal)
+TEST_F(EngineTest, OversizedTbThrows)
 {
     auto cfg = presets::monolithic256();
     CountingTrace trace(1, 0);
     // 65 warps > 64 slots.
-    EXPECT_DEATH(
-        {
-            GpuSystem sys(cfg);
-            KernelWideScheduler sched;
-            const auto dims = launch(1, 65 * 32, 1);
-            sys.runKernel(dims, trace, sched.assign(dims, cfg),
-                          L2InsertPolicy::RTwice);
-        },
-        "warps");
+    GpuSystem sys(cfg);
+    KernelWideScheduler sched;
+    const auto dims = launch(1, 65 * 32, 1);
+    try {
+        sys.runKernel(dims, trace, sched.assign(dims, cfg),
+                      L2InsertPolicy::RTwice);
+        FAIL() << "oversized threadblock was accepted";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("warps"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

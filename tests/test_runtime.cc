@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "config/presets.hh"
 #include "runtime/ladm_runtime.hh"
 #include "runtime/malloc_registry.hh"
@@ -212,14 +213,19 @@ TEST_F(RuntimeTest, LocalityTableGetsRuntimeBindings)
     EXPECT_EQ(row->numPages, (4u << 20) / 4096);
 }
 
-TEST_F(RuntimeTest, ArgCountMismatchIsFatal)
+TEST_F(RuntimeTest, ArgCountMismatchThrows)
 {
     const auto k = matmul();
     runtime_.compile(k);
     reg_.mallocManaged(1, 1 << 20, "A");
-    EXPECT_DEATH(runtime_.prepareLaunch(k, launch(8, 8, 16, 16, 8), {1},
-                                        reg_, pt_),
-                 "expects");
+    try {
+        runtime_.prepareLaunch(k, launch(8, 8, 16, 16, 8), {1}, reg_,
+                               pt_);
+        FAIL() << "argument-count mismatch was accepted";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("expects"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "common/bitutils.hh"
 #include "compiler/locality_table.hh"
 #include "workloads/registry.hh"
@@ -177,9 +178,16 @@ TEST(WorkloadRegistry, HasAll27)
     EXPECT_EQ(workloads::makeAllWorkloads(0.1).size(), 27u);
 }
 
-TEST(WorkloadRegistry, UnknownNameIsFatal)
+TEST(WorkloadRegistry, UnknownNameThrows)
 {
-    EXPECT_DEATH((void)workloads::makeWorkload("NotAWorkload"), "unknown");
+    try {
+        (void)workloads::makeWorkload("NotAWorkload");
+        FAIL() << "unknown workload name was accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Usage);
+        EXPECT_NE(std::string(e.what()).find("unknown"),
+                  std::string::npos);
+    }
 }
 
 } // namespace
