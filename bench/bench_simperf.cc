@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many warp steps and sector
+ * accesses per second of wall time the simulator itself sustains.
+ *
+ * Unlike every other bench (which reports *simulated* metrics), this one
+ * tracks the speed of the simulation loop -- the ceiling on how many
+ * grid points, scales and seeds every other harness can afford. Three
+ * baskets stress the per-access hot paths differently:
+ *
+ *   interleaved  page-granularity round-robin placement (baseline-rr):
+ *                the worst case for the page table -- every page has a
+ *                different home than its neighbours
+ *   lasp         the full LADM runtime: segment-shaped placements from
+ *                LASP plus CRB scheduling
+ *   first-touch  batch+ft: no proactive placement, every page resolves
+ *                through a UVM fault (exception-overlay heavy)
+ *
+ * Output: one row per basket plus a total, and BENCH_simperf.json (schema
+ * ladm-simperf-v1). Runs are strictly serial -- wall-clock throughput of
+ * one worker is the tracked number; --jobs is accepted but ignored.
+ *
+ * Flags:
+ *   --repeats N          run the basket N times, keep the fastest pass
+ *                        (default 3; CI quick mode uses 1)
+ *   --baseline PATH      compare against the warp_steps_per_sec recorded
+ *                        in an earlier BENCH_simperf.json
+ *   --max-regression F   with --baseline: exit 1 if total throughput
+ *                        drops below (1-F) x baseline (default 0.25)
+ */
+
+#include <chrono>
+#include <cstring>
+#include <iterator>
+
+#include "bench_util.hh"
+
+using namespace ladm;
+using namespace ladm::bench;
+
+namespace
+{
+
+struct Basket
+{
+    std::string name;
+    std::vector<core::SweepCell> cells;
+};
+
+struct BasketResult
+{
+    std::string name;
+    uint64_t warpSteps = 0;
+    uint64_t sectorAccesses = 0;
+    uint64_t runs = 0;
+    double seconds = 0.0;
+
+    double wsps() const { return safeRate(warpSteps, seconds); }
+    double saps() const { return safeRate(sectorAccesses, seconds); }
+};
+
+/** Wall-clock one serial pass over the basket's cells. */
+BasketResult
+runBasket(const Basket &b, int repeats)
+{
+    BasketResult best;
+    best.name = b.name;
+    best.seconds = 0.0;
+    for (int r = 0; r < std::max(1, repeats); ++r) {
+        BasketResult pass;
+        pass.name = b.name;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const core::SweepCell &c : b.cells) {
+            auto w = workloads::makeWorkload(c.workload, c.scale);
+            auto bundle = makeBundle(c.policy);
+            const RunMetrics m =
+                runExperiment(*w, *bundle, c.cfg, c.launches);
+            pass.warpSteps += m.warpSteps;
+            pass.sectorAccesses += m.sectorAccesses;
+            ++pass.runs;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        pass.seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || pass.wsps() > best.wsps())
+            best = pass;
+    }
+    return best;
+}
+
+/**
+ * Minimal extraction of "key": value from a prior BENCH_simperf.json.
+ * The document is machine-written by JsonWriter, so a substring scan is
+ * exact enough; returns a negative value when the key is absent.
+ */
+double
+extractJsonNumber(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::atof(text.c_str() + pos + needle.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseJobsFlag(argc, argv); // accepted for uniformity; runs are serial
+
+    int repeats = 3;
+    std::string baseline_path;
+    double max_regression = 0.25;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
+            repeats = std::atoi(argv[++i]);
+        else if (std::strncmp(argv[i], "--repeats=", 10) == 0)
+            repeats = std::atoi(argv[i] + 10);
+        else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            baseline_path = argv[++i];
+        else if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+            baseline_path = argv[i] + 11;
+        else if (std::strcmp(argv[i], "--max-regression") == 0 &&
+                 i + 1 < argc)
+            max_regression = std::atof(argv[++i]);
+        else if (std::strncmp(argv[i], "--max-regression=", 17) == 0)
+            max_regression = std::atof(argv[i] + 17);
+    }
+
+    printHeaderLine("Simulator throughput (warp-steps/sec of wall time)");
+
+    const SystemConfig multi = presets::multiGpu4x4();
+
+    // A fixed basket: the set must not drift PR-to-PR or the trajectory
+    // breaks. Workloads chosen to cover regular streams, GEMM reuse and
+    // irregular graphs without making the quick CI pass minutes long.
+    std::vector<Basket> baskets;
+    {
+        Basket b;
+        b.name = "interleaved";
+        for (const char *w :
+             {"VecAdd", "ScalarProd", "CONV", "SQ-GEMM"})
+            b.cells.push_back(cell(w, Policy::BaselineRr, multi));
+        baskets.push_back(std::move(b));
+    }
+    {
+        Basket b;
+        b.name = "lasp";
+        for (const char *w :
+             {"VecAdd", "SRAD", "SQ-GEMM", "LSTM-2", "PageRank"})
+            b.cells.push_back(cell(w, Policy::Ladm, multi));
+        baskets.push_back(std::move(b));
+    }
+    {
+        Basket b;
+        b.name = "first-touch";
+        for (const char *w : {"VecAdd", "CONV", "BFS-relax"})
+            b.cells.push_back(cell(w, Policy::BatchFt, multi));
+        baskets.push_back(std::move(b));
+    }
+
+    std::printf("%-14s %6s %14s %16s %18s %10s\n", "basket", "runs",
+                "warp-steps", "warp-steps/sec", "sector-acc/sec",
+                "seconds");
+
+    std::vector<BasketResult> results;
+    BasketResult total;
+    total.name = "total";
+    for (const Basket &b : baskets) {
+        const BasketResult r = runBasket(b, repeats);
+        std::printf("%-14s %6llu %14llu %16.0f %18.0f %10.3f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.runs),
+                    static_cast<unsigned long long>(r.warpSteps),
+                    r.wsps(), r.saps(), r.seconds);
+        total.warpSteps += r.warpSteps;
+        total.sectorAccesses += r.sectorAccesses;
+        total.runs += r.runs;
+        total.seconds += r.seconds;
+        results.push_back(r);
+    }
+    std::printf("%-14s %6llu %14llu %16.0f %18.0f %10.3f\n", "total",
+                static_cast<unsigned long long>(total.runs),
+                static_cast<unsigned long long>(total.warpSteps),
+                total.wsps(), total.saps(), total.seconds);
+
+    {
+        std::ofstream os("BENCH_simperf.json");
+        if (os) {
+            telemetry::JsonWriter w(os, 1);
+            w.beginObject();
+            w.kv("schema", "ladm-simperf-v1");
+            w.kv("bench", "simperf");
+            w.kv("scale", benchScale());
+            w.kv("repeats", static_cast<double>(repeats));
+            w.key("baskets");
+            w.beginArray();
+            for (const BasketResult &r : results) {
+                w.beginObject();
+                w.kv("name", r.name);
+                w.kv("runs", static_cast<double>(r.runs));
+                w.kv("warp_steps", static_cast<double>(r.warpSteps));
+                w.kv("sector_accesses",
+                     static_cast<double>(r.sectorAccesses));
+                w.kv("seconds", r.seconds);
+                w.kv("warp_steps_per_sec", r.wsps());
+                w.kv("sector_accesses_per_sec", r.saps());
+                w.endObject();
+            }
+            w.endArray();
+            w.key("total");
+            w.beginObject();
+            w.kv("runs", static_cast<double>(total.runs));
+            w.kv("warp_steps", static_cast<double>(total.warpSteps));
+            w.kv("sector_accesses",
+                 static_cast<double>(total.sectorAccesses));
+            w.kv("seconds", total.seconds);
+            w.kv("warp_steps_per_sec", total.wsps());
+            w.kv("sector_accesses_per_sec", total.saps());
+            w.endObject();
+            w.endObject();
+            os << '\n';
+            std::printf("[bench] wrote BENCH_simperf.json\n");
+        }
+    }
+
+    if (!baseline_path.empty()) {
+        std::ifstream is(baseline_path);
+        if (!is) {
+            std::fprintf(stderr, "[simperf] no baseline at %s\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        // The "total" object is the last warp_steps_per_sec in the file.
+        const size_t last =
+            text.rfind("\"warp_steps_per_sec\":");
+        const double base =
+            last == std::string::npos
+                ? -1.0
+                : extractJsonNumber(text.substr(last),
+                                    "warp_steps_per_sec");
+        if (base <= 0.0) {
+            std::fprintf(stderr,
+                         "[simperf] baseline has no usable "
+                         "warp_steps_per_sec\n");
+            return 1;
+        }
+        const double ratio = safeRate(total.wsps(), base);
+        std::printf("[simperf] %.0f vs baseline %.0f warp-steps/sec "
+                    "(%.2fx)\n",
+                    total.wsps(), base, ratio);
+        if (ratio < 1.0 - max_regression) {
+            std::fprintf(stderr,
+                         "[simperf] FAIL: throughput regressed %.0f%% "
+                         "(limit %.0f%%)\n",
+                         (1.0 - ratio) * 100.0, max_regression * 100.0);
+            return 1;
+        }
+    }
+    return 0;
+}

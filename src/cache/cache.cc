@@ -34,136 +34,56 @@ SectoredCache::SectoredCache(Bytes size, int assoc, std::string name)
     ladm_assert(size >= set_bytes && size % set_bytes == 0,
                 "cache '", name_, "': size ", size,
                 " not a multiple of assoc*line");
-    size_t num_sets = size / set_bytes;
-    sets_.resize(num_sets);
-    for (auto &s : sets_)
-        s.ways.resize(assoc_);
-}
-
-size_t
-SectoredCache::setIndex(Addr line_addr) const
-{
-    // XOR-folded set hash (as GPUs and Accel-Sim use): without it,
-    // column-strided access patterns whose row pitch is a power of two
-    // concentrate into a few sets and conflict-thrash pathologically.
-    uint64_t line = line_addr / kLineSize;
-    const size_t n = sets_.size();
-    uint64_t h = line;
-    h ^= line / n;
-    h ^= line / (static_cast<uint64_t>(n) * n);
-    h ^= h >> 17;
-    return static_cast<size_t>(h % n);
-}
-
-AccessResult
-SectoredCache::access(Addr addr, bool is_write, bool allocate,
-                      EvictInfo *evict)
-{
-    ++accesses_;
-    ++useClock_;
-
-    const Addr line = lineBase(addr);
-    const int sector = static_cast<int>((addr - line) / kSectorSize);
-    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
-    Set &set = sets_[setIndex(line)];
-
-    for (auto &w : set.ways) {
-        if (w.valid && w.tag == line) {
-            w.lastUse = useClock_;
-            if (w.sectorValid & sbit) {
-                if (is_write)
-                    w.sectorDirty |= sbit;
-                ++hits_;
-                return AccessResult::Hit;
-            }
-            // Tag hit, sector absent: fill just the sector.
-            ++sectorMisses_;
-            if (allocate) {
-                w.sectorValid |= sbit;
-                if (is_write)
-                    w.sectorDirty |= sbit;
-            } else {
-                ++bypasses_;
-            }
-            return AccessResult::SectorMiss;
+    numSets_ = size / set_bytes;
+    tags_.assign(numSets_ * assoc_, kNoLine);
+    meta_.resize(numSets_ * assoc_);
+    if (isPowerOfTwo(numSets_)) {
+        int shift = 0;
+        while ((size_t(1) << shift) < numSets_)
+            ++shift;
+        // The shift fast path must reproduce the division hash exactly;
+        // line/(n*n) == line >> 2*shift only while 2*shift < 64.
+        if (2 * shift < 64) {
+            setShift_ = shift;
+            setMask_ = numSets_ - 1;
         }
     }
+}
 
-    ++lineMisses_;
-    if (!allocate) {
-        ++bypasses_;
-        return AccessResult::Miss;
-    }
 
-    // Pick the LRU victim (preferring an invalid way).
-    Way *victim = &set.ways[0];
-    for (auto &w : set.ways) {
-        if (!w.valid) {
-            victim = &w;
+
+
+
+uint64_t
+SectoredCache::invalidateRange(Addr lo, Addr hi)
+{
+    uint64_t dropped = 0;
+    for (Addr line = lineBase(lo); line < hi; line += kLineSize) {
+        const size_t base = setIndex(line) * assoc_;
+        for (int i = 0; i < assoc_; ++i) {
+            if (tags_[base + i] != line)
+                continue;
+            dropped += static_cast<uint64_t>(
+                __builtin_popcount(meta_[base + i].sectorValid));
+            tags_[base + i] = kNoLine;
+            meta_[base + i] = WayMeta{};
             break;
         }
-        if (w.lastUse < victim->lastUse)
-            victim = &w;
     }
-    if (victim->valid && evict) {
-        evict->evicted = true;
-        evict->lineAddr = victim->tag;
-        evict->dirtyMask = victim->sectorDirty;
-    }
-    victim->valid = true;
-    victim->tag = line;
-    victim->sectorValid = sbit;
-    victim->sectorDirty = is_write ? sbit : 0;
-    victim->lastUse = useClock_;
-    return AccessResult::Miss;
-}
-
-bool
-SectoredCache::probe(Addr addr) const
-{
-    const Addr line = lineBase(addr);
-    const int sector = static_cast<int>((addr - line) / kSectorSize);
-    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
-    const Set &set = sets_[setIndex(line)];
-    for (const auto &w : set.ways) {
-        if (w.valid && w.tag == line)
-            return (w.sectorValid & sbit) != 0;
-    }
-    return false;
-}
-
-bool
-SectoredCache::invalidateSector(Addr addr)
-{
-    const Addr line = lineBase(addr);
-    const int sector = static_cast<int>((addr - line) / kSectorSize);
-    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
-    Set &set = sets_[setIndex(line)];
-    for (auto &w : set.ways) {
-        if (!w.valid || w.tag != line)
-            continue;
-        const bool present = (w.sectorValid & sbit) != 0;
-        w.sectorValid &= static_cast<uint8_t>(~sbit);
-        w.sectorDirty &= static_cast<uint8_t>(~sbit);
-        if (w.sectorValid == 0)
-            w = Way{};
-        return present;
-    }
-    return false;
+    return dropped;
 }
 
 uint64_t
 SectoredCache::invalidateAll()
 {
     uint64_t dirty = 0;
-    for (auto &s : sets_) {
-        for (auto &w : s.ways) {
-            if (w.valid) {
-                dirty += static_cast<uint64_t>(__builtin_popcount(
-                    w.sectorDirty));
-            }
-            w = Way{};
+    for (size_t i = 0; i < tags_.size(); ++i) {
+        if (tags_[i] != kNoLine) {
+            dirty += static_cast<uint64_t>(
+                __builtin_popcount(meta_[i].sectorDirty));
         }
+        tags_[i] = kNoLine;
+        meta_[i] = WayMeta{};
     }
     return dirty;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/address.hh"
 
 namespace ladm
 {
@@ -58,7 +59,8 @@ class SectoredCache
 
     /**
      * Look up @p addr (any byte address; the containing 32B sector is
-     * accessed).
+     * accessed). Defined inline below: the L1/L2 lookups dominate the
+     * simulator's per-access cost, so they must inline into the caller.
      *
      * @param is_write  writes set the sector dirty bit
      * @param allocate  on a miss, whether to insert (false = bypass)
@@ -71,6 +73,13 @@ class SectoredCache
     bool probe(Addr addr) const;
 
     /**
+     * Hint the CPU to pull @p addr's tag set into cache ahead of an
+     * access() -- lets the miss latency overlap earlier work (e.g. the
+     * L1 lookup in front of an L2). No architectural effect.
+     */
+    void prefetchSet(Addr addr) const;
+
+    /**
      * Drop @p addr's sector if present (write-invalidate of the
      * write-through L1s: a write must not leave a stale copy behind).
      * Not counted as an access; a line left with no valid sectors is
@@ -79,6 +88,14 @@ class SectoredCache
      * @return true iff the sector was present.
      */
     bool invalidateSector(Addr addr);
+
+    /**
+     * Drop every sector of every line overlapping [lo, hi) -- the
+     * whole-page invalidation the fault-degradation rescue needs when a
+     * page leaves a failed chiplet. Not counted as accesses.
+     * @return number of sectors dropped (valid, not just dirty).
+     */
+    uint64_t invalidateRange(Addr lo, Addr hi);
 
     /**
      * Invalidate everything (kernel-boundary software coherence of [51]).
@@ -107,32 +124,45 @@ class SectoredCache
     void registerStats(telemetry::StatRegistry &reg,
                        const std::string &path) const;
 
-    size_t numSets() const { return sets_.size(); }
+    size_t numSets() const { return numSets_; }
     int assoc() const { return assoc_; }
 
   private:
     static constexpr int kSectorsPerLine =
         static_cast<int>(kLineSize / kSectorSize);
 
-    struct Way
-    {
-        bool valid = false;
-        Addr tag = 0;              // line base address
-        uint8_t sectorValid = 0;   // bit per sector
-        uint8_t sectorDirty = 0;
-        uint64_t lastUse = 0;      // LRU timestamp
-    };
+    /**
+     * Sentinel for an empty way. Line base addresses are kLineSize-
+     * aligned, so the all-ones address can never collide with one --
+     * validity folds into the tag itself.
+     */
+    static constexpr Addr kNoLine = ~Addr{0};
 
-    struct Set
+    /** Per-way state other than the tag (see layout note below). */
+    struct WayMeta
     {
-        std::vector<Way> ways;
+        uint8_t sectorValid = 0; // bit per sector
+        uint8_t sectorDirty = 0;
+        uint64_t lastUse = 0;    // LRU timestamp
     };
 
     size_t setIndex(Addr line_addr) const;
 
     std::string name_;
     int assoc_;
-    std::vector<Set> sets_;
+    size_t numSets_ = 0;
+    /**
+     * Structure-of-arrays, set-major: the tag scan -- which every
+     * lookup pays across all assoc_ ways -- touches a dense 8-byte
+     * array (two cache lines for a 16-way L2 set) instead of dragging
+     * the LRU/sector metadata through it; the metadata is only touched
+     * for the one way that matches (or the victim).
+     */
+    std::vector<Addr> tags_;     // kNoLine = empty way
+    std::vector<WayMeta> meta_;  // parallel to tags_
+    /** log2(numSets_) when it is a power of two, else -1 (slow path). */
+    int setShift_ = -1;
+    uint64_t setMask_ = 0;
     uint64_t useClock_ = 0;
 
     uint64_t accesses_ = 0;
@@ -141,6 +171,139 @@ class SectoredCache
     uint64_t lineMisses_ = 0;
     uint64_t bypasses_ = 0;
 };
+
+// --- hot path, inline ------------------------------------------------------
+
+inline size_t
+SectoredCache::setIndex(Addr line_addr) const
+{
+    // XOR-folded set hash (as GPUs and Accel-Sim use): without it,
+    // column-strided access patterns whose row pitch is a power of two
+    // concentrate into a few sets and conflict-thrash pathologically.
+    uint64_t line = line_addr / kLineSize;
+    uint64_t h = line;
+    if (setShift_ >= 0) {
+        // numSets_ is a power of two (the common case): identical
+        // arithmetic with the divisions strength-reduced to shifts.
+        h ^= line >> setShift_;
+        h ^= line >> (2 * setShift_);
+        h ^= h >> 17;
+        return static_cast<size_t>(h & setMask_);
+    }
+    const size_t n = numSets_;
+    h ^= line / n;
+    h ^= line / (static_cast<uint64_t>(n) * n);
+    h ^= h >> 17;
+    return static_cast<size_t>(h % n);
+}
+
+inline void
+SectoredCache::prefetchSet(Addr addr) const
+{
+    __builtin_prefetch(&tags_[setIndex(lineBase(addr)) * assoc_]);
+}
+
+inline AccessResult
+SectoredCache::access(Addr addr, bool is_write, bool allocate,
+                      EvictInfo *evict)
+{
+    ++accesses_;
+    ++useClock_;
+
+    const Addr line = lineBase(addr);
+    const int sector = static_cast<int>((addr - line) / kSectorSize);
+    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
+    const size_t base = setIndex(line) * assoc_;
+    Addr *const tags = &tags_[base];
+
+    for (int i = 0; i < assoc_; ++i) {
+        if (tags[i] == line) {
+            WayMeta &w = meta_[base + i];
+            w.lastUse = useClock_;
+            if (w.sectorValid & sbit) {
+                if (is_write)
+                    w.sectorDirty |= sbit;
+                ++hits_;
+                return AccessResult::Hit;
+            }
+            // Tag hit, sector absent: fill just the sector.
+            ++sectorMisses_;
+            if (allocate) {
+                w.sectorValid |= sbit;
+                if (is_write)
+                    w.sectorDirty |= sbit;
+            } else {
+                ++bypasses_;
+            }
+            return AccessResult::SectorMiss;
+        }
+    }
+
+    ++lineMisses_;
+    if (!allocate) {
+        ++bypasses_;
+        return AccessResult::Miss;
+    }
+
+    // Pick the LRU victim (preferring an invalid way).
+    int victim = 0;
+    for (int i = 0; i < assoc_; ++i) {
+        if (tags[i] == kNoLine) {
+            victim = i;
+            break;
+        }
+        if (meta_[base + i].lastUse < meta_[base + victim].lastUse)
+            victim = i;
+    }
+    WayMeta &w = meta_[base + victim];
+    if (tags[victim] != kNoLine && evict) {
+        evict->evicted = true;
+        evict->lineAddr = tags[victim];
+        evict->dirtyMask = w.sectorDirty;
+    }
+    tags[victim] = line;
+    w.sectorValid = sbit;
+    w.sectorDirty = is_write ? sbit : 0;
+    w.lastUse = useClock_;
+    return AccessResult::Miss;
+}
+
+inline bool
+SectoredCache::probe(Addr addr) const
+{
+    const Addr line = lineBase(addr);
+    const int sector = static_cast<int>((addr - line) / kSectorSize);
+    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
+    const size_t base = setIndex(line) * assoc_;
+    for (int i = 0; i < assoc_; ++i) {
+        if (tags_[base + i] == line)
+            return (meta_[base + i].sectorValid & sbit) != 0;
+    }
+    return false;
+}
+
+inline bool
+SectoredCache::invalidateSector(Addr addr)
+{
+    const Addr line = lineBase(addr);
+    const int sector = static_cast<int>((addr - line) / kSectorSize);
+    const uint8_t sbit = static_cast<uint8_t>(1u << sector);
+    const size_t base = setIndex(line) * assoc_;
+    for (int i = 0; i < assoc_; ++i) {
+        if (tags_[base + i] != line)
+            continue;
+        WayMeta &w = meta_[base + i];
+        const bool present = (w.sectorValid & sbit) != 0;
+        w.sectorValid &= static_cast<uint8_t>(~sbit);
+        w.sectorDirty &= static_cast<uint8_t>(~sbit);
+        if (w.sectorValid == 0) {
+            tags_[base + i] = kNoLine;
+            w = WayMeta{};
+        }
+        return present;
+    }
+    return false;
+}
 
 } // namespace ladm
 

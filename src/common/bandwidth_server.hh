@@ -56,7 +56,7 @@ class BandwidthServer
         const Cycles start = std::max(now, nextFree_);
         // Accumulate fractional cycles so narrow links are not quantized
         // to zero cost per sector.
-        fracBusy_ += static_cast<double>(bytes) / bytesPerCycle_;
+        fracBusy_ += serviceFrac(bytes);
         const Cycles busy = static_cast<Cycles>(fracBusy_);
         fracBusy_ -= static_cast<double>(busy);
         nextFree_ = start + busy;
@@ -88,12 +88,42 @@ class BandwidthServer
     }
 
   private:
+    /**
+     * Service time in fractional cycles for @p bytes. A server sees the
+     * same one or two transfer sizes (data sector, control message)
+     * millions of times, so their quotients are memoized on first use.
+     * IEEE-754 division is deterministic -- same operands, same result
+     * -- so the cached quotient is bit-identical to dividing every
+     * call; this only hoists the divide off the hot path. The memo is
+     * derived purely from the configured rate and therefore survives
+     * reset().
+     */
+    double
+    serviceFrac(Bytes bytes)
+    {
+        if (bytes == memoBytes_[0])
+            return memoQuot_[0];
+        if (bytes == memoBytes_[1])
+            return memoQuot_[1];
+        const double q = static_cast<double>(bytes) / bytesPerCycle_;
+        if (memoBytes_[0] == 0) {
+            memoBytes_[0] = bytes;
+            memoQuot_[0] = q;
+        } else if (memoBytes_[1] == 0) {
+            memoBytes_[1] = bytes;
+            memoQuot_[1] = q;
+        }
+        return q;
+    }
+
     double bytesPerCycle_ = 1.0;
     Cycles latency_ = 0;
     Cycles nextFree_ = 0;
     double fracBusy_ = 0.0;
     Bytes totalBytes_ = 0;
     Cycles busyCycles_ = 0;
+    Bytes memoBytes_[2] = {0, 0};
+    double memoQuot_[2] = {0.0, 0.0};
 };
 
 } // namespace ladm

@@ -24,19 +24,6 @@ Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
 }
 
 void
-Histogram::sample(uint64_t v)
-{
-    size_t idx = static_cast<size_t>(v / bucketWidth_);
-    if (idx < buckets_.size())
-        ++buckets_[idx];
-    else
-        ++overflow_;
-    ++total_;
-    sum_ += static_cast<double>(v);
-    max_ = std::max(max_, v);
-}
-
-void
 Histogram::reset()
 {
     for (auto &b : buckets_)

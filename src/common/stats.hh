@@ -13,6 +13,7 @@
 #ifndef LADM_COMMON_STATS_HH
 #define LADM_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -72,7 +73,20 @@ class Histogram
   public:
     Histogram(uint64_t bucket_width = 1, size_t num_buckets = 16);
 
-    void sample(uint64_t v);
+    /** Inline: sampled once per warp step on the engine's hot loop. */
+    void
+    sample(uint64_t v)
+    {
+        const size_t idx = static_cast<size_t>(v / bucketWidth_);
+        if (idx < buckets_.size())
+            ++buckets_[idx];
+        else
+            ++overflow_;
+        ++total_;
+        sum_ += static_cast<double>(v);
+        max_ = std::max(max_, v);
+    }
+
     void reset();
 
     uint64_t bucketCount(size_t i) const;

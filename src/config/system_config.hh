@@ -103,6 +103,15 @@ struct SystemConfig
      * (scoreboarding / software pipelining). Depth 1 = fully blocking.
      */
     int warpPipelineDepth = 3;
+    /**
+     * Schedule warp wake-ups through a calendar queue (bucketed by
+     * computeGapCycles) instead of the default binary heap. O(1) event
+     * ops, but equal-cycle events pop in FIFO instead of heap order, and
+     * simultaneity order is behavior-relevant (bandwidth booking order),
+     * so results differ slightly from the recorded baselines; keep the
+     * default for reproducibility. See sim/event_queue.hh.
+     */
+    bool engineCalendarQueue = false;
 
     // --- caches -----------------------------------------------------------
     Bytes l1SizePerSm = 64 * 1024;

@@ -58,6 +58,7 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
     m.insertPolicy = plan.policy;
     m.cycles = ks.cycles();
     m.tbCount = static_cast<uint64_t>(ks.tbCount);
+    m.warpSteps = ks.warpSteps;
     m.sectorAccesses = ks.sectorAccesses;
     m.warpInstrs = ks.warpInstrs;
     m.fetchLocal = mem.fetchLocal();

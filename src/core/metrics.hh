@@ -28,6 +28,7 @@ struct RunMetrics
 
     Cycles cycles = 0;
     uint64_t tbCount = 0;
+    uint64_t warpSteps = 0;
     uint64_t sectorAccesses = 0;
     double warpInstrs = 0.0;
 

@@ -24,10 +24,10 @@ HierarchicalNet::HierarchicalNet(const SystemConfig &cfg)
 Cycles
 HierarchicalNet::delayImpl(Cycles now, NodeId src, NodeId dst, Bytes bytes)
 {
-    const GpuId sg = cfg_.gpuOfNode(src);
-    const GpuId dg = cfg_.gpuOfNode(dst);
-    const int sc = cfg_.chipletOfNode(src);
-    const int dc = cfg_.chipletOfNode(dst);
+    const GpuId sg = nodeGpu_[src];
+    const GpuId dg = nodeGpu_[dst];
+    const int sc = nodeChiplet_[src];
+    const int dc = nodeChiplet_[dst];
 
     if (sg == dg) {
         if (faultsActive())

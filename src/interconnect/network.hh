@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "check/fault_plan.hh"
 #include "common/types.hh"
@@ -38,8 +39,15 @@ class Network
     /** @throws SimError when cfg.faultSpec does not parse. */
     explicit Network(const SystemConfig &cfg)
         : cfg_(cfg), plan_(check::FaultPlan::parse(cfg.faultSpec)),
-          faulted_(!plan_.empty())
+          tr_(telemetry::tracer()), faulted_(!plan_.empty())
     {
+        const int nodes = cfg_.numNodes();
+        nodeGpu_.reserve(nodes);
+        nodeChiplet_.reserve(nodes);
+        for (NodeId n = 0; n < nodes; ++n) {
+            nodeGpu_.push_back(cfg_.gpuOfNode(n));
+            nodeChiplet_.push_back(cfg_.chipletOfNode(n));
+        }
     }
     virtual ~Network() = default;
 
@@ -56,12 +64,11 @@ class Network
         if (src == dst)
             return 0;
         interNodeBytes_ += bytes;
-        if (cfg_.gpuOfNode(src) != cfg_.gpuOfNode(dst))
+        if (nodeGpu_[src] != nodeGpu_[dst])
             interGpuBytes_ += bytes;
         const Cycles delay = delayImpl(now, src, dst, bytes);
-        auto &tr = telemetry::tracer();
-        if (tr.enabled() && tr.sampleTick())
-            traceTransfer(tr, now, delay, src, dst, bytes);
+        if (tr_.enabled() && tr_.sampleTick())
+            traceTransfer(tr_, now, delay, src, dst, bytes);
         return delay;
     }
 
@@ -117,11 +124,20 @@ class Network
 
     const SystemConfig cfg_;
     const check::FaultPlan plan_;
+    /**
+     * gpuOfNode()/chipletOfNode() hoisted into per-node tables: both are
+     * integer divisions the routing hot path would otherwise pay on
+     * every boundary crossing.
+     */
+    std::vector<GpuId> nodeGpu_;
+    std::vector<ChipletId> nodeChiplet_;
 
   private:
     void traceTransfer(telemetry::TraceEmitter &tr, Cycles now,
                        Cycles delay, NodeId src, NodeId dst, Bytes bytes);
 
+    /** Process-wide trace emitter, fetched once instead of per call. */
+    telemetry::TraceEmitter &tr_;
     const bool faulted_;
     Bytes interNodeBytes_ = 0;
     Bytes interGpuBytes_ = 0;

@@ -25,16 +25,27 @@ RingFabric::routeDelay(Cycles now, int src, int dst, Bytes bytes)
 {
     if (src == dst)
         return 0;
-    int fwd = (dst - src + n_) % n_;  // hops going clockwise
-    int bwd = n_ - fwd;
+    // Hops going clockwise; src and dst are both in [0, n), so a single
+    // conditional add replaces the modulo (this runs per network hop).
+    int fwd = dst - src;
+    if (fwd < 0)
+        fwd += n_;
+    const int bwd = n_ - fwd;
     Cycles delay = 0;
     if (fwd <= bwd) {
-        for (int i = 0; i < fwd; ++i)
-            delay += cw_[(src + i) % n_].book(now, bytes) + hopLatency_;
+        int idx = src;
+        for (int i = 0; i < fwd; ++i) {
+            delay += cw_[idx].book(now, bytes) + hopLatency_;
+            if (++idx == n_)
+                idx = 0;
+        }
     } else {
-        for (int i = 0; i < bwd; ++i)
-            delay += ccw_[(src - i + n_) % n_].book(now, bytes) +
-                     hopLatency_;
+        int idx = src;
+        for (int i = 0; i < bwd; ++i) {
+            delay += ccw_[idx].book(now, bytes) + hopLatency_;
+            if (--idx < 0)
+                idx += n_;
+        }
     }
     return delay;
 }

@@ -1,45 +1,105 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
 namespace ladm
 {
 
-PageTable::PageTable(Bytes page_size) : pageSize_(page_size)
+PageTable::PageTable(Bytes page_size)
+    : pageSize_(page_size), tlb_(kTlbSize)
 {
     ladm_assert(isPowerOfTwo(page_size), "page size must be a power of two");
+    pageShift_ = 0;
+    while ((Bytes{1} << pageShift_) < page_size)
+        ++pageShift_;
+}
+
+void
+PageTable::tlbInvalidatePage(uint64_t page)
+{
+    TlbEntry &e = tlb_[page & kTlbMask];
+    if (e.tag == page + 1)
+        e = TlbEntry{};
+}
+
+void
+PageTable::tlbFlush()
+{
+    std::fill(tlb_.begin(), tlb_.end(), TlbEntry{});
+    ++tlbFlushes_;
 }
 
 void
 PageTable::carve(Addr start, Addr end)
 {
-    // A run beginning strictly before `start` may straddle it: keep its
-    // head, and if it extends past `end`, re-insert its tail. Runs
-    // beginning at or after `start` are handled by the erase loop below
-    // (using upper_bound here would catch a run whose key equals `start`
-    // and shrink it into a degenerate empty run that later blocks the
-    // emplace of the new mapping).
-    auto it = runs_.lower_bound(start);
-    if (it != runs_.begin()) {
+    // A segment beginning strictly before `start` may straddle it: keep
+    // its head, and if it extends past `end`, re-insert its tail. The
+    // anchor is preserved so interleave/row arithmetic is unaffected by
+    // the split. Segments beginning at or after `start` are handled by
+    // the erase loop (using upper_bound here would catch a segment whose
+    // key equals `start` and shrink it into a degenerate empty one that
+    // later blocks the emplace of the new mapping).
+    auto it = segments_.lower_bound(start);
+    if (it != segments_.begin()) {
         auto prev = std::prev(it);
         if (prev->second.end > start) {
-            Run old = prev->second;
+            Segment tail = prev->second;
             prev->second.end = start;
-            if (old.end > end)
-                runs_.emplace(end, Run{old.end, old.node});
+            if (tail.end > end)
+                segments_.emplace(end, std::move(tail));
         }
     }
-    while (it != runs_.end() && it->first < end) {
+    while (it != segments_.end() && it->first < end) {
         if (it->second.end > end) {
-            // Straddles end: shrink from the left.
-            Run tail{it->second.end, it->second.node};
-            it = runs_.erase(it);
-            runs_.emplace(end, tail);
+            // Straddles end: shrink from the left, anchor unchanged.
+            Segment tail = std::move(it->second);
+            it = segments_.erase(it);
+            segments_.emplace(end, std::move(tail));
             break;
         }
-        it = runs_.erase(it);
+        it = segments_.erase(it);
     }
+}
+
+void
+PageTable::insertSegment(Addr start, Segment seg)
+{
+    carve(start, seg.end);
+
+    // Merge with identical-node uniform neighbours so chunked
+    // placements collapse to one segment per node, like the old
+    // interval map's run merging. Merging re-stamps the absorbed
+    // neighbour's range with this placement's (newer) generation, which
+    // is only sound while no exception could outrank the neighbour: an
+    // exception layered over it would silently lose to the inflated
+    // generation. Exceptions appear once first-touch/migration starts,
+    // i.e. after the bulk placements this merge exists for.
+    if (seg.kind == SegKind::Uniform && exceptions_.empty()) {
+        auto next = segments_.lower_bound(start);
+        if (next != segments_.end() && next->first == seg.end &&
+            next->second.kind == SegKind::Uniform &&
+            next->second.node == seg.node) {
+            seg.end = next->second.end;
+            segments_.erase(next);
+        }
+        if (!segments_.empty()) {
+            auto prev = segments_.upper_bound(start);
+            if (prev != segments_.begin()) {
+                --prev;
+                if (prev->second.end == start &&
+                    prev->second.kind == SegKind::Uniform &&
+                    prev->second.node == seg.node) {
+                    prev->second.end = seg.end;
+                    prev->second.gen = seg.gen;
+                    return;
+                }
+            }
+        }
+    }
+    segments_.emplace(start, std::move(seg));
 }
 
 void
@@ -47,8 +107,26 @@ PageTable::place(Addr addr, Bytes size, NodeId node)
 {
     if (size == 0)
         return;
-    placeAligned(roundDown(addr, pageSize_),
-                 roundUp(addr + size, pageSize_), node);
+    ladm_assert(node != kInvalidNode, "cannot place on the invalid node");
+    const Addr start = roundDown(addr, pageSize_);
+    const Addr end = roundUp(addr + size, pageSize_);
+    ++gen_;
+    if (end - start == pageSize_) {
+        // Single page: O(1) exception overlay, no segment surgery. The
+        // generation stamp makes it override any older segment below.
+        const uint64_t page = start >> pageShift_;
+        exceptions_[page] = PageExc{node, gen_};
+        tlbInvalidatePage(page);
+        return;
+    }
+    Segment seg;
+    seg.end = end;
+    seg.anchor = start;
+    seg.gen = gen_;
+    seg.kind = SegKind::Uniform;
+    seg.node = node;
+    insertSegment(start, std::move(seg));
+    tlbFlush();
 }
 
 void
@@ -56,59 +134,257 @@ PageTable::placeSubPage(Addr addr, Bytes size, NodeId node)
 {
     if (size == 0)
         return;
-    placeAligned(roundDown(addr, kSectorSize),
-                 roundUp(addr + size, kSectorSize), node);
+    ladm_assert(node != kInvalidNode, "cannot place on the invalid node");
+    const Addr start = roundDown(addr, kSectorSize);
+    const Addr end = roundUp(addr + size, kSectorSize);
+    ++gen_;
+    Segment seg;
+    seg.end = end;
+    seg.anchor = start;
+    seg.gen = gen_;
+    seg.kind = SegKind::Uniform;
+    seg.node = node;
+    insertSegment(start, std::move(seg));
+    tlbFlush();
 }
 
 void
-PageTable::placeAligned(Addr start, Addr end, NodeId node)
+PageTable::placeStrideInterleave(Addr base, Bytes size,
+                                 const std::vector<NodeId> &nodes,
+                                 Bytes granule)
 {
-    ladm_assert(node != kInvalidNode, "cannot place on the invalid node");
-    carve(start, end);
+    if (size == 0)
+        return;
+    ladm_assert(!nodes.empty(), "need at least one node");
+    ladm_assert(granule > 0 && granule % pageSize_ == 0,
+                "interleave granule must be a multiple of the page size");
+    const Addr start = roundDown(base, pageSize_);
+    const Addr end = roundUp(base + size, pageSize_);
+    ++gen_;
+    Segment seg;
+    seg.end = end;
+    seg.anchor = start;
+    seg.gen = gen_;
+    seg.kind = SegKind::StrideInterleave;
+    seg.granule = granule;
+    seg.nodes = nodes;
+    insertSegment(start, std::move(seg));
+    tlbFlush();
+}
 
-    // Merge with identical-node neighbours.
-    auto next = runs_.lower_bound(start);
-    if (next != runs_.end() && next->first == end &&
-        next->second.node == node) {
-        end = next->second.end;
-        runs_.erase(next);
-    }
-    if (!runs_.empty()) {
-        auto prev = runs_.upper_bound(start);
-        if (prev != runs_.begin()) {
-            --prev;
-            if (prev->second.end == start && prev->second.node == node) {
-                prev->second.end = end;
-                return;
-            }
-        }
-    }
-    runs_.emplace(start, Run{end, node});
+void
+PageTable::placeStrideInterleaveSubPage(Addr base, Bytes size,
+                                        const std::vector<NodeId> &nodes,
+                                        Bytes granule)
+{
+    if (size == 0)
+        return;
+    ladm_assert(!nodes.empty(), "need at least one node");
+    ladm_assert(granule > 0 && granule % kSectorSize == 0,
+                "sub-page granule must be a multiple of the sector size");
+    const Addr start = roundDown(base, kSectorSize);
+    const Addr end = roundUp(base + size, kSectorSize);
+    ++gen_;
+    Segment seg;
+    seg.end = end;
+    seg.anchor = start;
+    seg.gen = gen_;
+    seg.kind = SegKind::StrideInterleave;
+    seg.granule = granule;
+    seg.nodes = nodes;
+    insertSegment(start, std::move(seg));
+    tlbFlush();
+}
+
+void
+PageTable::placeRowBlocked(Addr base, Bytes row_bytes,
+                           const std::vector<NodeId> &row_nodes,
+                           Bytes total_bytes)
+{
+    if (row_nodes.empty())
+        return;
+    ladm_assert(row_bytes > 0 && row_bytes % pageSize_ == 0,
+                "row bytes must be a positive multiple of the page size");
+    ladm_assert(base % pageSize_ == 0, "row-blocked base must be page "
+                                       "aligned");
+    ++gen_;
+    Segment seg;
+    seg.end = total_bytes == 0
+                  ? base + row_bytes * row_nodes.size()
+                  : base + roundUp(total_bytes, pageSize_);
+    seg.anchor = base;
+    seg.gen = gen_;
+    seg.kind = SegKind::RowBlocked;
+    seg.granule = row_bytes;
+    seg.nodes = row_nodes;
+    insertSegment(base, std::move(seg));
+    tlbFlush();
 }
 
 NodeId
-PageTable::lookup(Addr addr) const
+PageTable::resolveSegment(const Segment &s, Addr start, Addr addr) const
 {
-    auto it = runs_.upper_bound(addr);
-    if (it == runs_.begin())
-        return kInvalidNode;
-    --it;
-    return addr < it->second.end ? it->second.node : kInvalidNode;
+    switch (s.kind) {
+      case SegKind::Uniform:
+        return s.node;
+      case SegKind::StrideInterleave: {
+        const uint64_t k = (addr - s.anchor) / s.granule;
+        return s.nodes[k % s.nodes.size()];
+      }
+      case SegKind::RowBlocked: {
+        const uint64_t r = (addr - s.anchor) / s.granule;
+        return s.nodes[std::min<uint64_t>(r, s.nodes.size() - 1)];
+      }
+    }
+    (void)start;
+    return kInvalidNode;
+}
+
+bool
+PageTable::pageUniform(const Segment &s) const
+{
+    if (s.kind == SegKind::Uniform)
+        return true;
+    // Interleave/row arithmetic is constant across a page iff chunk
+    // boundaries never fall inside one: anchor and granule both page
+    // aligned. Sub-page (CODA) segments fail this and stay out of the
+    // page-granular TLB.
+    return s.granule % pageSize_ == 0 && s.anchor % pageSize_ == 0;
+}
+
+bool
+PageTable::newerSegmentIntersects(Addr lo, Addr hi, uint64_t gen) const
+{
+    auto it = segments_.upper_bound(lo);
+    if (it != segments_.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->second.end > lo && prev->second.gen > gen)
+            return true;
+    }
+    for (; it != segments_.end() && it->first < hi; ++it)
+        if (it->second.gen > gen)
+            return true;
+    return false;
+}
+
+NodeId
+PageTable::lookupSlow(Addr addr) const
+{
+    ++tlbMisses_;
+    uint64_t exc_gen = 0;
+    NodeId exc_node = kInvalidNode;
+    const uint64_t page = addr >> pageShift_;
+    const Addr page_lo = static_cast<Addr>(page) << pageShift_;
+    if (!exceptions_.empty()) {
+        const auto it = exceptions_.find(page);
+        if (it != exceptions_.end()) {
+            exc_node = it->second.node;
+            exc_gen = it->second.gen;
+        }
+    }
+    NodeId result = exc_node;
+    bool seg_won = false;
+    bool cacheable = true;
+    if (!segments_.empty()) {
+        auto it = segments_.upper_bound(addr);
+        if (it != segments_.begin()) {
+            --it;
+            const Segment &s = it->second;
+            // The newest layer covering the address wins (an exception
+            // always has a nonzero generation; unmapped has zero).
+            if (addr < s.end && s.gen > exc_gen) {
+                result = resolveSegment(s, it->first, addr);
+                seg_won = true;
+                // A page-granular TLB entry is sound only if this
+                // segment resolves identically across the whole page:
+                // chunk boundaries must not split it (pageUniform) and
+                // the segment must cover it in full -- a sub-page run
+                // must not speak for sectors it does not own. Segments
+                // are disjoint, so full coverage also rules out a
+                // competing newer segment elsewhere in the page.
+                cacheable = pageUniform(s) && it->first <= page_lo &&
+                            s.end >= page_lo + pageSize_;
+            }
+        }
+    }
+    // When the exception layer wins at this address, a newer segment
+    // covering a different part of the same page would win there --
+    // the page must then stay out of the page-granular TLB.
+    if (!seg_won && result != kInvalidNode &&
+        newerSegmentIntersects(page_lo, page_lo + pageSize_, exc_gen))
+        cacheable = false;
+    if (cacheable && result != kInvalidNode) {
+        TlbEntry &e = tlb_[page & kTlbMask];
+        e.tag = page + 1;
+        e.node = result;
+    }
+    return result;
 }
 
 void
 PageTable::clear()
 {
-    runs_.clear();
+    segments_.clear();
+    exceptions_.clear();
+    gen_ = 0;
+    tlbFlush();
+}
+
+Bytes
+PageTable::segmentBytesOnNode(const Segment &s, Addr start, Addr a,
+                              Addr b, NodeId node) const
+{
+    a = std::max(a, start);
+    b = std::min(b, s.end);
+    if (a >= b)
+        return 0;
+    if (s.kind == SegKind::Uniform)
+        return s.node == node ? b - a : 0;
+    // Walk granule chunks intersecting [a, b). Cold path (reports,
+    // tests); bounded by the chunk count the old interval map would have
+    // stored as individual runs anyway.
+    Bytes total = 0;
+    Addr chunk = s.anchor + ((a - s.anchor) / s.granule) * s.granule;
+    for (; chunk < b; chunk += s.granule) {
+        if (resolveSegment(s, start, chunk) != node)
+            continue;
+        const Addr lo = std::max(a, chunk);
+        const Addr hi = std::min(b, chunk + s.granule);
+        if (hi > lo)
+            total += hi - lo;
+    }
+    return total;
 }
 
 Bytes
 PageTable::bytesOnNode(NodeId node) const
 {
     Bytes total = 0;
-    for (const auto &[start, run] : runs_) {
-        if (run.node == node)
-            total += run.end - start;
+    for (const auto &[start, s] : segments_)
+        total += segmentBytesOnNode(s, start, start, s.end, node);
+
+    for (const auto &[page, exc] : exceptions_) {
+        const Addr lo = static_cast<Addr>(page) << pageShift_;
+        const Addr hi = lo + pageSize_;
+        // Find the segment covering this page, if any.
+        const Segment *seg = nullptr;
+        Addr seg_start = 0;
+        auto it = segments_.upper_bound(lo);
+        if (it != segments_.begin()) {
+            --it;
+            if (lo < it->second.end) {
+                seg = &it->second;
+                seg_start = it->first;
+            }
+        }
+        if (seg && seg->gen > exc.gen)
+            continue; // stale exception: the segment above already counted
+        if (seg) {
+            // Live exception shadows the segment's contribution here.
+            total -= segmentBytesOnNode(*seg, seg_start, lo, hi, node);
+        }
+        if (exc.node == node)
+            total += pageSize_;
     }
     return total;
 }

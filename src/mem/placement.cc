@@ -22,14 +22,11 @@ placeInterleaved(PageTable &pt, Addr base, Bytes size,
 {
     ladm_assert(!nodes.empty(), "need at least one node");
     granule = roundUp(std::max<Bytes>(granule, 1), pt.pageSize());
-    const size_t n = nodes.size();
-    size_t idx = 0;
-    for (Addr a = roundDown(base, pt.pageSize()); a < base + size;
-         a += granule) {
-        Bytes len = std::min<Bytes>(granule, base + size - a);
-        pt.place(a, len, nodes[idx]);
-        idx = (idx + 1) % n;
-    }
+    // One stride-interleave segment replaces the historical loop of
+    // size/granule place() calls: granule k (from the rounded-down
+    // base) homes at nodes[k % n], exactly the arithmetic the loop
+    // produced, but O(1) table entries instead of O(size/granule).
+    pt.placeStrideInterleave(base, size, nodes, granule);
 }
 
 void
@@ -38,14 +35,7 @@ placeInterleavedSubPage(PageTable &pt, Addr base, Bytes size,
 {
     ladm_assert(!nodes.empty(), "need at least one node");
     granule = roundUp(std::max<Bytes>(granule, 1), kSectorSize);
-    const size_t n = nodes.size();
-    size_t idx = 0;
-    for (Addr a = roundDown(base, kSectorSize); a < base + size;
-         a += granule) {
-        Bytes len = std::min<Bytes>(granule, base + size - a);
-        pt.placeSubPage(a, len, nodes[idx]);
-        idx = (idx + 1) % n;
-    }
+    pt.placeStrideInterleaveSubPage(base, size, nodes, granule);
 }
 
 void

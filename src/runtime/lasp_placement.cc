@@ -56,6 +56,25 @@ placeRowStrips(PageTable &pt, const SystemConfig &sys,
         return "row-based (unbalanced strips: kernel-wide chunks)";
     }
 
+    // Uniformly spaced page-aligned strips (the common dense-matrix
+    // shape) collapse to ONE row-blocked segment; the residue past the
+    // last strip start homes with the final strip, matching the loop
+    // below byte for byte.
+    const Bytes spacing = starts[1] - starts[0];
+    bool uniform = starts[0] == 0 && alloc.base % pt.pageSize() == 0 &&
+                   spacing > 0 && spacing % pt.pageSize() == 0 &&
+                   starts[groups - 1] < alloc.size;
+    for (int64_t g = 1; uniform && g < groups; ++g)
+        uniform = starts[g] == spacing * static_cast<Bytes>(g);
+    if (uniform) {
+        std::vector<NodeId> row_nodes(groups);
+        for (int64_t g = 0; g < groups; ++g)
+            row_nodes[g] = nodeOfGroup(g, groups, sys);
+        pt.placeRowBlocked(alloc.base, spacing, row_nodes, alloc.size);
+        return "row-based strips over " + std::to_string(groups) +
+               " groups";
+    }
+
     for (int64_t g = 0; g < groups; ++g) {
         const Bytes start = starts[g];
         if (start >= alloc.size)

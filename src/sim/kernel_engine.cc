@@ -1,12 +1,12 @@
 #include "sim/kernel_engine.hh"
 
 #include <array>
-#include <queue>
 
 #include "check/invariants.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "sim/event_queue.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace.hh"
 
@@ -32,20 +32,14 @@ struct SmState
     int freeWarpSlots = 0;
 };
 
-/** Min-heap entry: next action time of a warp slot. */
-struct Event
-{
-    Cycles time;
-    uint32_t warp;
-
-    bool operator>(const Event &o) const { return time > o.time; }
-};
-
 } // namespace
 
 KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
     : cfg_(cfg), mem_(mem)
 {
+    smNode_.resize(cfg_.totalSms());
+    for (SmId s = 0; s < cfg_.totalSms(); ++s)
+        smNode_[s] = cfg_.nodeOfSm(s);
 }
 
 void
@@ -160,7 +154,9 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
 
     std::vector<WarpState> warps;
     std::vector<uint32_t> free_warps;
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+    EventQueue pq(cfg_.engineCalendarQueue ? EventQueue::Mode::Calendar
+                                           : EventQueue::Mode::Heap,
+                  std::max<Cycles>(cfg_.computeGapCycles, 1));
 
     auto &tr = telemetry::tracer();
     const bool tracing = tr.enabled();
@@ -173,7 +169,7 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
     const Cycles stall_floor = cfg_.computeGapCycles + 32;
 
     auto admit = [&](SmId sm, Cycles now) {
-        const NodeId node = cfg_.nodeOfSm(sm);
+        const NodeId node = smNode_[sm];
         auto &q = node_queues[node];
         SmState &st = sms[sm];
         while (st.residentTbs < cfg_.maxResidentTbsPerSm &&
@@ -194,7 +190,7 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                     warps.emplace_back();
                 }
                 warps[slot] = WarpState{tb, w, sm, 0, {}};
-                pq.push(Event{now, slot});
+                pq.push(now, slot);
             }
         }
     };
@@ -215,8 +211,7 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
 
     std::vector<MemAccess> buf;
     while (!pq.empty()) {
-        const Event ev = pq.top();
-        pq.pop();
+        const WarpEvent ev = pq.pop();
         WarpState &w = warps[ev.warp];
 
         if (check_on) {
@@ -263,7 +258,7 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
             if (--tb_warps_left[w.tb] == 0) {
                 --st.residentTbs;
                 if (tracing) {
-                    const NodeId node = cfg_.nodeOfSm(w.sm);
+                    const NodeId node = smNode_[w.sm];
                     tr.complete("tb", "tb" + std::to_string(w.tb),
                                 telemetry::kPidNodeBase + node, w.sm,
                                 tb_start[w.tb], fin);
@@ -288,7 +283,7 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
             stepLatencyHist_->sample(step_latency);
         if (tracing && step_latency >= stall_floor && tr.sampleTick()) {
             tr.complete("stall", "warp_stall",
-                        telemetry::kPidNodeBase + cfg_.nodeOfSm(w.sm),
+                        telemetry::kPidNodeBase + smNode_[w.sm],
                         w.sm, ev.time, done,
                         "{\"cycles\":" + std::to_string(step_latency) +
                             "}");
@@ -302,7 +297,7 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
         ++w.step;
         const Cycles next = std::max(ev.time + cfg_.computeGapCycles,
                                      dep + cfg_.computeGapCycles);
-        pq.push(Event{next, ev.warp});
+        pq.push(next, ev.warp);
     }
 
     stats.warpInstrs =

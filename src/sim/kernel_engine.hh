@@ -75,6 +75,8 @@ class KernelEngine
   private:
     const SystemConfig &cfg_;
     MemorySystem &mem_;
+    /** nodeOfSm() hoisted into a table, built once per topology. */
+    std::vector<NodeId> smNode_;
 
     // Cumulative across run() calls; published as Counter-kind gauges so
     // per-kernel deltas recover the per-launch values.

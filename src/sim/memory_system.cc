@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "check/invariants.hh"
+#include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "mem/address.hh"
 #include "telemetry/stat_registry.hh"
@@ -23,20 +24,26 @@ MemorySystem::MemorySystem(const SystemConfig &cfg)
     const int nodes = cfg_.numNodes();
     const int sms = cfg_.totalSms();
     const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
+    dramChannels_ = channels;
+    if (isPowerOfTwo(static_cast<uint64_t>(channels)))
+        dramChanMask_ = static_cast<uint64_t>(channels) - 1;
 
     fetchLocal_.assign(nodes, 0);
     fetchRemote_.assign(nodes, 0);
 
     l1_.reserve(sms);
-    for (int s = 0; s < sms; ++s)
+    smNode_.resize(sms);
+    for (int s = 0; s < sms; ++s) {
         l1_.emplace_back(cfg_.l1SizePerSm, cfg_.l1Assoc,
                          "l1.sm" + std::to_string(s));
+        smNode_[s] = cfg_.nodeOfSm(s);
+    }
 
     l2_.reserve(nodes);
     dram_.reserve(static_cast<size_t>(nodes) * channels);
     xbar_.reserve(nodes);
     pending_.resize(nodes);
-    pendingSweepAt_.assign(nodes, 1u << 20);
+    pendingSweepAt_.assign(nodes, kSweepFloor);
     const double chan_bpc =
         cfg_.bytesPerCycle(cfg_.memBwPerChipletGBs) / channels;
     const double xbar_bpc = cfg_.bytesPerCycle(cfg_.intraChipletXbarGBs);
@@ -55,51 +62,29 @@ MemorySystem::MemorySystem(const SystemConfig &cfg)
     }
 }
 
-Dram &
-MemorySystem::dramFor(NodeId node, Addr addr)
-{
-    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
-    // Channel-interleave at line granularity with a spreading hash.
-    const uint64_t line = addr / kLineSize;
-    const size_t chan =
-        static_cast<size_t>((line ^ (line >> 7)) % channels);
-    return dram_[static_cast<size_t>(node) * channels + chan];
-}
-
 uint64_t
 MemorySystem::dramAccesses(NodeId n) const
 {
-    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
     uint64_t v = 0;
-    for (int c = 0; c < channels; ++c)
-        v += dram_[static_cast<size_t>(n) * channels + c].accesses();
+    for (int c = 0; c < dramChannels_; ++c)
+        v += dram_[static_cast<size_t>(n) * dramChannels_ + c].accesses();
     return v;
 }
 
 Cycles
 MemorySystem::dramBusyCycles(NodeId n) const
 {
-    const int channels = std::max(1, cfg_.dramChannelsPerChiplet);
     Cycles v = 0;
-    for (int c = 0; c < channels; ++c)
-        v += dram_[static_cast<size_t>(n) * channels + c].busyCycles();
+    for (int c = 0; c < dramChannels_; ++c)
+        v += dram_[static_cast<size_t>(n) * dramChannels_ + c]
+                 .busyCycles();
     return v;
 }
 
 void
-MemorySystem::countClass(NodeId origin, NodeId home, NodeId here, bool hit)
+MemorySystem::handleDirtyEviction(Cycles now, NodeId node,
+                                  const EvictInfo &ev)
 {
-    const int c = static_cast<int>(classifyTraffic(origin, home, here));
-    ++clsAcc_[c];
-    if (hit)
-        ++clsHit_[c];
-}
-
-void
-MemorySystem::handleEviction(Cycles now, NodeId node, const EvictInfo &ev)
-{
-    if (!ev.evicted || ev.dirtyMask == 0)
-        return;
     const int dirty = __builtin_popcount(ev.dirtyMask);
     writebackSectors_ += dirty;
     const Bytes bytes = static_cast<Bytes>(dirty) * kSectorSize;
@@ -123,7 +108,14 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     // interleave non-monotone timestamps and manufacture phantom
     // serialization.
     addr = sectorBase(addr);
-    const NodeId node = cfg_.nodeOfSm(sm);
+    const NodeId node = smNode_[sm];
+
+    // Start pulling the structures an L1 miss will probe -- the MSHR
+    // slot, the L2 tag set, and the translation TLB entry -- while the
+    // L1 lookup runs. All pure prefetch hints, no architectural effect.
+    pending_[node].prefetch(addr);
+    l2_[node].prefetchSet(addr);
+    pageTable_.prefetch(addr);
 
     // L1: reads allocate; writes are write-through no-allocate with
     // write-invalidate (GPU L1s do not hold dirty global data, and a
@@ -147,14 +139,18 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     }
 
     // Outstanding-miss merge (MSHR): if this sector is already in flight
-    // from this node, ride along.
+    // from this node, ride along. A stale (expired) entry is NOT erased
+    // here: the insertAt() at the end of the miss path overwrites it in
+    // place, so the probe chain is walked once per access, not three
+    // times. Nothing between here and there may mutate this table.
     auto &pend = pending_[node];
-    if (auto it = pend.find(addr); it != pend.end()) {
-        if (it->second > now + delay) {
+    const MshrTable::Ref mshr = pend.locate(addr);
+    if (mshr.found) {
+        const Cycles ready = pend.readyAt(mshr);
+        if (ready > now + delay) {
             ++mshrMerges_;
-            return it->second;
+            return ready;
         }
-        pend.erase(it);
     }
 
     // Translate before the requester-side L2 decision: whether this L2
@@ -183,8 +179,14 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         if (cfg_.faultDegradation) {
             const NodeId to =
                 net_->faultPlan().fallbackNode(now, home, cfg_);
+            // Rescue the WHOLE page: re-home it (which also drops its
+            // translation-TLB entry) and invalidate every sector of it
+            // still cached on the dead chiplet -- not just the sector
+            // being touched. Leftover sibling sectors would otherwise
+            // keep serving hits from a failed node's L2.
             pageTable_.place(addr, 1, to); // expands to the whole page
-            l2_[home].invalidateSector(addr);
+            const Addr page = roundDown(addr, cfg_.pageSize);
+            l2_[home].invalidateRange(page, page + cfg_.pageSize);
             fault_stall += net_->routeDelay(now, home, to, cfg_.pageSize);
             ++rehomedPages_;
             home = to;
@@ -268,18 +270,15 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     // weight. The sweep is amortized -- after each pass the next
     // watermark doubles from whatever survived, so a table full of
     // still-in-flight entries cannot trigger an O(n) scan per access.
-    if (pend.size() >= pendingSweepAt_[node]) {
-        for (auto it = pend.begin(); it != pend.end();) {
-            if (it->second <= now)
-                it = pend.erase(it);
-            else
-                ++it;
-        }
-        pendingSweepAt_[node] =
-            std::max<size_t>(2 * pend.size(), 1u << 20);
-    }
     const Cycles done = now + delay;
-    pend[addr] = done;
+    if (pend.size() >= pendingSweepAt_[node]) {
+        pend.sweepExpired(now);
+        pendingSweepAt_[node] =
+            std::max<size_t>(2 * pend.size(), kSweepFloor);
+        pend.insert(addr, done); // the sweep invalidated the Ref
+    } else {
+        pend.insertAt(mshr, addr, done);
+    }
     return done;
 }
 
@@ -427,9 +426,9 @@ MemorySystem::checkDrained(Cycles now) const
     constexpr size_t kMaxListed = 8;
     size_t leaked = 0;
     for (size_t n = 0; n < pending_.size(); ++n) {
-        for (const auto &[addr, ready] : pending_[n]) {
+        pending_[n].forEach([&](Addr addr, Cycles ready) {
             if (ready <= now)
-                continue;
+                return;
             ++leaked;
             if (diags.size() < kMaxListed) {
                 char hex[24];
@@ -442,7 +441,7 @@ MemorySystem::checkDrained(Cycles now) const
                      "a completion time was handed out that nobody "
                      "waited for"});
             }
-        }
+        });
     }
     if (!diags.empty()) {
         throw InvariantViolation(
@@ -455,7 +454,7 @@ MemorySystem::checkDrained(Cycles now) const
 void
 MemorySystem::debugInjectPending(NodeId node, Addr addr, Cycles readyAt)
 {
-    pending_[node][sectorBase(addr)] = readyAt;
+    pending_[node].insert(sectorBase(addr), readyAt);
 }
 
 void
@@ -551,7 +550,7 @@ MemorySystem::resetStats()
     // merges with timestamps from the previous one.
     for (auto &p : pending_)
         p.clear();
-    pendingSweepAt_.assign(pendingSweepAt_.size(), 1u << 20);
+    pendingSweepAt_.assign(pendingSweepAt_.size(), kSweepFloor);
     // Note: bandwidth servers and the network keep cumulative byte counts;
     // they are owned per-experiment so a fresh MemorySystem is the usual
     // way to reset them fully.

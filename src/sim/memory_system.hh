@@ -24,7 +24,6 @@
 #include <array>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -39,6 +38,7 @@
 #include "mem/migration.hh"
 #include "mem/page_table.hh"
 #include "mem/uvm.hh"
+#include "sim/mshr_table.hh"
 
 namespace ladm
 {
@@ -162,13 +162,44 @@ class MemorySystem
     void resetStats();
 
   private:
-    void handleEviction(Cycles now, NodeId node, const EvictInfo &ev);
-    void countClass(NodeId origin, NodeId home, NodeId here, bool hit);
+    /** Early-out inline: the overwhelmingly common clean case is free. */
+    void
+    handleEviction(Cycles now, NodeId node, const EvictInfo &ev)
+    {
+        if (!ev.evicted || ev.dirtyMask == 0)
+            return;
+        handleDirtyEviction(now, node, ev);
+    }
+    void handleDirtyEviction(Cycles now, NodeId node, const EvictInfo &ev);
+
+    void
+    countClass(NodeId origin, NodeId home, NodeId here, bool hit)
+    {
+        const int c = static_cast<int>(classifyTraffic(origin, home, here));
+        ++clsAcc_[c];
+        if (hit)
+            ++clsHit_[c];
+    }
 
     const SystemConfig cfg_;
     PageTable pageTable_;
     Uvm uvm_;
-    Dram &dramFor(NodeId node, Addr addr);
+
+    /**
+     * Channel-interleave at line granularity with a spreading hash. The
+     * channel count is hoisted to a member and, when a power of two (the
+     * default), the modulo reduces to a mask -- identical arithmetic.
+     */
+    Dram &
+    dramFor(NodeId node, Addr addr)
+    {
+        const uint64_t line = addr / kLineSize;
+        const uint64_t h = line ^ (line >> 7);
+        const size_t chan = static_cast<size_t>(
+            dramChanMask_ ? (h & dramChanMask_)
+                          : (h % static_cast<uint64_t>(dramChannels_)));
+        return dram_[static_cast<size_t>(node) * dramChannels_ + chan];
+    }
 
     std::vector<SectoredCache> l1_;     // per SM
     std::vector<SectoredCache> l2_;     // per node
@@ -182,9 +213,24 @@ class MemorySystem
     bool chipletFaults_ = false;
 
     /** Outstanding-miss table per node: sector -> data-ready cycle. */
-    std::vector<std::unordered_map<Addr, Cycles>> pending_;
+    std::vector<MshrTable> pending_;
+    /**
+     * Sweep floor for the outstanding-miss tables: a node's table is
+     * swept of expired entries once it reaches this size. Expired
+     * entries can never satisfy a merge (`now` is globally monotone),
+     * so the floor is pure performance policy: 64K keeps the table
+     * within ~2MB and its probes cache-resident, where a higher floor
+     * lets it balloon to tens of MB of dead entries.
+     */
+    static constexpr size_t kSweepFloor = size_t{1} << 16;
     /** Per-node size watermark for the amortized pending-table sweep. */
     std::vector<size_t> pendingSweepAt_;
+    /** nodeOfSm() hoisted into a table, built once per topology. */
+    std::vector<NodeId> smNode_;
+    /** max(1, cfg.dramChannelsPerChiplet), hoisted for dramFor(). */
+    int dramChannels_ = 1;
+    /** dramChannels_ - 1 when it is a power of two, else 0 (slow path). */
+    uint64_t dramChanMask_ = 0;
 
     /** Control-message size for remote read requests / write acks. */
     static constexpr Bytes kCtrlBytes = 8;

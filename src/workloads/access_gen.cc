@@ -28,6 +28,16 @@ checkSeparable(const Expr &idx)
     }
 }
 
+/** v^e by repeated multiplication (exponents are tiny). */
+int64_t
+ipow(int64_t v, int e)
+{
+    int64_t p = 1;
+    for (int i = 0; i < e; ++i)
+        p *= v;
+    return p;
+}
+
 } // namespace
 
 AffineTraceSource::AffineTraceSource(const KernelDesc &kernel,
@@ -59,23 +69,71 @@ AffineTraceSource::AffineTraceSource(const KernelDesc &kernel,
         }
         checkSeparable(a.index);
 
-        // Precompute per-warp lane byte offsets (relative to lane 0).
-        s.laneOffsets.resize(warpsPerTb_);
+        s.warpPoly.resize(warpsPerTb_);
+        s.warpSectorDeltas.resize(warpsPerTb_);
         const int64_t threads = dims.threadsPerTb();
         for (int w = 0; w < warpsPerTb_; ++w) {
             const int64_t tid0 = static_cast<int64_t>(w) * 32;
+
+            // Fold everything constant for this warp (tx, ty, blockDim,
+            // gridDim) into the coefficients, leaving residual monomials
+            // in (bx, by, m). Integer products commute, so the runtime
+            // value is bit-identical to Expr::eval() on a full Binding.
+            const int64_t tx0 = tid0 % dims.block.x;
+            const int64_t ty0 = tid0 / dims.block.x;
+            auto &poly = s.warpPoly[w];
+            for (const auto &t : a.index.terms()) {
+                Mono mo;
+                mo.coeff =
+                    t.coeff *
+                    ipow(tx0, t.exp[static_cast<int>(Var::Tx)]) *
+                    ipow(ty0, t.exp[static_cast<int>(Var::Ty)]) *
+                    ipow(dims.block.x,
+                         t.exp[static_cast<int>(Var::BDx)]) *
+                    ipow(dims.block.y,
+                         t.exp[static_cast<int>(Var::BDy)]) *
+                    ipow(dims.grid.x,
+                         t.exp[static_cast<int>(Var::GDx)]) *
+                    ipow(dims.grid.y,
+                         t.exp[static_cast<int>(Var::GDy)]);
+                mo.ebx = t.exp[static_cast<int>(Var::Bx)];
+                mo.eby = t.exp[static_cast<int>(Var::By)];
+                mo.em = t.exp[static_cast<int>(Var::M)];
+                poly.push_back(mo);
+            }
+
+            // Per-warp lane byte offsets (relative to lane 0) are
+            // constant across (bx, by, m)...
             const Binding b0 = dims.binding(tid0 % dims.block.x,
                                             tid0 / dims.block.x);
             const int64_t a0 = a.index.eval(b0);
-            auto &offs = s.laneOffsets[w];
+            std::vector<int64_t> offs;
             for (int64_t l = 1; l < 32 && tid0 + l < threads; ++l) {
                 const int64_t tid = tid0 + l;
                 const Binding bl = dims.binding(tid % dims.block.x,
                                                 tid / dims.block.x);
-                const int64_t delta =
-                    (a.index.eval(bl) - a0) *
-                    static_cast<int64_t>(a.elemSize);
-                offs.push_back(delta);
+                offs.push_back((a.index.eval(bl) - a0) *
+                               static_cast<int64_t>(a.elemSize));
+            }
+
+            // ...so the DEDUPLICATED sector pattern depends only on
+            // lane 0's residue within its sector: precompute it for all
+            // 32 residues. `x & ~31` is floor-to-32 in two's complement,
+            // matching sectorBase() bit-for-bit even for negative lane
+            // deltas.
+            auto &per_res = s.warpSectorDeltas[w];
+            constexpr int64_t kSecMask =
+                ~static_cast<int64_t>(kSectorSize - 1);
+            for (int64_t r = 0; r < static_cast<int64_t>(kSectorSize);
+                 ++r) {
+                auto &list = per_res[static_cast<size_t>(r)];
+                list.push_back(0);
+                for (const int64_t delta : offs) {
+                    const int64_t d = (r + delta) & kSecMask;
+                    if (std::find(list.begin(), list.end(), d) ==
+                        list.end())
+                        list.push_back(d);
+                }
             }
         }
         sites_.push_back(std::move(s));
@@ -101,7 +159,8 @@ mix(uint64_t x)
 } // namespace
 
 void
-AffineTraceSource::emitSite(const Site &site, TbId tb, int warp, int64_t m,
+AffineTraceSource::emitSite(const Site &site, TbId tb, int warp,
+                            int64_t bx, int64_t by, int64_t m,
                             std::vector<MemAccess> &out) const
 {
     if (site.scatter) {
@@ -118,27 +177,25 @@ AffineTraceSource::emitSite(const Site &site, TbId tb, int warp, int64_t m,
         }
         return;
     }
-    const int64_t tid0 = static_cast<int64_t>(warp) * 32;
-    const Binding b = dims_.binding(tid0 % dims_.block.x,
-                                    tid0 / dims_.block.x, dims_.bxOf(tb),
-                                    dims_.byOf(tb), m);
-    const Addr a0 =
-        site.base + static_cast<Addr>(site.index.eval(b)) * site.elemSize;
-
-    const size_t first = out.size();
-    out.push_back({sectorBase(a0), site.write});
-    for (const int64_t delta : site.laneOffsets[warp]) {
-        const Addr sec = sectorBase(a0 + delta);
-        bool dup = false;
-        for (size_t i = first; i < out.size(); ++i) {
-            if (out[i].addr == sec) {
-                dup = true;
-                break;
-            }
-        }
-        if (!dup)
-            out.push_back({sec, site.write});
+    // Lane 0's address from the precompiled residual polynomial, then
+    // the whole warp's deduplicated sector batch from the residue table.
+    int64_t idx = 0;
+    for (const Mono &t : site.warpPoly[warp]) {
+        int64_t p = t.coeff;
+        for (int e = 0; e < t.ebx; ++e)
+            p *= bx;
+        for (int e = 0; e < t.eby; ++e)
+            p *= by;
+        for (int e = 0; e < t.em; ++e)
+            p *= m;
+        idx += p;
     }
+    const Addr a0 = site.base + static_cast<Addr>(idx) * site.elemSize;
+    const Addr r = a0 & (kSectorSize - 1);
+    const Addr s0 = a0 - r;
+    for (const int64_t d :
+         site.warpSectorDeltas[warp][static_cast<size_t>(r)])
+        out.push_back({s0 + static_cast<Addr>(d), site.write});
 }
 
 bool
@@ -148,11 +205,11 @@ AffineTraceSource::warpStep(TbId tb, int warp, int64_t step,
     if (step >= steps_)
         return false;
     const bool last = (step == steps_ - 1);
+    const int64_t bx = dims_.bxOf(tb);
+    const int64_t by = dims_.byOf(tb);
     for (const auto &site : sites_) {
-        if (site.perIter)
-            emitSite(site, tb, warp, step, out);
-        else if (last)
-            emitSite(site, tb, warp, step, out);
+        if (site.perIter || last)
+            emitSite(site, tb, warp, bx, by, step, out);
     }
     return true;
 }

@@ -13,6 +13,7 @@
 #ifndef LADM_WORKLOADS_ACCESS_GEN_HH
 #define LADM_WORKLOADS_ACCESS_GEN_HH
 
+#include <array>
 #include <vector>
 
 #include "kernel/kernel_desc.hh"
@@ -47,6 +48,18 @@ class AffineTraceSource : public TraceSource
     int64_t stepsPerWarp() const { return steps_; }
 
   private:
+    /**
+     * One residual monomial of an index expression after the per-warp
+     * constants (tx, ty, blockDim, gridDim) are folded into the
+     * coefficient: coeff * bx^ebx * by^eby * m^em. Integer arithmetic,
+     * so folding is exact -- the runtime value matches Expr::eval().
+     */
+    struct Mono
+    {
+        int64_t coeff = 0;
+        uint8_t ebx = 0, eby = 0, em = 0;
+    };
+
     struct Site
     {
         Addr base = 0;
@@ -56,11 +69,22 @@ class AffineTraceSource : public TraceSource
         bool perIter = true;
         bool scatter = false; ///< data-dependent: random sectors
         Expr index;
-        /** Per warp-in-TB: unique lane byte offsets relative to lane 0. */
-        std::vector<std::vector<int64_t>> laneOffsets;
+        /** Per warp-in-TB: index partially evaluated to (bx, by, m). */
+        std::vector<std::vector<Mono>> warpPoly;
+        /**
+         * Per warp-in-TB, per lane-0 sector residue (a0 mod 32): the
+         * deduplicated sector offsets relative to sectorBase(a0), in
+         * first-occurrence lane order. The lane byte deltas are constant
+         * across (bx, by, m), so which lanes coalesce into which sector
+         * depends ONLY on a0's position within its sector -- the whole
+         * per-step dedup scan collapses to one table lookup.
+         */
+        std::vector<std::array<std::vector<int64_t>, kSectorSize>>
+            warpSectorDeltas;
     };
 
-    void emitSite(const Site &site, TbId tb, int warp, int64_t m,
+    void emitSite(const Site &site, TbId tb, int warp, int64_t bx,
+                  int64_t by, int64_t m,
                   std::vector<MemAccess> &out) const;
 
     LaunchDims dims_;

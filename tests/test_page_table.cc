@@ -1,7 +1,9 @@
 /**
  * @file
- * Tests for the interval-map page table, including a randomized
- * differential test against a flat reference map.
+ * Tests for the segmented page table, including a randomized
+ * differential test against a flat reference map. (Cross-checks against
+ * the historical interval-map implementation live in
+ * test_mem_equivalence.cc.)
  */
 
 #include <map>
@@ -22,7 +24,8 @@ TEST(PageTable, UnmappedByDefault)
     EXPECT_EQ(pt.lookup(0), kInvalidNode);
     EXPECT_EQ(pt.lookup(123456), kInvalidNode);
     EXPECT_FALSE(pt.isMapped(4096));
-    EXPECT_EQ(pt.numRuns(), 0u);
+    EXPECT_EQ(pt.numSegments(), 0u);
+    EXPECT_EQ(pt.numExceptions(), 0u);
 }
 
 TEST(PageTable, PlaceExpandsToPageBoundaries)
@@ -47,14 +50,31 @@ TEST(PageTable, OverwriteSplitsRuns)
     EXPECT_EQ(pt.lookup(15 * 4096), 0);
 }
 
-TEST(PageTable, AdjacentSameNodeRunsMerge)
+TEST(PageTable, AdjacentSameNodeSegmentsMerge)
+{
+    PageTable pt(4096);
+    pt.place(0, 8192, 2);
+    pt.place(8192, 8192, 2);
+    pt.place(4 * 4096, 2 * 4096, 2);
+    EXPECT_EQ(pt.numSegments(), 1u);
+    EXPECT_EQ(pt.bytesOnNode(2), 6u * 4096);
+}
+
+TEST(PageTable, SinglePagePlacesBecomeExceptions)
 {
     PageTable pt(4096);
     pt.place(0, 4096, 2);
     pt.place(4096, 4096, 2);
     pt.place(8192, 4096, 2);
-    EXPECT_EQ(pt.numRuns(), 1u);
+    EXPECT_EQ(pt.numSegments(), 0u);
+    EXPECT_EQ(pt.numExceptions(), 3u);
     EXPECT_EQ(pt.bytesOnNode(2), 3u * 4096);
+    // Re-homing one page overwrites its exception in place.
+    pt.place(4096, 4096, 7);
+    EXPECT_EQ(pt.numExceptions(), 3u);
+    EXPECT_EQ(pt.lookup(4096), 7);
+    EXPECT_EQ(pt.bytesOnNode(2), 2u * 4096);
+    EXPECT_EQ(pt.bytesOnNode(7), 4096u);
 }
 
 TEST(PageTable, BytesOnNode)
@@ -74,14 +94,100 @@ TEST(PageTable, ClearDropsEverything)
     pt.place(0, 1 << 20, 5);
     pt.clear();
     EXPECT_EQ(pt.lookup(0), kInvalidNode);
-    EXPECT_EQ(pt.numRuns(), 0u);
+    EXPECT_EQ(pt.numSegments(), 0u);
+    EXPECT_EQ(pt.numExceptions(), 0u);
 }
 
 TEST(PageTable, ZeroSizePlaceIsNoop)
 {
     PageTable pt(4096);
     pt.place(0, 0, 1);
-    EXPECT_EQ(pt.numRuns(), 0u);
+    EXPECT_EQ(pt.numSegments(), 0u);
+    EXPECT_EQ(pt.numExceptions(), 0u);
+}
+
+TEST(PageTable, StrideInterleaveResolvesRoundRobin)
+{
+    PageTable pt(4096);
+    const std::vector<NodeId> nodes{0, 1, 2, 3};
+    pt.placeStrideInterleave(0, 64 * 4096, nodes, 2 * 4096);
+    EXPECT_EQ(pt.numSegments(), 1u);
+    for (uint64_t p = 0; p < 64; ++p) {
+        const NodeId want = nodes[(p / 2) % nodes.size()];
+        EXPECT_EQ(pt.lookup(p * 4096), want) << "page " << p;
+        EXPECT_EQ(pt.lookup(p * 4096 + 4095), want) << "page " << p;
+    }
+    EXPECT_EQ(pt.bytesOnNode(0), 16u * 4096);
+    EXPECT_EQ(pt.bytesOnNode(3), 16u * 4096);
+}
+
+TEST(PageTable, RowBlockedResolvesRowsAndResidue)
+{
+    PageTable pt(4096);
+    const std::vector<NodeId> rows{5, 6, 7};
+    // 3 rows of 2 pages plus one residue page homing with the last row.
+    pt.placeRowBlocked(0, 2 * 4096, rows, 7 * 4096);
+    EXPECT_EQ(pt.numSegments(), 1u);
+    EXPECT_EQ(pt.lookup(0), 5);
+    EXPECT_EQ(pt.lookup(2 * 4096), 6);
+    EXPECT_EQ(pt.lookup(4 * 4096), 7);
+    EXPECT_EQ(pt.lookup(6 * 4096), 7); // residue
+    EXPECT_EQ(pt.lookup(7 * 4096), kInvalidNode);
+    EXPECT_EQ(pt.bytesOnNode(7), 3u * 4096);
+}
+
+TEST(PageTable, ExceptionOverridesSegmentAndViceVersa)
+{
+    PageTable pt(4096);
+    pt.placeStrideInterleave(0, 16 * 4096, {0, 1}, 4096);
+    pt.place(3 * 4096, 4096, 9); // newer exception wins
+    EXPECT_EQ(pt.lookup(3 * 4096), 9);
+    EXPECT_EQ(pt.lookup(2 * 4096), 0);
+    EXPECT_EQ(pt.lookup(4 * 4096), 0);
+    // A newer bulk placement shadows the stale exception again.
+    pt.placeStrideInterleave(0, 16 * 4096, {2, 3}, 4096);
+    EXPECT_EQ(pt.lookup(3 * 4096), 3);
+    EXPECT_EQ(pt.bytesOnNode(9), 0u);
+}
+
+TEST(PageTable, TlbServesHitsAndInvalidatesPrecisely)
+{
+    PageTable pt(4096);
+    pt.place(0, 16 * 4096, 1);
+    EXPECT_EQ(pt.lookup(0), 1); // miss fills
+    const uint64_t h0 = pt.tlbHits();
+    EXPECT_EQ(pt.lookup(8), 1); // same page: hit
+    EXPECT_EQ(pt.tlbHits(), h0 + 1);
+
+    // Re-homing one page must not let the TLB serve the stale home.
+    pt.lookup(5 * 4096);
+    pt.place(5 * 4096, 4096, 3);
+    EXPECT_EQ(pt.lookup(5 * 4096), 3);
+    // Other cached pages are untouched.
+    EXPECT_EQ(pt.lookup(0), 1);
+}
+
+TEST(PageTable, UnmappedLookupsAreNeverCached)
+{
+    PageTable pt(4096);
+    EXPECT_EQ(pt.lookup(12345), kInvalidNode);
+    EXPECT_EQ(pt.lookup(12345), kInvalidNode);
+    EXPECT_EQ(pt.tlbHits(), 0u);
+    pt.place(3 * 4096, 4096, 4); // page of 12345, via the exception path
+    EXPECT_EQ(pt.lookup(12345), 4);
+}
+
+TEST(PageTable, SubPageSegmentsBypassTheTlb)
+{
+    PageTable pt(4096);
+    // 32-byte interleave: one page spans many homes, so lookups inside
+    // it must never be answered page-granular.
+    pt.placeStrideInterleaveSubPage(0, 4096, {0, 1}, 32);
+    EXPECT_EQ(pt.lookup(0), 0);
+    EXPECT_EQ(pt.lookup(32), 1);
+    EXPECT_EQ(pt.lookup(64), 0);
+    EXPECT_EQ(pt.lookup(0), 0);
+    EXPECT_EQ(pt.tlbHits(), 0u);
 }
 
 TEST(PageTableDeathTest, RejectsInvalidNode)
