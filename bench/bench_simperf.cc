@@ -34,6 +34,7 @@
 #include <iterator>
 
 #include "bench_util.hh"
+#include "telemetry/session.hh"
 
 using namespace ladm;
 using namespace ladm::bench;
@@ -109,6 +110,12 @@ int
 main(int argc, char **argv)
 {
     parseJobsFlag(argc, argv); // accepted for uniformity; runs are serial
+
+    // Observability flags (--timeline-out / --obs-attribution /
+    // --obs-heatmap ...) so A/B overhead runs of the same binary work:
+    // obs off is the tracked configuration, obs on measures its own cost.
+    telemetry::session().configure(
+        TelemetryOptions::parseArgs(argc, argv));
 
     int repeats = 3;
     std::string baseline_path;

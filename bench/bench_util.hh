@@ -41,6 +41,7 @@
 #include "core/experiment.hh"
 #include "core/sweep_runner.hh"
 #include "telemetry/json_writer.hh"
+#include "telemetry/session.hh"
 #include "workloads/registry.hh"
 
 namespace ladm
@@ -82,12 +83,19 @@ run(const std::string &workload, Policy policy, const SystemConfig &cfg)
  * Parse and strip "--jobs N" / "--jobs=N" from the command line, plus
  * the robustness flags "--check" (arms the invariant suite) and
  * "--continue-on-error" (error rows instead of sweep death).
+ *
+ * Also configures the telemetry session from the LADM_* environment, so
+ * every bench honors LADM_TIMELINE_OUT / LADM_OBS_ATTRIBUTION /
+ * LADM_OBS_HEATMAP etc. without its own flag plumbing — with obs armed,
+ * the latency columns of the CSV/JSON sinks carry real percentiles.
+ *
  * @return the requested worker count, 0 when absent (= resolve from
  *         LADM_BENCH_JOBS, then hardware concurrency).
  */
 inline int
 parseJobsFlag(int &argc, char **argv)
 {
+    telemetry::session().configure(TelemetryOptions::fromEnv());
     int jobs = 0;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -334,6 +342,25 @@ class BenchJsonSink
                      static_cast<double>(m.rehomedPages));
                 w.kv("failed_node_accesses",
                      static_cast<double>(m.failedNodeAccesses));
+            }
+            if (m.hasLatency) {
+                w.key("latency");
+                w.beginObject();
+                for (size_t c = 0; c < obs::kNumLatComponents; ++c) {
+                    const obs::LatSummary &s = m.latency[c];
+                    if (s.samples == 0)
+                        continue;
+                    w.key(toString(static_cast<obs::LatComponent>(c)));
+                    w.beginObject();
+                    w.kv("samples", static_cast<double>(s.samples));
+                    w.kv("mean", s.mean);
+                    w.kv("p50", s.p50);
+                    w.kv("p95", s.p95);
+                    w.kv("p99", s.p99);
+                    w.kv("max", s.max);
+                    w.endObject();
+                }
+                w.endObject();
             }
             if (m.failed())
                 w.kv("error", m.error);

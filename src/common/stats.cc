@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ladm
 {
@@ -40,6 +41,89 @@ Histogram::bucketCount(size_t i) const
     return i < buckets_.size() ? buckets_[i] : overflow_;
 }
 
+double
+Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        const double cnt = static_cast<double>(buckets_[i]);
+        if (cnt > 0 && cum + cnt >= target) {
+            const double lo = static_cast<double>(i * bucketWidth_);
+            const double frac = (target - cum) / cnt;
+            const double v = lo + frac * static_cast<double>(bucketWidth_);
+            return std::min(v, static_cast<double>(max_));
+        }
+        cum += cnt;
+    }
+    // Quantile lands in the overflow bucket: interpolate between the end
+    // of the bucketed range and the largest observed sample.
+    const double lo =
+        static_cast<double>(buckets_.size() * bucketWidth_);
+    const double hi = std::max(lo, static_cast<double>(max_));
+    const double frac =
+        overflow_ ? (target - cum) / static_cast<double>(overflow_) : 1.0;
+    return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+}
+
+void
+LogHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    total_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+LogHistogram::merge(const LogHistogram &o)
+{
+    if (o.total_ == 0)
+        return;
+    for (size_t i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += o.buckets_[i];
+    sum_ += o.sum_;
+    if (total_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    total_ += o.total_;
+}
+
+double
+LogHistogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+        const double cnt = static_cast<double>(buckets_[b]);
+        if (cnt > 0 && cum + cnt >= target) {
+            // Bucket b >= 1 spans [2^(b-1), 2^b); bucket 0 is exactly 0.
+            double lo = b ? std::ldexp(1.0, static_cast<int>(b) - 1) : 0.0;
+            double hi = b ? std::ldexp(1.0, static_cast<int>(b)) : 0.0;
+            lo = std::max(lo, static_cast<double>(min_));
+            hi = std::min(hi, static_cast<double>(max_) + 1.0);
+            const double frac = (target - cum) / cnt;
+            const double v = lo + frac * std::max(hi - lo, 0.0);
+            return std::clamp(v, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+        cum += cnt;
+    }
+    return static_cast<double>(max_);
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {
@@ -64,6 +148,12 @@ StatGroup::histogram(const std::string &name, uint64_t bucket_width,
     return it->second;
 }
 
+LogHistogram &
+StatGroup::logHistogram(const std::string &name)
+{
+    return logHistograms_[name];
+}
+
 uint64_t
 StatGroup::get(const std::string &name) const
 {
@@ -79,6 +169,8 @@ StatGroup::reset()
     for (auto &[k, a] : averages_)
         a.reset();
     for (auto &[k, h] : histograms_)
+        h.reset();
+    for (auto &[k, h] : logHistograms_)
         h.reset();
 }
 
@@ -97,6 +189,14 @@ StatGroup::dump(std::ostream &os) const
                << h.bucketCount(i) << "\n";
         }
         os << name_ << "." << k << ".overflow " << h.overflow() << "\n";
+    }
+    for (const auto &[k, h] : logHistograms_) {
+        os << name_ << "." << k << ".samples " << h.totalSamples() << "\n";
+        os << name_ << "." << k << ".mean " << h.mean() << "\n";
+        os << name_ << "." << k << ".p50 " << h.percentile(0.50) << "\n";
+        os << name_ << "." << k << ".p95 " << h.percentile(0.95) << "\n";
+        os << name_ << "." << k << ".p99 " << h.percentile(0.99) << "\n";
+        os << name_ << "." << k << ".max " << h.maxValue() << "\n";
     }
 }
 
@@ -119,12 +219,26 @@ StatGroup::visit(const std::function<void(const std::string &, double,
         fn(k + ".mean", h.mean(), StatKind::Histogram);
         fn(k + ".max", static_cast<double>(h.maxValue()),
            StatKind::Histogram);
+        fn(k + ".p50", h.percentile(0.50), StatKind::Histogram);
+        fn(k + ".p95", h.percentile(0.95), StatKind::Histogram);
+        fn(k + ".p99", h.percentile(0.99), StatKind::Histogram);
         for (size_t i = 0; i < h.numBuckets(); ++i) {
             fn(k + ".bucket" + std::to_string(i),
                static_cast<double>(h.bucketCount(i)), StatKind::Counter);
         }
         fn(k + ".overflow", static_cast<double>(h.overflow()),
            StatKind::Counter);
+        fn(k + ".overflow_frac", h.overflowFraction(), StatKind::Histogram);
+    }
+    for (const auto &[k, h] : logHistograms_) {
+        fn(k + ".samples", static_cast<double>(h.totalSamples()),
+           StatKind::Counter);
+        fn(k + ".mean", h.mean(), StatKind::Histogram);
+        fn(k + ".max", static_cast<double>(h.maxValue()),
+           StatKind::Histogram);
+        fn(k + ".p50", h.percentile(0.50), StatKind::Histogram);
+        fn(k + ".p95", h.percentile(0.95), StatKind::Histogram);
+        fn(k + ".p99", h.percentile(0.99), StatKind::Histogram);
     }
 }
 

@@ -14,6 +14,7 @@
 #define LADM_COMMON_STATS_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -97,12 +98,84 @@ class Histogram
     double mean() const { return total_ ? sum_ / total_ : 0.0; }
     uint64_t maxValue() const { return max_; }
 
+    /**
+     * Estimate the q-quantile (q in [0,1]) by linear interpolation within
+     * the bucket holding the q*total'th sample. Samples in the overflow
+     * bucket interpolate between the bucketed range's end and maxValue(),
+     * so long-tail runs no longer report a percentile capped at the last
+     * regular bucket.
+     */
+    double percentile(double q) const;
+
+    /** Fraction of samples that landed past the last regular bucket. */
+    double overflowFraction() const
+    {
+        return total_ ? static_cast<double>(overflow_) / total_ : 0.0;
+    }
+
   private:
     uint64_t bucketWidth_;
     std::vector<uint64_t> buckets_;
     uint64_t overflow_ = 0;
     uint64_t total_ = 0;
     double sum_ = 0.0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * Log2-bucketed histogram: bucket b counts values of bit-width b, so the
+ * 65 fixed buckets cover the full uint64_t range with constant memory and
+ * an O(1) branch-free sample() — suitable for latency distributions that
+ * span from a single-cycle L1 hit to a multi-thousand-cycle remote DRAM
+ * round trip without choosing a bucket width up front.
+ */
+class LogHistogram
+{
+  public:
+    /** Bucket 0 holds v == 0; bucket b >= 1 holds v in [2^(b-1), 2^b). */
+    static constexpr size_t kNumBuckets = 65;
+
+    /** Inline: sampled once per latency component on the access path. */
+    void
+    sample(uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        sum_ += static_cast<double>(v);
+        if (total_++ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+    }
+
+    static size_t bucketOf(uint64_t v) { return std::bit_width(v); }
+
+    void reset();
+    /** Accumulate another histogram's samples into this one. */
+    void merge(const LogHistogram &o);
+
+    uint64_t bucketCount(size_t i) const
+    {
+        return i < kNumBuckets ? buckets_[i] : 0;
+    }
+    uint64_t totalSamples() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    uint64_t maxValue() const { return total_ ? max_ : 0; }
+    uint64_t minValue() const { return total_ ? min_ : 0; }
+
+    /**
+     * Estimate the q-quantile (q in [0,1]) by linear interpolation within
+     * the power-of-two bucket holding the q*total'th sample, clamped to
+     * the observed [min, max] range.
+     */
+    double percentile(double q) const;
+
+  private:
+    uint64_t buckets_[kNumBuckets] = {};
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+    uint64_t min_ = 0;
     uint64_t max_ = 0;
 };
 
@@ -126,6 +199,8 @@ class StatGroup
      */
     Histogram &histogram(const std::string &name, uint64_t bucket_width = 1,
                          size_t num_buckets = 16);
+    /** Fetch (creating on first use) the log2 histogram with given name. */
+    LogHistogram &logHistogram(const std::string &name);
 
     /** Sum of a counter, zero if never touched. */
     uint64_t get(const std::string &name) const;
@@ -136,8 +211,10 @@ class StatGroup
     /**
      * Enumerate every published scalar as (name, value, kind), in sorted
      * name order. Histograms expand to <name>.samples / <name>.mean /
-     * <name>.max / <name>.bucket<i> / <name>.overflow entries; averages
-     * to <name> (the mean) and <name>_samples.
+     * <name>.max / <name>.p50 / <name>.p95 / <name>.p99 / <name>.bucket<i>
+     * / <name>.overflow / <name>.overflow_frac entries; log histograms to
+     * <name>.samples / <name>.mean / <name>.max / <name>.p50 / <name>.p95
+     * / <name>.p99; averages to <name> (the mean) and <name>_samples.
      */
     void visit(const std::function<void(const std::string &, double,
                                         StatKind)> &fn) const;
@@ -151,12 +228,17 @@ class StatGroup
     {
         return histograms_;
     }
+    const std::map<std::string, LogHistogram> &logHistograms() const
+    {
+        return logHistograms_;
+    }
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
     std::map<std::string, Histogram> histograms_;
+    std::map<std::string, LogHistogram> logHistograms_;
 };
 
 } // namespace ladm

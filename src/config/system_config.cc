@@ -33,6 +33,15 @@ envU64(const char *var, uint64_t &out)
     }
 }
 
+void
+envBool(const char *var, bool &out)
+{
+    if (const char *v = std::getenv(var)) {
+        out = !(std::strcmp(v, "") == 0 || std::strcmp(v, "0") == 0 ||
+                std::strcmp(v, "false") == 0 || std::strcmp(v, "off") == 0);
+    }
+}
+
 } // namespace
 
 TelemetryOptions
@@ -47,6 +56,21 @@ TelemetryOptions::fromEnv()
     envU64("LADM_TRACE_SAMPLE", sample);
     o.traceSampleEvery = static_cast<uint32_t>(sample ? sample : 1);
     envU64("LADM_TRACE_MAX_EVENTS", o.traceMaxEvents);
+
+    envString("LADM_TIMELINE_OUT", o.timelineOutPath);
+    uint64_t window = o.timelineWindowCycles;
+    envU64("LADM_TIMELINE_WINDOW", window);
+    o.timelineWindowCycles = window ? window : 1;
+    uint64_t max_windows = o.timelineMaxWindows;
+    envU64("LADM_TIMELINE_MAX_WINDOWS", max_windows);
+    o.timelineMaxWindows =
+        static_cast<uint32_t>(max_windows >= 2 ? max_windows : 2);
+    envString("LADM_TIMELINE_PATHS", o.timelinePaths);
+    envBool("LADM_OBS_ATTRIBUTION", o.obsAttribution);
+    envBool("LADM_OBS_HEATMAP", o.obsHeatmap);
+    uint64_t hot = o.obsHotPages;
+    envU64("LADM_OBS_HOT_PAGES", hot);
+    o.obsHotPages = static_cast<uint32_t>(hot);
     return o;
 }
 
@@ -95,6 +119,39 @@ TelemetryOptions::parseArgs(int &argc, char **argv)
             if (n < 1)
                 ladm_fatal("--trace-max-events expects an integer >= 1");
             o.traceMaxEvents = static_cast<uint64_t>(n);
+            continue;
+        }
+        if (match(i, "--timeline-out", o.timelineOutPath) ||
+            match(i, "--timeline-paths", o.timelinePaths)) {
+            continue;
+        }
+        if (match(i, "--timeline-window", val)) {
+            const long long n = std::atoll(val.c_str());
+            if (n < 1)
+                ladm_fatal("--timeline-window expects an integer >= 1");
+            o.timelineWindowCycles = static_cast<uint64_t>(n);
+            continue;
+        }
+        if (match(i, "--timeline-max-windows", val)) {
+            const long long n = std::atoll(val.c_str());
+            if (n < 2)
+                ladm_fatal("--timeline-max-windows expects an integer >= 2");
+            o.timelineMaxWindows = static_cast<uint32_t>(n);
+            continue;
+        }
+        if (match(i, "--obs-hot-pages", val)) {
+            const long long n = std::atoll(val.c_str());
+            if (n < 1)
+                ladm_fatal("--obs-hot-pages expects an integer >= 1");
+            o.obsHotPages = static_cast<uint32_t>(n);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--obs-attribution") == 0) {
+            o.obsAttribution = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--obs-heatmap") == 0) {
+            o.obsHeatmap = true;
             continue;
         }
         argv[w++] = argv[i];

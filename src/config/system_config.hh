@@ -34,6 +34,28 @@ namespace ladm
  *                                            trace categories (default 64)
  *   --trace-max-events N / LADM_TRACE_MAX_EVENTS  hard event cap
  *
+ * Observability (time-resolved) sinks, see docs/observability.md:
+ *
+ *   --timeline-out PATH / LADM_TIMELINE_OUT  cycle-windowed timeline +
+ *                                            latency/heatmap JSON (a CSV
+ *                                            of the windows is written
+ *                                            alongside)
+ *   --timeline-window N / LADM_TIMELINE_WINDOW  window width in cycles
+ *                                            (default 10000)
+ *   --timeline-max-windows N / LADM_TIMELINE_MAX_WINDOWS  memory cap:
+ *                                            adjacent windows merge and
+ *                                            the width doubles past this
+ *                                            many windows (default 512)
+ *   --timeline-paths A,B / LADM_TIMELINE_PATHS  registry paths to sample
+ *                                            (default: curated core set)
+ *   --obs-attribution   / LADM_OBS_ATTRIBUTION=1  per-access latency
+ *                                            component attribution
+ *   --obs-heatmap       / LADM_OBS_HEATMAP=1 requester x home traffic
+ *                                            matrix, per-datablock and
+ *                                            hot-page tables
+ *   --obs-hot-pages K   / LADM_OBS_HOT_PAGES top-K hot-page table size
+ *                                            (default 20)
+ *
  * With no sink selected every hook in the simulator reduces to an inline
  * predicate, so tier-1 runtime is unaffected.
  */
@@ -46,6 +68,15 @@ struct TelemetryOptions
     uint32_t traceSampleEvery = 64;
     uint64_t traceMaxEvents = 1'000'000;
 
+    std::string timelineOutPath;
+    uint64_t timelineWindowCycles = 10'000;
+    uint32_t timelineMaxWindows = 512;
+    /** Comma-separated registry paths; empty = default curated set. */
+    std::string timelinePaths;
+    bool obsAttribution = false;
+    bool obsHeatmap = false;
+    uint32_t obsHotPages = 20;
+
     bool
     anyStatsSink() const
     {
@@ -53,7 +84,18 @@ struct TelemetryOptions
                !statsTextPath.empty();
     }
     bool traceEnabled() const { return !traceOutPath.empty(); }
-    bool anySink() const { return anyStatsSink() || traceEnabled(); }
+    bool timelineEnabled() const { return !timelineOutPath.empty(); }
+    /** Any time-resolved observability pillar armed? */
+    bool
+    obsActive() const
+    {
+        return timelineEnabled() || obsAttribution || obsHeatmap;
+    }
+    bool
+    anySink() const
+    {
+        return anyStatsSink() || traceEnabled() || obsActive();
+    }
 
     /** Defaults overridden by any LADM_* telemetry variables set. */
     static TelemetryOptions fromEnv();

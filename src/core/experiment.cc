@@ -18,6 +18,15 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
     MallocRegistry reg(cfg.pageSize);
     workload.allocateAll(reg);
 
+    if (obs::Observer *ob = sys.observer()) {
+        // Hand the allocation map over so the heatmap can attribute hot
+        // pages back to named datablocks at collection time.
+        std::vector<obs::BlockInfo> blocks;
+        for (const Allocation &a : reg.all())
+            blocks.push_back({a.name, a.base, a.size});
+        ob->setDatablocks(std::move(blocks));
+    }
+
     // Per-launch scheduler decisions, eagerly counted in the registry.
     StatGroup &sched_stats = sys.registry().group("sched");
 
@@ -104,6 +113,19 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
                 ? static_cast<double>(mem.classHits(tc)) /
                       m.classAccesses[c]
                 : 0.0;
+    }
+
+    if (obs::Observer *ob = sys.observer()) {
+        ob->finish(sys.now());
+        if (obs::LatencyAttribution *lat = ob->attribution()) {
+            m.hasLatency = true;
+            for (size_t c = 0; c < obs::kNumLatComponents; ++c) {
+                m.latency[c] = obs::summarize(lat->machineHist(
+                    static_cast<obs::LatComponent>(c)));
+            }
+        }
+        telemetry::session().recordObservation(
+            ob->collect(m.workload, m.policy, sys.now()));
     }
 
     if (telemetry::session().statsActive()) {

@@ -38,13 +38,23 @@ operator<<(std::ostream &os, const RunMetrics &m)
 std::string
 csvHeader()
 {
-    return "workload,policy,system,scheduler,insert_policy,cycles,"
-           "tb_count,sector_accesses,warp_instrs,fetch_local,"
-           "fetch_remote,offchip_pct,inter_node_bytes,inter_gpu_bytes,"
-           "l1_hit_rate,l2_hit_rate,l2_mpki,uvm_faults,"
-           "acc_local_local,acc_local_remote,acc_remote_local,"
-           "hit_local_local,hit_local_remote,hit_remote_local,"
-           "rehomed_pages,failed_node_accesses,error";
+    std::string h =
+        "workload,policy,system,scheduler,insert_policy,cycles,"
+        "tb_count,sector_accesses,warp_instrs,fetch_local,"
+        "fetch_remote,offchip_pct,inter_node_bytes,inter_gpu_bytes,"
+        "l1_hit_rate,l2_hit_rate,l2_mpki,uvm_faults,"
+        "acc_local_local,acc_local_remote,acc_remote_local,"
+        "hit_local_local,hit_local_remote,hit_remote_local,"
+        "rehomed_pages,failed_node_accesses";
+    // Latency-attribution summaries (zero unless --obs-attribution ran).
+    for (size_t c = 0; c < obs::kNumLatComponents; ++c) {
+        const std::string comp =
+            obs::toString(static_cast<obs::LatComponent>(c));
+        h += ",lat_" + comp + "_p50,lat_" + comp + "_p95,lat_" + comp +
+             "_p99";
+    }
+    h += ",error";
+    return h;
 }
 
 std::string
@@ -62,8 +72,12 @@ csvRow(const RunMetrics &m)
         os << ',' << m.classAccesses[c];
     for (int c = 0; c < kNumTrafficClasses; ++c)
         os << ',' << m.classHitRate[c];
-    os << ',' << m.rehomedPages << ',' << m.failedNodeAccesses << ','
-       << csvSanitize(m.error);
+    os << ',' << m.rehomedPages << ',' << m.failedNodeAccesses;
+    for (size_t c = 0; c < obs::kNumLatComponents; ++c) {
+        const obs::LatSummary &s = m.latency[c];
+        os << ',' << s.p50 << ',' << s.p95 << ',' << s.p99;
+    }
+    os << ',' << csvSanitize(m.error);
     return os.str();
 }
 

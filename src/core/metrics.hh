@@ -14,6 +14,8 @@
 #include "cache/insertion_policy.hh"
 #include "cache/traffic_class.hh"
 #include "common/types.hh"
+#include "obs/attribution.hh"
+#include "obs/observer.hh"
 
 namespace ladm
 {
@@ -56,6 +58,14 @@ struct RunMetrics
     /** Fault injection: pages rescued off failed chiplets / crawl hits. */
     uint64_t rehomedPages = 0;
     uint64_t failedNodeAccesses = 0;
+
+    /**
+     * Per-component access-latency summaries (machine-wide), filled only
+     * when the run had latency attribution armed (--obs-attribution);
+     * all-zero otherwise. Indexed by obs::LatComponent.
+     */
+    bool hasLatency = false;
+    std::array<obs::LatSummary, obs::kNumLatComponents> latency{};
 
     /**
      * Non-empty when the run failed: the error's one-line report. A

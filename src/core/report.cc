@@ -35,6 +35,25 @@ writeDetailedReport(std::ostream &os, const GpuSystem &sys,
            << std::setprecision(1) << 100.0 * m.classHitRate[c] << "%\n";
     }
 
+    if (m.hasLatency) {
+        os << "\n  access latency by component (cycles):\n";
+        os << "    " << std::left << std::setw(12) << "component"
+           << std::right << std::setw(12) << "samples" << std::setw(10)
+           << "mean" << std::setw(10) << "p50" << std::setw(10) << "p95"
+           << std::setw(10) << "p99" << "\n";
+        for (size_t c = 0; c < obs::kNumLatComponents; ++c) {
+            const obs::LatSummary &s = m.latency[c];
+            if (s.samples == 0)
+                continue;
+            os << "    " << std::left << std::setw(12)
+               << obs::toString(static_cast<obs::LatComponent>(c))
+               << std::right << std::setw(12) << s.samples
+               << std::setw(10) << std::setprecision(1) << s.mean
+               << std::setw(10) << s.p50 << std::setw(10) << s.p95
+               << std::setw(10) << s.p99 << "\n";
+        }
+    }
+
     os << "\n  per node (gpu.chiplet): l2 accesses / hit% | dram "
           "accesses / busy | mapped MiB\n";
     for (NodeId n = 0; n < cfg.numNodes(); ++n) {

@@ -1,0 +1,80 @@
+#include "obs/attribution.hh"
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+namespace obs
+{
+
+const char *
+toString(LatComponent c)
+{
+    switch (c) {
+      case LatComponent::L1: return "l1";
+      case LatComponent::Xbar: return "xbar";
+      case LatComponent::L2: return "l2";
+      case LatComponent::Ring: return "ring";
+      case LatComponent::GpuLink: return "gpu_link";
+      case LatComponent::Dram: return "dram";
+      case LatComponent::MshrWait: return "mshr_wait";
+      case LatComponent::FaultStall: return "fault_stall";
+      case LatComponent::Other: return "other";
+      case LatComponent::Total: return "total";
+    }
+    return "?";
+}
+
+LatencyAttribution::LatencyAttribution(int num_nodes)
+    : perNode_(static_cast<size_t>(num_nodes))
+{
+    ladm_assert(num_nodes >= 1, "attribution needs at least one node");
+}
+
+void
+LatencyAttribution::record(const AccessSample &s)
+{
+    ++samples_;
+    auto &node = perNode_[s.node];
+    const int slot =
+        s.trafficClass >= 0 && s.trafficClass < kUnclassified
+            ? s.trafficClass
+            : kUnclassified;
+    auto &cls = perClass_[static_cast<size_t>(slot)];
+    for (size_t c = 0; c < kNumLatComponents; ++c) {
+        // Only the Total component records zero-valued samples: a
+        // component an access never touched is absence, not a zero.
+        if (s.comp[c] == 0 &&
+            c != static_cast<size_t>(LatComponent::Total)) {
+            continue;
+        }
+        node[c].sample(s.comp[c]);
+        cls[c].sample(s.comp[c]);
+    }
+}
+
+LogHistogram
+LatencyAttribution::machineHist(LatComponent c) const
+{
+    LogHistogram h;
+    for (const auto &node : perNode_)
+        h.merge(node[static_cast<size_t>(c)]);
+    return h;
+}
+
+void
+LatencyAttribution::reset()
+{
+    for (auto &node : perNode_) {
+        for (auto &h : node)
+            h.reset();
+    }
+    for (auto &cls : perClass_) {
+        for (auto &h : cls)
+            h.reset();
+    }
+    samples_ = 0;
+}
+
+} // namespace obs
+} // namespace ladm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-access latency attribution: every completed MemorySystem access is
+ * decomposed into the cycles each path component contributed (L1, crossbar,
+ * L2, ring hops, inter-GPU link, DRAM queue, MSHR-merge wait, ...) and
+ * recorded into log2-bucketed histograms per requester node and per traffic
+ * class. Aggregate `mem.delay_*` counters say how much total delay each
+ * component added; these distributions say how that delay is *distributed*
+ * across accesses — the p99 remote access is what bounds tail latency, not
+ * the mean.
+ *
+ * Zero-cost when disabled: MemorySystem only builds an AccessSample behind
+ * an inline null-pointer test (same discipline as telemetry::TraceEmitter).
+ */
+
+#ifndef LADM_OBS_ATTRIBUTION_HH
+#define LADM_OBS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ladm
+{
+namespace obs
+{
+
+/** Where the cycles of one completed memory access were spent. */
+enum class LatComponent : uint8_t
+{
+    L1 = 0,     ///< L1 lookup (hits terminate here)
+    Xbar,       ///< SM<->L2 crossbar booking within the chiplet
+    L2,         ///< L2 probe latency, requester and home side
+    Ring,       ///< intra-GPU inter-chiplet fabric legs
+    GpuLink,    ///< legs that crossed the inter-GPU switch
+    Dram,       ///< DRAM channel queueing + access, local or home side
+    MshrWait,   ///< rode along behind an already-outstanding miss
+    FaultStall, ///< translation faults + fault-injection stalls
+    Other,      ///< residual: migration, host-memory, dirty evictions
+    Total,      ///< end-to-end latency of the access
+};
+
+inline constexpr size_t kNumLatComponents = 10;
+
+const char *toString(LatComponent c);
+
+/** One completed access decomposed into component cycles. */
+struct AccessSample
+{
+    NodeId node = 0; ///< requester chiplet
+    /** cache::TrafficClass at the requester, or -1 when the access never
+     *  reached classification (L1 hit, MSHR merge). */
+    int trafficClass = -1;
+    std::array<Cycles, kNumLatComponents> comp{};
+};
+
+/**
+ * Latency component distributions per requester node and per traffic
+ * class. Component histograms only receive the accesses that actually
+ * paid that component (a zero DRAM contribution from an L2 hit is not a
+ * sample), so mean() x totalSamples() reproduces the aggregate cycle
+ * count while the percentiles describe the paying accesses. Total is
+ * sampled for every access.
+ */
+class LatencyAttribution
+{
+  public:
+    /** Class slots: the kNumTrafficClasses requester/home classes plus
+     *  one "unclassified" slot for L1 hits and MSHR merges. */
+    static constexpr int kNumClassSlots = 4;
+    static constexpr int kUnclassified = 3;
+
+    explicit LatencyAttribution(int num_nodes);
+
+    void record(const AccessSample &s);
+
+    const LogHistogram &nodeHist(NodeId n, LatComponent c) const
+    {
+        return perNode_[n][static_cast<size_t>(c)];
+    }
+    const LogHistogram &classHist(int slot, LatComponent c) const
+    {
+        return perClass_[slot][static_cast<size_t>(c)];
+    }
+    /** Merge of every node's histogram for one component. */
+    LogHistogram machineHist(LatComponent c) const;
+
+    uint64_t samples() const { return samples_; }
+    int numNodes() const { return static_cast<int>(perNode_.size()); }
+
+    void reset();
+
+  private:
+    std::vector<std::array<LogHistogram, kNumLatComponents>> perNode_;
+    std::array<std::array<LogHistogram, kNumLatComponents>, kNumClassSlots>
+        perClass_{};
+    uint64_t samples_ = 0;
+};
+
+} // namespace obs
+} // namespace ladm
+
+#endif // LADM_OBS_ATTRIBUTION_HH

@@ -1,0 +1,103 @@
+#include "obs/heatmap.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+namespace obs
+{
+
+LocalityHeatmap::LocalityHeatmap(int num_nodes, Bytes page_size,
+                                 size_t max_pages)
+    : nodes_(num_nodes), pageSize_(page_size ? page_size : 1),
+      maxPages_(std::max<size_t>(max_pages, 1)),
+      matrix_(static_cast<size_t>(num_nodes) * num_nodes, 0)
+{
+    ladm_assert(num_nodes >= 1, "heatmap needs at least one node");
+}
+
+uint64_t
+LocalityHeatmap::remoteFetches(NodeId r) const
+{
+    uint64_t v = 0;
+    for (NodeId h = 0; h < nodes_; ++h) {
+        if (h != r)
+            v += cell(r, h);
+    }
+    return v;
+}
+
+uint64_t
+LocalityHeatmap::totalFetches() const
+{
+    uint64_t v = 0;
+    for (const uint64_t c : matrix_)
+        v += c;
+    return v;
+}
+
+std::vector<LocalityHeatmap::HotPage>
+LocalityHeatmap::topPages(size_t k) const
+{
+    std::vector<HotPage> all;
+    all.reserve(pages_.size());
+    for (const auto &[page, stats] : pages_)
+        all.push_back(HotPage{page, stats});
+    const size_t n = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + n, all.end(),
+                      [](const HotPage &a, const HotPage &b) {
+                          if (a.stats.fetches != b.stats.fetches)
+                              return a.stats.fetches > b.stats.fetches;
+                          return a.page < b.page;
+                      });
+    all.resize(n);
+    return all;
+}
+
+const BlockInfo *
+LocalityHeatmap::findBlock(const std::vector<BlockInfo> &blocks, Addr page)
+{
+    for (const auto &b : blocks) {
+        if (page >= b.base && page < b.base + b.size)
+            return &b;
+    }
+    return nullptr;
+}
+
+std::vector<LocalityHeatmap::BlockStats>
+LocalityHeatmap::blockStats(const std::vector<BlockInfo> &blocks) const
+{
+    std::vector<BlockStats> out(blocks.size() + 1);
+    for (size_t i = 0; i < blocks.size(); ++i)
+        out[i].name = blocks[i].name;
+    out.back().name = "(unattributed)";
+    for (const auto &[page, stats] : pages_) {
+        size_t slot = blocks.size();
+        for (size_t i = 0; i < blocks.size(); ++i) {
+            if (page >= blocks[i].base &&
+                page < blocks[i].base + blocks[i].size) {
+                slot = i;
+                break;
+            }
+        }
+        out[slot].fetches += stats.fetches;
+        out[slot].remoteFetches += stats.remoteFetches;
+        ++out[slot].pages;
+    }
+    if (out.back().fetches == 0 && out.back().pages == 0)
+        out.pop_back();
+    return out;
+}
+
+void
+LocalityHeatmap::reset()
+{
+    std::fill(matrix_.begin(), matrix_.end(), 0);
+    pages_.clear();
+    droppedPageFetches_ = 0;
+}
+
+} // namespace obs
+} // namespace ladm

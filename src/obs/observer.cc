@@ -1,0 +1,359 @@
+#include "obs/observer.hh"
+
+#include <algorithm>
+
+#include "telemetry/json_writer.hh"
+
+namespace ladm
+{
+namespace obs
+{
+
+namespace
+{
+
+const char *
+classSlotName(int slot)
+{
+    switch (slot) {
+      case 0: return "local_local";
+      case 1: return "local_remote";
+      case 2: return "remote_local";
+      default: return "unclassified";
+    }
+}
+
+} // namespace
+
+LatSummary
+summarize(const LogHistogram &h)
+{
+    LatSummary s;
+    s.samples = h.totalSamples();
+    s.mean = h.mean();
+    s.p50 = h.percentile(0.50);
+    s.p95 = h.percentile(0.95);
+    s.p99 = h.percentile(0.99);
+    s.max = h.maxValue();
+    return s;
+}
+
+std::vector<std::string>
+defaultTimelinePaths()
+{
+    return {
+        "engine.warp_steps",  "mem.fetch_local",     "mem.fetch_remote",
+        "mem.l1_accesses",    "mem.l1_hits",         "mem.l2_accesses",
+        "mem.l2_hits",        "net.inter_node_bytes",
+        "net.inter_gpu_bytes",
+    };
+}
+
+std::vector<std::string>
+splitTimelinePaths(const std::string &spec)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string p = spec.substr(pos, comma - pos);
+        // Trim surrounding blanks so "a, b" parses as expected.
+        const size_t b = p.find_first_not_of(" \t");
+        const size_t e = p.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.push_back(p.substr(b, e - b + 1));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Observer::Observer(const SystemConfig &cfg, const TelemetryOptions &opts,
+                   const telemetry::StatRegistry *reg)
+    : cfg_(cfg), hotPages_(opts.obsHotPages)
+{
+    if (opts.timelineEnabled() && reg) {
+        Timeline::Options to;
+        to.windowCycles = opts.timelineWindowCycles;
+        to.maxWindows = opts.timelineMaxWindows;
+        to.paths = opts.timelinePaths.empty()
+                       ? defaultTimelinePaths()
+                       : splitTimelinePaths(opts.timelinePaths);
+        timeline_ = std::make_unique<Timeline>(reg, std::move(to));
+    }
+    if (opts.obsAttribution)
+        attr_ = std::make_unique<LatencyAttribution>(cfg.numNodes());
+    if (opts.obsHeatmap) {
+        heatmap_ =
+            std::make_unique<LocalityHeatmap>(cfg.numNodes(), cfg.pageSize);
+    }
+}
+
+void
+Observer::registerStats(telemetry::StatRegistry &reg)
+{
+    if (!attr_)
+        return;
+    // Pull-based: nothing here runs during simulation. Machine-wide
+    // five-number summaries per component, plus per-class and per-node
+    // end-to-end latency, all under "obs.lat.".
+    for (size_t ci = 0; ci < kNumLatComponents; ++ci) {
+        const auto c = static_cast<LatComponent>(ci);
+        const std::string base =
+            std::string("obs.lat.") + toString(c);
+        LatencyAttribution *a = attr_.get();
+        reg.gauge(base + ".samples",
+                  [a, c] {
+                      return static_cast<double>(
+                          a->machineHist(c).totalSamples());
+                  },
+                  StatKind::Counter);
+        reg.formula(base + ".mean",
+                    [a, c] { return a->machineHist(c).mean(); });
+        reg.formula(base + ".p50",
+                    [a, c] { return a->machineHist(c).percentile(0.50); });
+        reg.formula(base + ".p95",
+                    [a, c] { return a->machineHist(c).percentile(0.95); });
+        reg.formula(base + ".p99",
+                    [a, c] { return a->machineHist(c).percentile(0.99); });
+    }
+    for (int slot = 0; slot < LatencyAttribution::kNumClassSlots; ++slot) {
+        const std::string base =
+            std::string("obs.lat.class.") + classSlotName(slot);
+        LatencyAttribution *a = attr_.get();
+        reg.formula(base + ".total_p99", [a, slot] {
+            return a->classHist(slot, LatComponent::Total).percentile(0.99);
+        });
+        reg.formula(base + ".total_mean", [a, slot] {
+            return a->classHist(slot, LatComponent::Total).mean();
+        });
+    }
+    for (NodeId n = 0; n < cfg_.numNodes(); ++n) {
+        const std::string base =
+            "node" + std::to_string(n) + ".obs.lat";
+        LatencyAttribution *a = attr_.get();
+        reg.formula(base + ".total_p99", [a, n] {
+            return a->nodeHist(n, LatComponent::Total).percentile(0.99);
+        });
+        reg.formula(base + ".total_mean", [a, n] {
+            return a->nodeHist(n, LatComponent::Total).mean();
+        });
+    }
+}
+
+void
+Observer::finish(Cycles now)
+{
+    if (timeline_)
+        timeline_->finish(now);
+}
+
+RunObservation
+Observer::collect(const std::string &workload, const std::string &policy,
+                  Cycles end_cycle) const
+{
+    RunObservation o;
+    o.workload = workload;
+    o.policy = policy;
+    o.nodes = cfg_.numNodes();
+    o.pageSize = cfg_.pageSize;
+    o.endCycle = end_cycle;
+
+    if (timeline_) {
+        o.hasTimeline = true;
+        o.windowCycles = timeline_->windowCycles();
+        o.timelineMerges = timeline_->mergeCount();
+        o.timelinePaths = timeline_->paths();
+        o.windows = timeline_->windows();
+    }
+    if (attr_) {
+        o.hasLatency = true;
+        o.latencySamples = attr_->samples();
+        for (size_t c = 0; c < kNumLatComponents; ++c) {
+            const auto lc = static_cast<LatComponent>(c);
+            o.machineLat[c] = summarize(attr_->machineHist(lc));
+            for (int s = 0; s < LatencyAttribution::kNumClassSlots; ++s)
+                o.classLat[s][c] = summarize(attr_->classHist(s, lc));
+        }
+        o.nodeLat.resize(static_cast<size_t>(o.nodes));
+        for (NodeId n = 0; n < o.nodes; ++n) {
+            for (size_t c = 0; c < kNumLatComponents; ++c) {
+                o.nodeLat[n][c] = summarize(
+                    attr_->nodeHist(n, static_cast<LatComponent>(c)));
+            }
+        }
+    }
+    if (heatmap_) {
+        o.hasHeatmap = true;
+        o.matrix = heatmap_->matrix();
+        o.droppedPageFetches = heatmap_->droppedPageFetches();
+        o.trackedPages = heatmap_->trackedPages();
+        o.blocks = heatmap_->blockStats(blocks_);
+        for (const auto &hp : heatmap_->topPages(hotPages_)) {
+            RunObservation::HotPageRow row;
+            row.page = hp.page;
+            row.home = hp.stats.home;
+            row.fetches = hp.stats.fetches;
+            row.remoteFetches = hp.stats.remoteFetches;
+            if (const BlockInfo *b =
+                    LocalityHeatmap::findBlock(blocks_, hp.page)) {
+                row.block = b->name;
+            }
+            o.hotPages.push_back(std::move(row));
+        }
+    }
+    return o;
+}
+
+namespace
+{
+
+void
+writeLatSummary(telemetry::JsonWriter &jw, const LatSummary &s)
+{
+    jw.beginObject();
+    jw.kv("samples", s.samples);
+    jw.kv("mean", s.mean);
+    jw.kv("p50", s.p50);
+    jw.kv("p95", s.p95);
+    jw.kv("p99", s.p99);
+    jw.kv("max", s.max);
+    jw.endObject();
+}
+
+void
+writeComponents(telemetry::JsonWriter &jw,
+                const std::array<LatSummary, kNumLatComponents> &comps)
+{
+    jw.beginObject();
+    for (size_t c = 0; c < kNumLatComponents; ++c) {
+        jw.key(toString(static_cast<LatComponent>(c)));
+        writeLatSummary(jw, comps[c]);
+    }
+    jw.endObject();
+}
+
+} // namespace
+
+void
+writeObservationsJson(std::ostream &os,
+                      const std::vector<RunObservation> &obs)
+{
+    telemetry::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema", kTimelineSchema);
+    jw.kv("generator", "ladm");
+    jw.key("runs").beginArray();
+    for (const RunObservation &o : obs) {
+        jw.beginObject();
+        jw.kv("workload", o.workload);
+        jw.kv("policy", o.policy);
+        jw.kv("nodes", o.nodes);
+        jw.kv("page_size", static_cast<uint64_t>(o.pageSize));
+        jw.kv("end_cycle", static_cast<uint64_t>(o.endCycle));
+        if (o.hasTimeline) {
+            jw.key("timeline").beginObject();
+            jw.kv("window_cycles", o.windowCycles);
+            jw.kv("merges", o.timelineMerges);
+            jw.key("paths").beginArray();
+            for (const auto &p : o.timelinePaths)
+                jw.value(p);
+            jw.endArray();
+            jw.key("windows").beginArray();
+            for (const TimelineWindow &w : o.windows) {
+                jw.beginObject();
+                jw.kv("start", static_cast<uint64_t>(w.start));
+                jw.kv("end", static_cast<uint64_t>(w.end));
+                jw.key("delta").beginArray();
+                for (const double d : w.delta)
+                    jw.value(d);
+                jw.endArray();
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.endObject();
+        }
+        if (o.hasLatency) {
+            jw.key("latency").beginObject();
+            jw.kv("samples", o.latencySamples);
+            jw.key("components");
+            writeComponents(jw, o.machineLat);
+            jw.key("classes").beginObject();
+            for (int s = 0; s < LatencyAttribution::kNumClassSlots; ++s) {
+                jw.key(classSlotName(s));
+                writeComponents(jw, o.classLat[s]);
+            }
+            jw.endObject();
+            jw.key("nodes").beginArray();
+            for (const auto &node : o.nodeLat)
+                writeComponents(jw, node);
+            jw.endArray();
+            jw.endObject();
+        }
+        if (o.hasHeatmap) {
+            jw.key("heatmap").beginObject();
+            jw.kv("nodes", o.nodes);
+            jw.key("matrix").beginArray();
+            for (NodeId r = 0; r < o.nodes; ++r) {
+                jw.beginArray();
+                for (NodeId h = 0; h < o.nodes; ++h) {
+                    jw.value(
+                        o.matrix[static_cast<size_t>(r) * o.nodes + h]);
+                }
+                jw.endArray();
+            }
+            jw.endArray();
+            jw.kv("tracked_pages", o.trackedPages);
+            jw.kv("dropped_page_fetches", o.droppedPageFetches);
+            jw.key("blocks").beginArray();
+            for (const auto &b : o.blocks) {
+                jw.beginObject();
+                jw.kv("name", b.name);
+                jw.kv("fetches", b.fetches);
+                jw.kv("remote_fetches", b.remoteFetches);
+                jw.kv("pages", b.pages);
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.key("hot_pages").beginArray();
+            for (const auto &p : o.hotPages) {
+                jw.beginObject();
+                jw.kv("page", static_cast<uint64_t>(p.page));
+                jw.kv("home", p.home);
+                jw.kv("fetches", p.fetches);
+                jw.kv("remote_fetches", p.remoteFetches);
+                jw.kv("block", p.block);
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.endObject();
+        }
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << "\n";
+}
+
+void
+writeObservationsCsv(std::ostream &os,
+                     const std::vector<RunObservation> &obs)
+{
+    os << "run,workload,policy,path,start,end,delta\n";
+    for (size_t i = 0; i < obs.size(); ++i) {
+        const RunObservation &o = obs[i];
+        if (!o.hasTimeline)
+            continue;
+        for (const TimelineWindow &w : o.windows) {
+            for (size_t p = 0; p < o.timelinePaths.size(); ++p) {
+                os << i << ',' << o.workload << ',' << o.policy << ','
+                   << o.timelinePaths[p] << ',' << w.start << ',' << w.end
+                   << ',' << w.delta[p] << "\n";
+            }
+        }
+    }
+}
+
+} // namespace obs
+} // namespace ladm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * obs::Observer — the per-run facade of the observability layer. One
+ * Observer is owned by a GpuSystem when any pillar is armed (timeline,
+ * latency attribution, locality heatmap; see TelemetryOptions::obsActive);
+ * the sim layers hold raw pointers to the pillar they feed and the whole
+ * hot-path cost when disabled is an inline null test.
+ *
+ * At the end of a run the Observer is collapsed into a RunObservation —
+ * plain data the telemetry Session buffers (mutex-guarded, sweep-safe)
+ * and serializes at finalize() into the --timeline-out sink: a versioned
+ * JSON document (schema "ladm-timeline-v1") plus a windows CSV alongside,
+ * both renderable by the ladm-report tool.
+ */
+
+#ifndef LADM_OBS_OBSERVER_HH
+#define LADM_OBS_OBSERVER_HH
+
+#include <array>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "obs/attribution.hh"
+#include "obs/heatmap.hh"
+#include "obs/timeline.hh"
+
+namespace ladm
+{
+namespace obs
+{
+
+/** Schema tag of the --timeline-out JSON document. */
+inline constexpr const char *kTimelineSchema = "ladm-timeline-v1";
+
+/** Five-number summary of one latency component distribution. */
+struct LatSummary
+{
+    uint64_t samples = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    uint64_t max = 0;
+};
+
+LatSummary summarize(const LogHistogram &h);
+
+/** Everything one run's observability pillars collected, as plain data. */
+struct RunObservation
+{
+    std::string workload;
+    std::string policy;
+    int nodes = 0;
+    Bytes pageSize = 0;
+    Cycles endCycle = 0;
+
+    // --- timeline -----------------------------------------------------------
+    bool hasTimeline = false;
+    uint64_t windowCycles = 0;
+    uint64_t timelineMerges = 0;
+    std::vector<std::string> timelinePaths;
+    std::vector<TimelineWindow> windows;
+
+    // --- latency attribution ------------------------------------------------
+    bool hasLatency = false;
+    uint64_t latencySamples = 0;
+    std::array<LatSummary, kNumLatComponents> machineLat{};
+    /** Per requester node, all components. */
+    std::vector<std::array<LatSummary, kNumLatComponents>> nodeLat;
+    /** Per traffic-class slot (LatencyAttribution::kNumClassSlots). */
+    std::array<std::array<LatSummary, kNumLatComponents>,
+               LatencyAttribution::kNumClassSlots>
+        classLat{};
+
+    // --- heatmap ------------------------------------------------------------
+    bool hasHeatmap = false;
+    std::vector<uint64_t> matrix; ///< nodes x nodes, row = requester
+    uint64_t droppedPageFetches = 0;
+    uint64_t trackedPages = 0;
+    std::vector<LocalityHeatmap::BlockStats> blocks;
+    struct HotPageRow
+    {
+        Addr page = 0;
+        NodeId home = 0;
+        uint64_t fetches = 0;
+        uint64_t remoteFetches = 0;
+        std::string block;
+    };
+    std::vector<HotPageRow> hotPages;
+};
+
+class Observer
+{
+  public:
+    Observer(const SystemConfig &cfg, const TelemetryOptions &opts,
+             const telemetry::StatRegistry *reg);
+
+    Timeline *timeline() { return timeline_.get(); }
+    LatencyAttribution *attribution() { return attr_.get(); }
+    LocalityHeatmap *heatmap() { return heatmap_.get(); }
+
+    /** Allocations for page->datablock attribution at collect() time. */
+    void setDatablocks(std::vector<BlockInfo> blocks)
+    {
+        blocks_ = std::move(blocks);
+    }
+
+    /** Publish pull-based obs.lat.* stats into the registry. */
+    void registerStats(telemetry::StatRegistry &reg);
+
+    /** Flush the timeline's final partial window. */
+    void finish(Cycles now);
+
+    RunObservation collect(const std::string &workload,
+                           const std::string &policy,
+                           Cycles end_cycle) const;
+
+  private:
+    const SystemConfig &cfg_;
+    uint32_t hotPages_;
+    std::unique_ptr<Timeline> timeline_;
+    std::unique_ptr<LatencyAttribution> attr_;
+    std::unique_ptr<LocalityHeatmap> heatmap_;
+    std::vector<BlockInfo> blocks_;
+};
+
+/** The curated registry paths sampled when --timeline-paths is unset. */
+std::vector<std::string> defaultTimelinePaths();
+
+/** Split a --timeline-paths value ("a.b,c.d") into its paths. */
+std::vector<std::string> splitTimelinePaths(const std::string &spec);
+
+/** Write the versioned timeline JSON document for @p obs. */
+void writeObservationsJson(std::ostream &os,
+                           const std::vector<RunObservation> &obs);
+
+/** Flat CSV of every run's timeline windows (one row per window+path). */
+void writeObservationsCsv(std::ostream &os,
+                          const std::vector<RunObservation> &obs);
+
+} // namespace obs
+} // namespace ladm
+
+#endif // LADM_OBS_OBSERVER_HH

@@ -1,0 +1,116 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+namespace obs
+{
+
+Timeline::Timeline(const telemetry::StatRegistry *reg, Options opts)
+    : reg_(reg), paths_(std::move(opts.paths)),
+      windowCycles_(std::max<uint64_t>(opts.windowCycles, 1)),
+      maxWindows_(std::max<uint32_t>(opts.maxWindows, 2)),
+      nextAt_(windowCycles_)
+{
+    ladm_assert(reg_, "timeline needs a registry to sample");
+    // The baseline is the registry's state at construction, so a timeline
+    // attached to a warm registry still conserves: window sums equal the
+    // *delta* over the observed interval.
+    lastVals_ = readValues();
+}
+
+std::vector<double>
+Timeline::readValues() const
+{
+    std::vector<double> vals;
+    vals.reserve(paths_.size());
+    for (const auto &p : paths_)
+        vals.push_back(reg_->value(p).value_or(0.0));
+    return vals;
+}
+
+void
+Timeline::tick(Cycles now)
+{
+    if (finished_)
+        return;
+    // The engine can jump far past the nominal boundary in one event;
+    // close the window at the actual tick time so windows stay contiguous
+    // and the delta chain telescopes exactly.
+    std::vector<double> vals = readValues();
+    TimelineWindow w;
+    w.start = windowStart_;
+    w.end = now;
+    w.delta.resize(paths_.size());
+    for (size_t i = 0; i < paths_.size(); ++i)
+        w.delta[i] = vals[i] - lastVals_[i];
+    windows_.push_back(std::move(w));
+    lastVals_ = std::move(vals);
+    windowStart_ = now;
+    if (windows_.size() >= maxWindows_)
+        compact();
+    nextAt_ = windowStart_ + windowCycles_;
+}
+
+void
+Timeline::compact()
+{
+    // Merge adjacent pairs and double the width: halves the stored count
+    // while keeping the full run covered at coarser resolution.
+    std::vector<TimelineWindow> merged;
+    merged.reserve(windows_.size() / 2 + 1);
+    size_t i = 0;
+    for (; i + 1 < windows_.size(); i += 2) {
+        TimelineWindow w = std::move(windows_[i]);
+        const TimelineWindow &b = windows_[i + 1];
+        w.end = b.end;
+        for (size_t k = 0; k < w.delta.size(); ++k)
+            w.delta[k] += b.delta[k];
+        merged.push_back(std::move(w));
+    }
+    if (i < windows_.size())
+        merged.push_back(std::move(windows_[i]));
+    windows_ = std::move(merged);
+    windowCycles_ *= 2;
+    ++merges_;
+}
+
+void
+Timeline::finish(Cycles now)
+{
+    if (finished_)
+        return;
+    std::vector<double> vals = readValues();
+    bool changed = now > windowStart_;
+    for (size_t i = 0; i < paths_.size() && !changed; ++i)
+        changed = vals[i] != lastVals_[i];
+    if (changed) {
+        TimelineWindow w;
+        w.start = windowStart_;
+        w.end = std::max(now, windowStart_);
+        w.delta.resize(paths_.size());
+        for (size_t i = 0; i < paths_.size(); ++i)
+            w.delta[i] = vals[i] - lastVals_[i];
+        windowStart_ = w.end;
+        windows_.push_back(std::move(w));
+        lastVals_ = std::move(vals);
+    }
+    finished_ = true;
+}
+
+std::vector<double>
+Timeline::totals() const
+{
+    std::vector<double> t(paths_.size(), 0.0);
+    for (const auto &w : windows_) {
+        for (size_t i = 0; i < t.size(); ++i)
+            t[i] += w.delta[i];
+    }
+    return t;
+}
+
+} // namespace obs
+} // namespace ladm

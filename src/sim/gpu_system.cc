@@ -15,6 +15,16 @@ GpuSystem::GpuSystem(const SystemConfig &cfg)
     mem_.registerStats(reg_, [this] { return now_; });
     engine_.registerStats(reg_);
 
+    const TelemetryOptions &topts = telemetry::session().options();
+    if (topts.obsActive()) {
+        // The timeline must see the fully-registered stat tree, so the
+        // observer is built after every component published its stats.
+        obs_ = std::make_unique<obs::Observer>(cfg_, topts, &reg_);
+        obs_->registerStats(reg_);
+        mem_.attachObserver(obs_->attribution(), obs_->heatmap());
+        engine_.attachTimeline(obs_->timeline());
+    }
+
     auto &tr = telemetry::tracer();
     if (tr.enabled()) {
         tr.setClockGhz(cfg_.clockGhz);

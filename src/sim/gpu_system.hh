@@ -12,8 +12,11 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "cache/insertion_policy.hh"
 #include "config/system_config.hh"
+#include "obs/observer.hh"
 #include "sim/kernel_engine.hh"
 #include "sim/memory_system.hh"
 #include "sim/trace_source.hh"
@@ -59,6 +62,15 @@ class GpuSystem
         return kernelLog_;
     }
 
+    /**
+     * The machine's observability layer, constructed iff any pillar was
+     * armed in the session's TelemetryOptions (obsActive()); null when
+     * observability is off, in which case every sim-layer hook reduces
+     * to an untaken inline branch.
+     */
+    obs::Observer *observer() { return obs_.get(); }
+    const obs::Observer *observer() const { return obs_.get(); }
+
   private:
     SystemConfig cfg_;
     MemorySystem mem_;
@@ -68,6 +80,9 @@ class GpuSystem
     // read: no closure runs during destruction, but keeping the registry
     // last makes the dependency direction obvious.
     telemetry::StatRegistry reg_;
+    // After reg_: the timeline samples the registry, and the registry's
+    // obs.lat.* formulas read the attribution histograms.
+    std::unique_ptr<obs::Observer> obs_;
     std::vector<telemetry::KernelRecord> kernelLog_;
     int kernelIndex_ = 0;
 };

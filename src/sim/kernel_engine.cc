@@ -6,6 +6,7 @@
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "obs/timeline.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace.hh"
@@ -214,6 +215,11 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
         const WarpEvent ev = pq.pop();
         WarpState &w = warps[ev.warp];
 
+        // Timeline sampling: event times are globally monotone, so one
+        // compare per event is enough to hit every window boundary.
+        if (timeline_)
+            timeline_->maybeTick(ev.time);
+
         if (check_on) {
             if (ev.time > watchdog_time) {
                 watchdog_time = ev.time;
@@ -279,6 +285,11 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                                         step_latency);
         stats.sectorAccesses += buf.size();
         ++stats.warpSteps;
+        // The cumulative gauges advance per step, not per kernel, so a
+        // mid-kernel timeline window sees live progress instead of a
+        // stale end-of-last-kernel total.
+        sectorAccessesTotal_ += buf.size();
+        ++warpStepsTotal_;
         if (stepLatencyHist_)
             stepLatencyHist_->sample(step_latency);
         if (tracing && step_latency >= stall_floor && tr.sampleTick()) {
@@ -338,8 +349,6 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
     }
 
     ++kernelsRun_;
-    warpStepsTotal_ += stats.warpSteps;
-    sectorAccessesTotal_ += stats.sectorAccesses;
     tbsDispatchedTotal_ += static_cast<uint64_t>(stats.tbCount);
     return stats;
 }

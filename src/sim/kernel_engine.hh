@@ -30,6 +30,10 @@ namespace telemetry
 {
 class StatRegistry;
 }
+namespace obs
+{
+class Timeline;
+}
 
 /** Outcome of one kernel execution. */
 struct KernelRunStats
@@ -72,9 +76,17 @@ class KernelEngine
      */
     void registerStats(telemetry::StatRegistry &reg);
 
+    /**
+     * Arm the cycle-windowed timeline sampler (null = off). When armed
+     * the event loop pays one inline compare per warp event; when not,
+     * one untaken branch.
+     */
+    void attachTimeline(obs::Timeline *t) { timeline_ = t; }
+
   private:
     const SystemConfig &cfg_;
     MemorySystem &mem_;
+    obs::Timeline *timeline_ = nullptr;
     /** nodeOfSm() hoisted into a table, built once per topology. */
     std::vector<NodeId> smNode_;
 

@@ -6,6 +6,8 @@
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "mem/address.hh"
+#include "obs/attribution.hh"
+#include "obs/heatmap.hh"
 #include "telemetry/stat_registry.hh"
 
 namespace ladm
@@ -124,6 +126,8 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         ++l1Accesses_;
         if (l1_[sm].access(addr, false, true) == AccessResult::Hit) {
             ++l1Hits_;
+            if (obsLat_)
+                obsL1Hit(node);
             return now + cfg_.l1LatencyCycles;
         }
     } else {
@@ -132,10 +136,12 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     Cycles delay = cfg_.l1LatencyCycles;
 
     // SM <-> L2 crossbar within the chiplet.
+    Cycles obs_xbar = 0;
     {
         const Cycles d = xbar_[node].book(now, kSectorSize);
         delayXbar_ += d;
         delay += d;
+        obs_xbar = d;
     }
 
     // Outstanding-miss merge (MSHR): if this sector is already in flight
@@ -149,6 +155,8 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         const Cycles ready = pend.readyAt(mshr);
         if (ready > now + delay) {
             ++mshrMerges_;
+            if (obsLat_)
+                obsMerge(node, obs_xbar, ready - now - delay, ready - now);
             return ready;
         }
     }
@@ -206,12 +214,21 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     const AccessResult r2 = l2_[node].access(addr, write, req_alloc, &ev);
     if (r2 == AccessResult::Hit) {
         countClass(node, home, node, true);
+        if (obsLat_) {
+            obsL2Hit(node, home, obs_xbar, fault_stall,
+                     delay + fault_stall + cfg_.l2LatencyCycles);
+        }
         return now + delay + fault_stall + cfg_.l2LatencyCycles;
     }
 
     delay += fault_stall + cfg_.l2LatencyCycles;
     countClass(node, home, node, false);
     handleEviction(now, node, ev);
+
+    // Latency-attribution component accumulators: plain locals on the
+    // (already expensive) miss path; zero-valued and dead when obs is off.
+    Cycles obs_l2 = cfg_.l2LatencyCycles;
+    Cycles obs_ring = 0, obs_link = 0, obs_dram = 0;
 
     if (cfg_.pageMigration) {
         delay += migration_.onFetch(pageTable_, *net_, now, addr, node,
@@ -227,13 +244,24 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
             now, addr, home, /*proactive=*/mapped_home != kInvalidNode);
     }
 
+    // Mirrors the fetchLocal_/fetchRemote_ increments below one-for-one;
+    // the heatmap conservation check depends on this adjacency.
+    if (obsHeat_)
+        obsHeat_->recordFetch(node, home, addr);
+
     if (home == node) {
         ++fetchLocal_[node];
         const Cycles d = dramFor(node, addr).book(now, kSectorSize);
         delayDram_ += d;
         delay += d;
+        obs_dram = d;
     } else {
         ++fetchRemote_[node];
+        // Both fabric legs of a remote fetch attribute to one component:
+        // ring when requester and home share a GPU, inter-GPU link
+        // otherwise (a cross-GPU route's ring segments ride along).
+        const bool same_gpu = cfg_.gpuOfNode(node) == cfg_.gpuOfNode(home);
+        Cycles &leg = same_gpu ? obs_ring : obs_link;
         // Read: small request out, sector back. Write: sector out, ack
         // back.
         {
@@ -242,6 +270,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
                                                     : kCtrlBytes);
             delayNet_ += d;
             delay += d;
+            leg += d;
         }
 
         const bool alloc = homeSideAllocates(policy_, true);
@@ -251,10 +280,12 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         countClass(node, home, home, r3 == AccessResult::Hit);
         handleEviction(now, home, ev_home);
         delay += cfg_.l2LatencyCycles;
+        obs_l2 += cfg_.l2LatencyCycles;
         if (r3 != AccessResult::Hit) {
             const Cycles d = dramFor(home, addr).book(now, kSectorSize);
             delayDram_ += d;
             delay += d;
+            obs_dram = d;
         }
 
         {
@@ -263,7 +294,13 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
                                                     : kSectorSize);
             delayNet_ += d;
             delay += d;
+            leg += d;
         }
+    }
+
+    if (obsLat_) {
+        obsMiss(node, home, obs_xbar, fault_stall, obs_l2, obs_ring,
+                obs_link, obs_dram, delay);
     }
 
     // Bound the outstanding-miss table: expired entries are dead
@@ -280,6 +317,74 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         pend.insertAt(mshr, addr, done);
     }
     return done;
+}
+
+void
+MemorySystem::obsL1Hit(NodeId node)
+{
+    obs::AccessSample s;
+    s.node = node;
+    s.comp[static_cast<size_t>(obs::LatComponent::L1)] =
+        cfg_.l1LatencyCycles;
+    s.comp[static_cast<size_t>(obs::LatComponent::Total)] =
+        cfg_.l1LatencyCycles;
+    obsLat_->record(s);
+}
+
+void
+MemorySystem::obsMerge(NodeId node, Cycles xbar, Cycles wait, Cycles total)
+{
+    obs::AccessSample s;
+    s.node = node;
+    s.comp[static_cast<size_t>(obs::LatComponent::L1)] =
+        cfg_.l1LatencyCycles;
+    s.comp[static_cast<size_t>(obs::LatComponent::Xbar)] = xbar;
+    s.comp[static_cast<size_t>(obs::LatComponent::MshrWait)] = wait;
+    s.comp[static_cast<size_t>(obs::LatComponent::Total)] = total;
+    obsLat_->record(s);
+}
+
+void
+MemorySystem::obsL2Hit(NodeId node, NodeId home, Cycles xbar, Cycles fault,
+                       Cycles total)
+{
+    obs::AccessSample s;
+    s.node = node;
+    s.trafficClass = static_cast<int>(classifyTraffic(node, home, node));
+    s.comp[static_cast<size_t>(obs::LatComponent::L1)] =
+        cfg_.l1LatencyCycles;
+    s.comp[static_cast<size_t>(obs::LatComponent::Xbar)] = xbar;
+    s.comp[static_cast<size_t>(obs::LatComponent::FaultStall)] = fault;
+    s.comp[static_cast<size_t>(obs::LatComponent::L2)] =
+        cfg_.l2LatencyCycles;
+    s.comp[static_cast<size_t>(obs::LatComponent::Total)] = total;
+    obsLat_->record(s);
+}
+
+void
+MemorySystem::obsMiss(NodeId node, NodeId home, Cycles xbar, Cycles fault,
+                      Cycles l2, Cycles ring, Cycles link, Cycles dram,
+                      Cycles total)
+{
+    obs::AccessSample s;
+    s.node = node;
+    s.trafficClass = static_cast<int>(classifyTraffic(node, home, node));
+    s.comp[static_cast<size_t>(obs::LatComponent::L1)] =
+        cfg_.l1LatencyCycles;
+    s.comp[static_cast<size_t>(obs::LatComponent::Xbar)] = xbar;
+    s.comp[static_cast<size_t>(obs::LatComponent::FaultStall)] = fault;
+    s.comp[static_cast<size_t>(obs::LatComponent::L2)] = l2;
+    s.comp[static_cast<size_t>(obs::LatComponent::Ring)] = ring;
+    s.comp[static_cast<size_t>(obs::LatComponent::GpuLink)] = link;
+    s.comp[static_cast<size_t>(obs::LatComponent::Dram)] = dram;
+    // Residual (migration, host-memory residency) keeps the decomposition
+    // summing to the end-to-end latency exactly.
+    const Cycles known = cfg_.l1LatencyCycles + xbar + fault + l2 + ring +
+                         link + dram;
+    s.comp[static_cast<size_t>(obs::LatComponent::Other)] =
+        total > known ? total - known : 0;
+    s.comp[static_cast<size_t>(obs::LatComponent::Total)] = total;
+    obsLat_->record(s);
 }
 
 void
@@ -354,6 +459,10 @@ MemorySystem::registerStats(telemetry::StatRegistry &reg,
               [this] { return static_cast<double>(l1Accesses_); }, acc);
     reg.gauge("mem.l1_hits",
               [this] { return static_cast<double>(l1Hits_); }, acc);
+    reg.gauge("mem.l2_accesses",
+              [this] { return static_cast<double>(l2Accesses()); }, acc);
+    reg.gauge("mem.l2_hits",
+              [this] { return static_cast<double>(l2Hits()); }, acc);
     reg.gauge("mem.mshr_merges",
               [this] { return static_cast<double>(mshrMerges_); }, acc);
     reg.gauge("mem.writeback_sectors",

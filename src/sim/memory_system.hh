@@ -43,6 +43,12 @@
 namespace ladm
 {
 
+namespace obs
+{
+class LatencyAttribution;
+class LocalityHeatmap;
+} // namespace obs
+
 class MemorySystem
 {
   public:
@@ -107,6 +113,18 @@ class MemorySystem
      */
     void registerStats(telemetry::StatRegistry &reg,
                        std::function<Cycles()> now = {});
+
+    /**
+     * Arm the observability hooks (obs::Observer's pillars). Either may
+     * be null; with both null every hook on the access path reduces to
+     * one untaken inline branch (the TraceEmitter discipline).
+     */
+    void
+    attachObserver(obs::LatencyAttribution *lat, obs::LocalityHeatmap *heat)
+    {
+        obsLat_ = lat;
+        obsHeat_ = heat;
+    }
 
     uint64_t l2Accesses() const;
     uint64_t l2Hits() const;
@@ -181,6 +199,15 @@ class MemorySystem
             ++clsHit_[c];
     }
 
+    /** Cold helpers: decompose a completed access for attribution. */
+    void obsL1Hit(NodeId node);
+    void obsMerge(NodeId node, Cycles xbar, Cycles wait, Cycles total);
+    void obsL2Hit(NodeId node, NodeId home, Cycles xbar, Cycles fault,
+                  Cycles total);
+    void obsMiss(NodeId node, NodeId home, Cycles xbar, Cycles fault,
+                 Cycles l2, Cycles ring, Cycles link, Cycles dram,
+                 Cycles total);
+
     const SystemConfig cfg_;
     PageTable pageTable_;
     Uvm uvm_;
@@ -250,6 +277,10 @@ class MemorySystem
     uint64_t failedNodeAccesses_ = 0;
     std::array<uint64_t, kNumTrafficClasses> clsAcc_{};
     std::array<uint64_t, kNumTrafficClasses> clsHit_{};
+
+    /** Observability pillars, armed by attachObserver (null = off). */
+    obs::LatencyAttribution *obsLat_ = nullptr;
+    obs::LocalityHeatmap *obsHeat_ = nullptr;
 };
 
 } // namespace ladm

@@ -72,6 +72,15 @@ Session::recordRun(RunRecord rec)
 }
 
 void
+Session::recordObservation(obs::RunObservation o)
+{
+    if (!opts_.timelineEnabled())
+        return;
+    std::lock_guard<std::mutex> lk(runsMu_);
+    observations_.push_back(std::move(o));
+}
+
+void
 Session::writeStatsJson(std::ostream &os) const
 {
     JsonWriter jw(os);
@@ -178,15 +187,45 @@ Session::finalize()
                 profiler_.report(*os);
         }
     }
+    if (opts_.timelineEnabled()) {
+        std::ofstream f;
+        std::ostream *os = nullptr;
+        if (openSink(opts_.timelineOutPath, f, os))
+            obs::writeObservationsJson(*os, observations_);
+        // A flat CSV of the windows lands alongside the JSON (plotting
+        // tools want columns, not nested documents). Stdout gets JSON
+        // only.
+        if (opts_.timelineOutPath != "-") {
+            std::string csv_path = opts_.timelineOutPath;
+            const std::string suffix = ".json";
+            if (csv_path.size() > suffix.size() &&
+                csv_path.compare(csv_path.size() - suffix.size(),
+                                 suffix.size(), suffix) == 0) {
+                csv_path.resize(csv_path.size() - suffix.size());
+            }
+            csv_path += ".csv";
+            std::ofstream cf;
+            std::ostream *cos = nullptr;
+            if (openSink(csv_path, cf, cos))
+                obs::writeObservationsCsv(*cos, observations_);
+        }
+    }
     if (opts_.traceEnabled()) {
         std::ofstream f;
         std::ostream *os = nullptr;
         if (openSink(opts_.traceOutPath, f, os)) {
             tracer_.write(*os);
             if (tracer_.droppedEvents() > 0) {
+                // One line, with the knobs to turn: a silently truncated
+                // timeline is worse than a noisy one.
                 ladm_warn("telemetry: trace dropped ",
                           tracer_.droppedEvents(),
-                          " events past the --trace-max-events cap");
+                          " events past the cap; raise --trace-max-events"
+                          " (currently ",
+                          opts_.traceMaxEvents,
+                          ") or thin harder with --trace-sample"
+                          " (currently 1-in-",
+                          opts_.traceSampleEvery, ")");
             }
         }
     }
@@ -201,6 +240,7 @@ Session::resetForTest()
     {
         std::lock_guard<std::mutex> lk(runsMu_);
         runs_.clear();
+        observations_.clear();
     }
     profiler_.clear();
     tracer_.enable(false);

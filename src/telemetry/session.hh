@@ -18,6 +18,7 @@
 
 #include "common/types.hh"
 #include "config/system_config.hh"
+#include "obs/observer.hh"
 #include "telemetry/profile.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace.hh"
@@ -88,6 +89,19 @@ class Session
         return runs_.size();
     }
 
+    /**
+     * Append one run's observability collection (timeline windows,
+     * latency summaries, heatmaps); same thread-safety contract as
+     * recordRun(). No-op unless the timeline sink is armed.
+     */
+    void recordObservation(obs::RunObservation o);
+    std::vector<obs::RunObservation>
+    observations() const
+    {
+        std::lock_guard<std::mutex> lk(runsMu_);
+        return observations_;
+    }
+
     /** Write every configured sink; idempotent until reconfigured. */
     void finalize();
 
@@ -103,9 +117,10 @@ class Session
     TelemetryOptions opts_;
     TraceEmitter tracer_;
     PhaseProfiler profiler_;
-    /** Guards runs_ against concurrent sweep workers. */
+    /** Guards runs_ and observations_ against concurrent sweep workers. */
     mutable std::mutex runsMu_;
     std::vector<RunRecord> runs_;
+    std::vector<obs::RunObservation> observations_;
     bool finalized_ = false;
     bool atexitRegistered_ = false;
 };

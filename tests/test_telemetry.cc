@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -531,6 +532,88 @@ TEST_F(SessionTest, PerKernelDeltasSubtractCounters)
     EXPECT_TRUE(sys.registry().value("mem.offchip_fraction").has_value());
     EXPECT_TRUE(sys.registry().value("net.inter_node_bytes").has_value());
 }
+
+// --- Observability conservation -----------------------------------------
+//
+// The heatmap and timeline are only trustworthy if they agree with the
+// counters they mirror *bit-exactly*: the heatmap diagonal must equal
+// fetch_local per requester, off-diagonal rows fetch_remote, and the
+// timeline's window deltas must telescope to the final counter values.
+// Checked on a regular stream (VecAdd) and an irregular graph workload
+// (PageRank) so both the local fast path and the remote/fault paths are
+// exercised.
+
+class ObsConservationTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    void SetUp() override { telemetry::session().resetForTest(); }
+    void TearDown() override { telemetry::session().resetForTest(); }
+};
+
+TEST_P(ObsConservationTest, HeatmapAndTimelineMatchFetchCounters)
+{
+    TelemetryOptions opts;
+    opts.timelineOutPath = "unused.timeline.json"; // arms buffering only
+    opts.timelineWindowCycles = 1'000;
+    opts.obsHeatmap = true;
+    telemetry::session().configure(opts);
+
+    auto w = workloads::makeWorkload(GetParam(), 0.25);
+    const RunMetrics m =
+        runExperiment(*w, Policy::Ladm, presets::multiGpu4x4());
+
+    const auto observations = telemetry::session().observations();
+    ASSERT_EQ(observations.size(), 1u);
+    const obs::RunObservation &o = observations[0];
+    ASSERT_TRUE(o.hasHeatmap);
+    ASSERT_TRUE(o.hasTimeline);
+    ASSERT_EQ(static_cast<size_t>(o.nodes), m.nodeFetchLocal.size());
+
+    // Per requester: diagonal == that node's fetch_local, the rest of
+    // the row == its fetch_remote. Exact integer equality, no tolerance.
+    uint64_t total = 0;
+    for (int r = 0; r < o.nodes; ++r) {
+        uint64_t diag = 0, off = 0;
+        for (int h = 0; h < o.nodes; ++h) {
+            const uint64_t v =
+                o.matrix[static_cast<size_t>(r) * o.nodes + h];
+            (r == h ? diag : off) += v;
+            total += v;
+        }
+        EXPECT_EQ(diag, m.nodeFetchLocal[r]) << "requester " << r;
+        EXPECT_EQ(off, m.nodeFetchRemote[r]) << "requester " << r;
+    }
+    EXPECT_EQ(total, m.fetchLocal + m.fetchRemote);
+
+    // Timeline telescoping: per path, summed window deltas equal the
+    // final counter value (the registry starts at zero for a fresh run).
+    auto pathTotal = [&](const std::string &path) {
+        const auto it = std::find(o.timelinePaths.begin(),
+                                  o.timelinePaths.end(), path);
+        EXPECT_NE(it, o.timelinePaths.end()) << path;
+        const size_t i =
+            static_cast<size_t>(it - o.timelinePaths.begin());
+        double sum = 0.0;
+        for (const auto &win : o.windows)
+            sum += win.delta[i];
+        return sum;
+    };
+    EXPECT_DOUBLE_EQ(pathTotal("mem.fetch_local"),
+                     static_cast<double>(m.fetchLocal));
+    EXPECT_DOUBLE_EQ(pathTotal("mem.fetch_remote"),
+                     static_cast<double>(m.fetchRemote));
+    EXPECT_DOUBLE_EQ(pathTotal("engine.warp_steps"),
+                     static_cast<double>(m.warpSteps));
+
+    // Windows tile the run: contiguous, starting at cycle zero.
+    ASSERT_FALSE(o.windows.empty());
+    EXPECT_EQ(o.windows.front().start, 0u);
+    for (size_t i = 1; i < o.windows.size(); ++i)
+        EXPECT_EQ(o.windows[i - 1].end, o.windows[i].start);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegularAndIrregular, ObsConservationTest,
+                         ::testing::Values("VecAdd", "PageRank"));
 
 } // namespace
 } // namespace ladm
