@@ -27,11 +27,25 @@
  *                        in an earlier BENCH_simperf.json
  *   --max-regression F   with --baseline: exit 1 if total throughput
  *                        drops below (1-F) x baseline (default 0.25)
+ *   --min-shard-speedup F  exit 1 if the PDES basket's --shards=4 over
+ *                        --shards=1 speedup falls below F; enforced only
+ *                        when the host has >= 4 cores (the sharded loop
+ *                        cannot beat serial on fewer), otherwise noted
+ *                        and skipped
+ *
+ * The extra "pdes" basket runs a high-locality big-topology set (the
+ * sharded event loop's intended regime: under LADM placement nearly
+ * every fetch is node-local, so almost no work serializes at the window
+ * barrier) once with --shards=1 and once with --shards=4, and records
+ * both throughputs plus their ratio. The two passes must agree exactly
+ * on warp-step counts -- that conservation is checked here, not just in
+ * the unit tests.
  */
 
 #include <chrono>
 #include <cstring>
 #include <iterator>
+#include <thread>
 
 #include "bench_util.hh"
 #include "telemetry/session.hh"
@@ -120,6 +134,7 @@ main(int argc, char **argv)
     int repeats = 3;
     std::string baseline_path;
     double max_regression = 0.25;
+    double min_shard_speedup = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
             repeats = std::atoi(argv[++i]);
@@ -134,6 +149,11 @@ main(int argc, char **argv)
             max_regression = std::atof(argv[++i]);
         else if (std::strncmp(argv[i], "--max-regression=", 17) == 0)
             max_regression = std::atof(argv[i] + 17);
+        else if (std::strcmp(argv[i], "--min-shard-speedup") == 0 &&
+                 i + 1 < argc)
+            min_shard_speedup = std::atof(argv[++i]);
+        else if (std::strncmp(argv[i], "--min-shard-speedup=", 20) == 0)
+            min_shard_speedup = std::atof(argv[i] + 20);
     }
 
     printHeaderLine("Simulator throughput (warp-steps/sec of wall time)");
@@ -193,6 +213,53 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total.warpSteps),
                 total.wsps(), total.saps(), total.seconds);
 
+    // --- PDES basket: sharded vs serial event loop ----------------------
+    // High-locality cells on the big topology: under Policy::Ladm nearly
+    // every fetch is node-local, so the lanes stay busy between barriers
+    // instead of funnelling remote ops through the serial phase.
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    BasketResult shard_res[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        SystemConfig cfg = multi;
+        cfg.shards = pass == 0 ? 1 : 4;
+        Basket b;
+        b.name = pass == 0 ? "pdes/shards=1" : "pdes/shards=4";
+        struct PdesCell { const char *w; double scale; };
+        for (const PdesCell pc : {PdesCell{"VecAdd", 4.0},
+                                  PdesCell{"ScalarProd", 4.0},
+                                  PdesCell{"CONV", 1.0},
+                                  PdesCell{"SRAD", 4.0}}) {
+            core::SweepCell c = cell(pc.w, Policy::Ladm, cfg);
+            c.scale *= pc.scale;
+            b.cells.push_back(std::move(c));
+        }
+        shard_res[pass] = runBasket(b, repeats);
+        const BasketResult &r = shard_res[pass];
+        std::printf("%-14s %6llu %14llu %16.0f %18.0f %10.3f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.runs),
+                    static_cast<unsigned long long>(r.warpSteps),
+                    r.wsps(), r.saps(), r.seconds);
+    }
+    // Conservation: the partitioned loop must execute exactly the same
+    // work as the serial reference, whatever the wall-clock says.
+    if (shard_res[0].warpSteps != shard_res[1].warpSteps ||
+        shard_res[0].sectorAccesses != shard_res[1].sectorAccesses) {
+        std::fprintf(stderr,
+                     "[simperf] FAIL: sharded run lost work (%llu vs "
+                     "%llu warp-steps)\n",
+                     static_cast<unsigned long long>(
+                         shard_res[1].warpSteps),
+                     static_cast<unsigned long long>(
+                         shard_res[0].warpSteps));
+        return 1;
+    }
+    const double shard_speedup =
+        safeRate(shard_res[1].wsps(), shard_res[0].wsps());
+    std::printf("[simperf] pdes shards=4 vs shards=1: %.2fx "
+                "(%u host cores)\n",
+                shard_speedup, host_cores);
+
     {
         std::ofstream os("BENCH_simperf.json");
         if (os) {
@@ -227,9 +294,43 @@ main(int argc, char **argv)
             w.kv("warp_steps_per_sec", total.wsps());
             w.kv("sector_accesses_per_sec", total.saps());
             w.endObject();
+            // NOTE: placed after "total", and deliberately NOT using
+            // the warp_steps_per_sec key: the --baseline gate takes the
+            // file's LAST warp_steps_per_sec as the total.
+            w.key("pdes");
+            w.beginObject();
+            w.kv("shards", 4.0);
+            w.kv("host_cores", static_cast<double>(host_cores));
+            w.kv("warp_steps",
+                 static_cast<double>(shard_res[0].warpSteps));
+            w.kv("shard1_seconds", shard_res[0].seconds);
+            w.kv("shard4_seconds", shard_res[1].seconds);
+            w.kv("shard1_wsps", shard_res[0].wsps());
+            w.kv("shard4_wsps", shard_res[1].wsps());
+            w.kv("speedup", shard_speedup);
+            w.endObject();
             w.endObject();
             os << '\n';
             std::printf("[bench] wrote BENCH_simperf.json\n");
+        }
+    }
+
+    if (min_shard_speedup > 0.0) {
+        if (host_cores >= 4) {
+            if (shard_speedup < min_shard_speedup) {
+                std::fprintf(stderr,
+                             "[simperf] FAIL: pdes speedup %.2fx below "
+                             "the %.2fx floor\n",
+                             shard_speedup, min_shard_speedup);
+                return 1;
+            }
+        } else {
+            // With fewer cores than shards the lanes time-slice one
+            // CPU and a wall-clock win is physically impossible; the
+            // conservation check above still ran.
+            std::printf("[simperf] pdes speedup floor skipped: %u host "
+                        "cores < 4\n",
+                        host_cores);
         }
     }
 

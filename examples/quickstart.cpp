@@ -14,6 +14,8 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "check/invariants.hh"
 #include "config/presets.hh"
@@ -29,7 +31,15 @@ runExample(int argc, char **argv)
     telemetry::session().configure(
         TelemetryOptions::parseArgs(argc, argv));
     // The machine: 4 discrete GPUs x 4 chiplets, 256 SMs (Table III).
-    const SystemConfig multi = presets::multiGpu4x4();
+    SystemConfig multi = presets::multiGpu4x4();
+    // --shards N: run the NUMA machine on the sharded PDES engine
+    // (0 = resolve from LADM_SHARDS; 1 = serial reference).
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--shards") == 0) {
+            multi.shards = std::atoi(argv[i + 1]);
+            break;
+        }
+    }
     // The yardstick: a hypothetical monolithic 256-SM GPU.
     const SystemConfig mono = presets::monolithic256();
 

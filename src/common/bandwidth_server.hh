@@ -78,11 +78,34 @@ class BandwidthServer
     Bytes totalBytes() const { return totalBytes_; }
     Cycles busyCycles() const { return busyCycles_; }
 
+    /** Fixed pipeline latency every transfer pays (the PDES lookahead
+     *  floor for cross-node links). */
+    Cycles latency() const { return latency_; }
+
+    /**
+     * Full reset: timing state AND statistics. Only correct when
+     * simulated time itself restarts at 0 (a fresh experiment); resetting
+     * mid-run warps link availability back to cycle 0 and lets the next
+     * transfer start in the past. For a measurement-window boundary use
+     * resetStats().
+     */
     void
     reset()
     {
         nextFree_ = 0;
         fracBusy_ = 0.0;
+        resetStats();
+    }
+
+    /**
+     * Clear the statistics (byte/busy counters) while PRESERVING the
+     * timing state (nextFree_, fracBusy_): a measurement-window reset
+     * must not make an occupied link look idle, nor may utilization
+     * accumulated before the window leak into it.
+     */
+    void
+    resetStats()
+    {
         totalBytes_ = 0;
         busyCycles_ = 0;
     }

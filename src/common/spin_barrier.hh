@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SpinBarrier: sense-reversing spin barrier with a serial section.
+ *
+ * The sharded kernel engine (sim/sharded_engine.cc) synchronizes its
+ * per-node worker threads on conservative time windows: every thread
+ * simulates its own node up to the window end, then all threads meet at
+ * a barrier where exactly one of them (the last arriver) runs a serial
+ * callback -- executing deferred cross-node memory operations, folding
+ * per-shard statistics, advancing the window -- before everyone is
+ * released into the next parallel phase.
+ *
+ * Memory-ordering contract (this is what makes the engine's lock-free
+ * parallel phases sound, and what TSan checks in CI):
+ *   - everything a thread wrote before arriveAndWait() happens-before
+ *     the serial callback (arrived_.fetch_add acq_rel chains all
+ *     arrivals into the last one);
+ *   - everything the serial callback wrote happens-before any thread's
+ *     return from arriveAndWait() (phase_.store release, spin-load
+ *     acquire).
+ * So shards may freely read state the serial section published, and the
+ * serial section may freely read every shard's window-local state,
+ * without any per-field synchronization.
+ *
+ * Windows are short (hundreds of simulated cycles, microseconds of
+ * work), so waiters spin; after a bounded number of polls they yield to
+ * stay polite on oversubscribed machines.
+ */
+
+#ifndef LADM_COMMON_SPIN_BARRIER_HH
+#define LADM_COMMON_SPIN_BARRIER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ladm
+{
+
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(uint32_t parties)
+        : parties_(parties),
+          // Oversubscribed host (fewer cores than parties): spinning
+          // only burns the quantum the arriver needs; yield at once.
+          spinPolls_(std::thread::hardware_concurrency() >= parties
+                         ? kPollsBeforeYield
+                         : 1)
+    {
+    }
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    /**
+     * Block until all @p parties_ threads arrive. The last arriver runs
+     * @p serial (alone, with every other thread parked), then releases
+     * the barrier. Returns true on the thread that ran the callback.
+     * @p serial must not throw: an exception would strand the waiters.
+     */
+    template <typename F>
+    bool
+    arriveAndWait(F &&serial)
+    {
+        const uint64_t my_phase = phase_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            serial();
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.store(my_phase + 1, std::memory_order_release);
+            return true;
+        }
+        uint32_t polls = 0;
+        while (phase_.load(std::memory_order_acquire) == my_phase) {
+            if (++polls >= spinPolls_) {
+                polls = 0;
+                std::this_thread::yield();
+            }
+        }
+        return false;
+    }
+
+    /** arriveAndWait() with an empty serial section. */
+    bool
+    arriveAndWait()
+    {
+        return arriveAndWait([] {});
+    }
+
+  private:
+    static constexpr uint32_t kPollsBeforeYield = 4096;
+
+    const uint32_t parties_;
+    const uint32_t spinPolls_;
+    std::atomic<uint32_t> arrived_{0};
+    std::atomic<uint64_t> phase_{0};
+};
+
+} // namespace ladm
+
+#endif // LADM_COMMON_SPIN_BARRIER_HH

@@ -35,6 +35,26 @@ Histogram::reset()
     max_ = 0;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    // Geometry mismatch would silently misfile counts; refuse by
+    // folding everything into overflow instead of lying bucket-by-bucket.
+    if (other.bucketWidth_ == bucketWidth_ &&
+        other.buckets_.size() == buckets_.size()) {
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+        overflow_ += other.overflow_;
+    } else {
+        overflow_ += other.total_;
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
 uint64_t
 Histogram::bucketCount(size_t i) const
 {
@@ -44,8 +64,18 @@ Histogram::bucketCount(size_t i) const
 double
 Histogram::percentile(double q) const
 {
+    // Edge contract (relied on by the .p50/.p95/.p99 exporter keys):
+    //   - no samples            -> 0.0 (never NaN)
+    //   - q >= 1.0              -> exactly maxValue()
+    //   - NaN q                 -> treated as 0.0
+    //   - every sample overflow -> interpolates within
+    //     [bucketed-range-end, maxValue()], clamped to that interval
     if (total_ == 0)
         return 0.0;
+    if (std::isnan(q))
+        q = 0.0;
+    if (q >= 1.0)
+        return static_cast<double>(max_);
     q = std::clamp(q, 0.0, 1.0);
     const double target = q * static_cast<double>(total_);
     double cum = 0.0;
@@ -101,8 +131,14 @@ LogHistogram::merge(const LogHistogram &o)
 double
 LogHistogram::percentile(double q) const
 {
+    // Same edge contract as Histogram::percentile(): empty -> 0.0,
+    // NaN q -> 0.0, q >= 1.0 -> exactly maxValue(); never NaN.
     if (total_ == 0)
         return 0.0;
+    if (std::isnan(q))
+        q = 0.0;
+    if (q >= 1.0)
+        return static_cast<double>(max_);
     q = std::clamp(q, 0.0, 1.0);
     const double target = q * static_cast<double>(total_);
     double cum = 0.0;

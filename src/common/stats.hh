@@ -90,6 +90,14 @@ class Histogram
 
     void reset();
 
+    /**
+     * Fold @p other into this histogram. Requires identical geometry
+     * (bucket width and count): the sharded engine samples into
+     * per-shard histograms during the parallel phase and merges them
+     * into the registered one at kernel end.
+     */
+    void merge(const Histogram &other);
+
     uint64_t bucketCount(size_t i) const;
     size_t numBuckets() const { return buckets_.size(); }
     uint64_t bucketWidth() const { return bucketWidth_; }
@@ -103,7 +111,9 @@ class Histogram
      * the bucket holding the q*total'th sample. Samples in the overflow
      * bucket interpolate between the bucketed range's end and maxValue(),
      * so long-tail runs no longer report a percentile capped at the last
-     * regular bucket.
+     * regular bucket. Edges are total (never NaN): an empty histogram
+     * reports 0.0, NaN q reads as 0.0, and q >= 1.0 is exactly
+     * maxValue().
      */
     double percentile(double q) const;
 

@@ -161,6 +161,35 @@ TelemetryOptions::parseArgs(int &argc, char **argv)
     return o;
 }
 
+int
+SystemConfig::resolvedShards() const
+{
+    uint64_t n = shards > 0 ? static_cast<uint64_t>(shards) : 0;
+    if (shards == 0)
+        envU64("LADM_SHARDS", n);
+    if (n < 1)
+        return 1;
+    const uint64_t cap = static_cast<uint64_t>(numNodes());
+    return static_cast<int>(n < cap ? n : cap);
+}
+
+Cycles
+SystemConfig::minCrossNodeLatencyCycles() const
+{
+    switch (topology) {
+    case Topology::Crossbar:
+        return switchLatencyCycles;
+    case Topology::Ring:
+        return ringHopLatencyCycles;
+    case Topology::Hierarchical:
+        return ringHopLatencyCycles < switchLatencyCycles
+                   ? ringHopLatencyCycles
+                   : switchLatencyCycles;
+    default:
+        return 0; // Monolithic: one node, no cross-node traffic
+    }
+}
+
 std::vector<Diagnostic>
 SystemConfig::validateCollect() const
 {
@@ -257,6 +286,11 @@ SystemConfig::validateCollect() const
         bad("warpPipelineDepth", std::to_string(warpPipelineDepth),
             "pipeline depth must be >= 1 (1 = fully blocking)",
             "use 1-4");
+    }
+    if (shards < 0) {
+        bad("shards", std::to_string(shards),
+            "shard count must be >= 0 (0 = resolve from LADM_SHARDS)",
+            "use 1 for the serial reference or 2+ for the PDES engine");
     }
 
     if (!faultSpec.empty()) {

@@ -154,6 +154,18 @@ struct SystemConfig
      * default for reproducibility. See sim/event_queue.hh.
      */
     bool engineCalendarQueue = false;
+    /**
+     * Event-loop shards for the conservative-PDES engine: the kernel
+     * engine partitions warps by NUMA node across this many worker
+     * threads synchronized on conservative time windows whose width is
+     * the minimum cross-node link latency (the lookahead). 0 resolves
+     * from the LADM_SHARDS environment variable (default 1); 1 is the
+     * bit-exact single-thread reference; values above numNodes() clamp.
+     * Sharding falls back to the serial loop when the run needs
+     * serial-only machinery (tracing, obs attribution/heatmap, fault
+     * injection, page migration, host memory). See docs/performance.md.
+     */
+    int shards = 0;
 
     // --- caches -----------------------------------------------------------
     Bytes l1SizePerSm = 64 * 1024;
@@ -267,6 +279,17 @@ struct SystemConfig
 
     /** Convert a GB/s figure to bytes per core cycle. */
     double bytesPerCycle(double gbs) const { return gbs / clockGhz; }
+
+    /** shards, with 0 resolved from LADM_SHARDS (default 1). */
+    int resolvedShards() const;
+
+    /**
+     * Conservative-PDES lookahead: the minimum fixed latency any
+     * cross-node transfer pays on this topology. An event issued at
+     * cycle t cannot affect another node before t + lookahead, so
+     * shards may run a window of that width without synchronizing.
+     */
+    Cycles minCrossNodeLatencyCycles() const;
 
     /**
      * Check every parameter for consistency.

@@ -45,12 +45,23 @@ runExperiment(Workload &workload, PolicyBundle &bundle,
         ++sched_stats.counter("decisions." + plan.scheduler->name());
 
         auto trace = workload.makeTrace(reg);
+        // The sharded PDES engine needs a private trace instance per
+        // extra shard: warpStep() output is a pure function of
+        // (tb, warp, step), but each instance carries per-call scratch
+        // buffers. Serial engines (engineShards() == 1) skip this.
+        std::vector<std::unique_ptr<TraceSource>> extra_traces;
+        std::vector<TraceSource *> shard_traces;
+        for (int s = 1; s < sys.engineShards(); ++s) {
+            extra_traces.push_back(workload.makeTrace(reg));
+            shard_traces.push_back(extra_traces.back().get());
+        }
         const auto queues =
             plan.scheduler->assign(workload.dims(), cfg, sys.now());
         LADM_SCOPED_TIMER("experiment.kernels");
         const KernelRunStats k = sys.runKernel(
             workload.dims(), *trace, queues, plan.policy,
-            /*flush_caches=*/l == 0 || cfg.flushL2BetweenKernels);
+            /*flush_caches=*/l == 0 || cfg.flushL2BetweenKernels,
+            shard_traces);
         ks.endCycle = k.endCycle;
         ks.warpSteps += k.warpSteps;
         ks.sectorAccesses += k.sectorAccesses;

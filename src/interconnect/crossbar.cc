@@ -52,4 +52,14 @@ CrossbarNet::reset()
         l.reset();
 }
 
+void
+CrossbarNet::resetStats()
+{
+    Network::resetStats();
+    for (auto &l : egress_)
+        l.resetStats();
+    for (auto &l : ingress_)
+        l.resetStats();
+}
+
 } // namespace ladm

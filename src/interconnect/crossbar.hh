@@ -24,6 +24,7 @@ class CrossbarNet : public Network
     void registerStats(telemetry::StatRegistry &reg,
                        std::function<Cycles()> now = {}) const override;
     void reset() override;
+    void resetStats() override;
 
   protected:
     Cycles delayImpl(Cycles now, NodeId src, NodeId dst,

@@ -81,6 +81,18 @@ HierarchicalNet::reset()
         l.reset();
 }
 
+void
+HierarchicalNet::resetStats()
+{
+    Network::resetStats();
+    for (auto &r : rings_)
+        r.resetStats();
+    for (auto &l : gpuEgress_)
+        l.resetStats();
+    for (auto &l : gpuIngress_)
+        l.resetStats();
+}
+
 Bytes
 HierarchicalNet::switchBytes() const
 {

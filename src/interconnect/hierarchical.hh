@@ -26,6 +26,7 @@ class HierarchicalNet : public Network
     void registerStats(telemetry::StatRegistry &reg,
                        std::function<Cycles()> now = {}) const override;
     void reset() override;
+    void resetStats() override;
 
     /** Bytes that crossed the inter-GPU switch (for traffic reports). */
     Bytes switchBytes() const;

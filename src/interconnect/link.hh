@@ -66,6 +66,10 @@ class Link
     }
 
     void reset() { server_.reset(); }
+    /** Clear byte/busy counters, keeping the server's timing state. */
+    void resetStats() { server_.resetStats(); }
+    /** Fixed traversal latency of this link. */
+    Cycles latency() const { return server_.latency(); }
 
   private:
     std::string name_;

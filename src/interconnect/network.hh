@@ -95,6 +95,18 @@ class Network
         interGpuBytes_ = 0;
     }
 
+    /**
+     * Clear byte accounting (boundary-crossing totals and per-link
+     * counters) while preserving every link's timing state — the
+     * measurement-window counterpart of reset(); see
+     * BandwidthServer::resetStats().
+     */
+    virtual void resetStats()
+    {
+        interNodeBytes_ = 0;
+        interGpuBytes_ = 0;
+    }
+
   protected:
     virtual Cycles delayImpl(Cycles now, NodeId src, NodeId dst,
                              Bytes bytes) = 0;

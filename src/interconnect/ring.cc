@@ -70,6 +70,15 @@ RingFabric::reset()
         l.reset();
 }
 
+void
+RingFabric::resetStats()
+{
+    for (auto &l : cw_)
+        l.resetStats();
+    for (auto &l : ccw_)
+        l.resetStats();
+}
+
 RingNet::RingNet(const SystemConfig &cfg)
     : Network(cfg),
       ring_(cfg.numNodes(),
@@ -101,6 +110,13 @@ RingNet::reset()
 {
     Network::reset();
     ring_.reset();
+}
+
+void
+RingNet::resetStats()
+{
+    Network::resetStats();
+    ring_.resetStats();
 }
 
 } // namespace ladm

@@ -44,6 +44,8 @@ class RingFabric
                        const std::function<Cycles()> &now = {}) const;
 
     void reset();
+    /** Clear per-segment byte counters, keeping segment timing state. */
+    void resetStats();
 
   private:
     int n_;
@@ -61,6 +63,7 @@ class RingNet : public Network
     void registerStats(telemetry::StatRegistry &reg,
                        std::function<Cycles()> now = {}) const override;
     void reset() override;
+    void resetStats() override;
 
   protected:
     Cycles delayImpl(Cycles now, NodeId src, NodeId dst,

@@ -46,6 +46,14 @@ class Dram
         accesses_ = 0;
     }
 
+    /** Clear access/byte/busy counters, keeping channel timing state. */
+    void
+    resetStats()
+    {
+        server_.resetStats();
+        accesses_ = 0;
+    }
+
   private:
     BandwidthServer server_;
     uint64_t accesses_ = 0;

@@ -99,6 +99,21 @@ class HostMemory
         evictions_ = 0;
     }
 
+    /**
+     * Measurement-window reset: clear fault/prefetch/eviction counters
+     * and link statistics while keeping residency sets and link timing
+     * (see BandwidthServer::resetStats()).
+     */
+    void
+    resetStats()
+    {
+        link_.resetStats();
+        handler_.resetStats();
+        demandFaults_ = 0;
+        prefetches_ = 0;
+        evictions_ = 0;
+    }
+
   private:
     uint64_t capacityPages_;
     BandwidthServer link_;

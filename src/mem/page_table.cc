@@ -321,6 +321,32 @@ PageTable::lookupSlow(Addr addr) const
     return result;
 }
 
+NodeId
+PageTable::lookupSlowNoFill(Addr addr) const
+{
+    // lookupSlow() minus every mutation: no miss counter, no TLB fill.
+    uint64_t exc_gen = 0;
+    NodeId result = kInvalidNode;
+    const uint64_t page = addr >> pageShift_;
+    if (!exceptions_.empty()) {
+        const auto it = exceptions_.find(page);
+        if (it != exceptions_.end()) {
+            result = it->second.node;
+            exc_gen = it->second.gen;
+        }
+    }
+    if (!segments_.empty()) {
+        auto it = segments_.upper_bound(addr);
+        if (it != segments_.begin()) {
+            --it;
+            const Segment &s = it->second;
+            if (addr < s.end && s.gen > exc_gen)
+                return resolveSegment(s, it->first, addr);
+        }
+    }
+    return result;
+}
+
 void
 PageTable::clear()
 {

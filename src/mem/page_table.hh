@@ -114,6 +114,25 @@ class PageTable
     bool isMapped(Addr addr) const { return lookup(addr) != kInvalidNode; }
 
     /**
+     * Read-only translation for the sharded engine's parallel phase:
+     * same layered resolution as lookup(), but it never fills the TLB
+     * and never touches the (mutable) hit/miss counters, so concurrent
+     * callers are safe provided nothing mutates the table meanwhile --
+     * the engine confines every mutation (placement, UVM faults,
+     * migration) to its serial barrier sections. Reading a TLB entry
+     * written in an earlier serial phase is fine: the barrier orders it.
+     */
+    NodeId
+    lookupNoFill(Addr addr) const
+    {
+        const uint64_t page = addr >> pageShift_;
+        const TlbEntry &e = tlb_[page & kTlbMask];
+        if (e.tag == page + 1)
+            return e.node;
+        return lookupSlowNoFill(addr);
+    }
+
+    /**
      * Hint the CPU to pull @p addr's TLB entry into cache ahead of a
      * lookup() -- the TLB array is 128 KiB, so a cold probe stalls the
      * translation. No architectural effect.
@@ -198,6 +217,8 @@ class PageTable
 
     /** Layered lookup behind the TLB; fills the TLB when legal. */
     NodeId lookupSlow(Addr addr) const;
+    /** Layered lookup with no TLB fill and no counter updates. */
+    NodeId lookupSlowNoFill(Addr addr) const;
 
     /** Exact per-node bytes of segment @p s clipped to [a, b). */
     Bytes segmentBytesOnNode(const Segment &s, Addr start, Addr a, Addr b,

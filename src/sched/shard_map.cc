@@ -1,0 +1,31 @@
+#include "sched/shard_map.hh"
+
+namespace ladm
+{
+
+ShardMap
+buildShardMap(const SystemConfig &cfg, int shards)
+{
+    const int nodes = cfg.numNodes();
+    if (shards < 1)
+        shards = 1;
+    if (shards > nodes)
+        shards = nodes;
+
+    ShardMap map;
+    map.shards = shards;
+    map.shardOfNode.resize(static_cast<size_t>(nodes));
+    map.nodesOfShard.resize(static_cast<size_t>(shards));
+    for (int n = 0; n < nodes; ++n) {
+        // Contiguous balanced split: shard sizes differ by at most one,
+        // and each shard's nodes form one ascending run.
+        const int s = static_cast<int>(
+            static_cast<long long>(n) * shards / nodes);
+        map.shardOfNode[static_cast<size_t>(n)] = s;
+        map.nodesOfShard[static_cast<size_t>(s)].push_back(
+            static_cast<NodeId>(n));
+    }
+    return map;
+}
+
+} // namespace ladm

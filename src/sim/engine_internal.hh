@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-warp and per-SM bookkeeping shared by the kernel engine's two
+ * event loops (the serial reference in sim/kernel_engine.cc and the
+ * sharded conservative-PDES loop in sim/sharded_engine.cc). Internal to
+ * the engine -- nothing outside sim/ should include this.
+ */
+
+#ifndef LADM_SIM_ENGINE_INTERNAL_HH
+#define LADM_SIM_ENGINE_INTERNAL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ladm
+{
+namespace engine_detail
+{
+
+struct WarpState
+{
+    TbId tb = 0;
+    int warpInTb = 0;
+    SmId sm = 0;
+    int64_t step = 0;
+    /** Completion times of the last in-flight steps (pipeline window). */
+    std::array<Cycles, 4> doneRing{};
+};
+
+struct SmState
+{
+    int residentTbs = 0;
+    int freeWarpSlots = 0;
+};
+
+} // namespace engine_detail
+} // namespace ladm
+
+#endif // LADM_SIM_ENGINE_INTERNAL_HH

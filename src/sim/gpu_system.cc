@@ -41,7 +41,8 @@ GpuSystem::GpuSystem(const SystemConfig &cfg)
 KernelRunStats
 GpuSystem::runKernel(const LaunchDims &dims, TraceSource &trace,
                      const std::vector<std::vector<TbId>> &node_queues,
-                     L2InsertPolicy policy, bool flush_caches)
+                     L2InsertPolicy policy, bool flush_caches,
+                     const std::vector<TraceSource *> &shard_traces)
 {
     if (flush_caches)
         mem_.flushCaches();
@@ -54,7 +55,7 @@ GpuSystem::runKernel(const LaunchDims &dims, TraceSource &trace,
 
     KernelRunStats s;
     try {
-        s = engine_.run(dims, trace, node_queues, now_);
+        s = engine_.run(dims, trace, node_queues, now_, shard_traces);
     } catch (const InvariantViolation &) {
         // Post-mortem: leave the whole stat tree behind before the
         // violation propagates, so a hung or leaking run is debuggable

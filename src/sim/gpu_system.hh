@@ -38,11 +38,17 @@ class GpuSystem
      * @param node_queues  per-node TB assignment from the scheduler
      * @param policy       L2 insertion policy for this kernel (CRB output)
      * @param flush_caches software-coherence invalidation at the boundary
+     * @param shard_traces extra per-shard trace instances for the
+     *                     sharded PDES engine (see KernelEngine::run)
      */
     KernelRunStats
     runKernel(const LaunchDims &dims, TraceSource &trace,
               const std::vector<std::vector<TbId>> &node_queues,
-              L2InsertPolicy policy, bool flush_caches = true);
+              L2InsertPolicy policy, bool flush_caches = true,
+              const std::vector<TraceSource *> &shard_traces = {});
+
+    /** Resolved engine shard count (1 = serial reference loop). */
+    int engineShards() const { return engine_.maxShards(); }
 
     MemorySystem &mem() { return mem_; }
     const MemorySystem &mem() const { return mem_; }

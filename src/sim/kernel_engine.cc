@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/sim_error.hh"
 #include "obs/timeline.hh"
+#include "sim/engine_internal.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace.hh"
@@ -14,26 +15,8 @@
 namespace ladm
 {
 
-namespace
-{
-
-struct WarpState
-{
-    TbId tb = 0;
-    int warpInTb = 0;
-    SmId sm = 0;
-    int64_t step = 0;
-    /** Completion times of the last in-flight steps (pipeline window). */
-    std::array<Cycles, 4> doneRing{};
-};
-
-struct SmState
-{
-    int residentTbs = 0;
-    int freeWarpSlots = 0;
-};
-
-} // namespace
+using engine_detail::SmState;
+using engine_detail::WarpState;
 
 KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
     : cfg_(cfg), mem_(mem)
@@ -41,6 +24,11 @@ KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
     smNode_.resize(cfg_.totalSms());
     for (SmId s = 0; s < cfg_.totalSms(); ++s)
         smNode_[s] = cfg_.nodeOfSm(s);
+    maxShards_ = cfg_.resolvedShards();
+    lookahead_ = cfg_.minCrossNodeLatencyCycles();
+    if (lookahead_ == 0)
+        maxShards_ = 1; // no cross-node latency = no conservative window
+    pdesBarrierNs_.assign(static_cast<size_t>(maxShards_), 0);
 }
 
 void
@@ -66,12 +54,41 @@ KernelEngine::registerStats(telemetry::StatRegistry &reg)
     // (remote fetches, DRAM queueing) land in the overflow bucket.
     stepLatencyHist_ =
         &reg.group("engine").histogram("step_latency", 8, 32);
+
+    // PDES shard counters exist only when the sharded loop can run, so
+    // serial runs keep an unchanged stat namespace.
+    if (maxShards_ > 1) {
+        reg.gauge("engine.pdes.shards",
+                  [this] { return static_cast<double>(maxShards_); });
+        reg.gauge("engine.pdes.windows",
+                  [this] { return static_cast<double>(pdesWindows_); },
+                  acc);
+        reg.gauge("engine.pdes.deferred_ops",
+                  [this] {
+                      return static_cast<double>(pdesDeferredOps_);
+                  },
+                  acc);
+        reg.gauge("engine.pdes.late_events",
+                  [this] {
+                      return static_cast<double>(pdesLateEvents_);
+                  },
+                  acc);
+        for (size_t s = 0; s < pdesBarrierNs_.size(); ++s) {
+            reg.gauge("engine.pdes.shard" + std::to_string(s) +
+                          ".barrier_wait_ns",
+                      [this, s] {
+                          return static_cast<double>(pdesBarrierNs_[s]);
+                      },
+                      acc);
+        }
+    }
 }
 
 KernelRunStats
 KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                   const std::vector<std::vector<TbId>> &node_queues,
-                  Cycles start)
+                  Cycles start,
+                  const std::vector<TraceSource *> &shard_traces)
 {
     const int num_nodes = cfg_.numNodes();
     if (static_cast<int>(node_queues.size()) != num_nodes) {
@@ -138,6 +155,20 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                 "TB dispatch not a permutation of the launch",
                 std::move(diags));
         }
+    }
+
+    // Sharded conservative-PDES loop -- only when configured for >1
+    // shard AND this run needs none of the serial-only machinery: the
+    // invariant suite (watchdog/drain bookkeeping is serial), event
+    // tracing (the tracer sink is single-threaded), shard-incompatible
+    // memory features (see MemorySystem::shardCompatible()), and a
+    // private trace instance per extra shard (warpStep scratch buffers
+    // are per-object). Anything short of that runs the bit-exact serial
+    // reference below.
+    if (maxShards_ > 1 && !check_on && !telemetry::tracer().enabled() &&
+        mem_.shardCompatible() &&
+        static_cast<int>(shard_traces.size()) + 1 >= maxShards_) {
+        return runSharded(dims, trace, shard_traces, node_queues, start);
     }
 
     KernelRunStats stats;

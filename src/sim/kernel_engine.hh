@@ -59,15 +59,31 @@ class KernelEngine
     /**
      * Execute a kernel to completion.
      *
-     * @param dims        launch geometry
-     * @param trace       workload access generator
-     * @param node_queues per-node ordered TB lists from the scheduler;
-     *                    must cover every TB exactly once
-     * @param start       cycle at which the launch begins
+     * @param dims         launch geometry
+     * @param trace        workload access generator
+     * @param node_queues  per-node ordered TB lists from the scheduler;
+     *                     must cover every TB exactly once
+     * @param start        cycle at which the launch begins
+     * @param shard_traces additional trace instances (one per shard
+     *                     beyond the first) for the sharded PDES loop;
+     *                     each shard thread needs its own instance
+     *                     because warpStep() uses per-object scratch
+     *                     buffers. With fewer instances than shards the
+     *                     engine silently runs the serial loop.
      */
     KernelRunStats run(const LaunchDims &dims, TraceSource &trace,
                        const std::vector<std::vector<TbId>> &node_queues,
-                       Cycles start);
+                       Cycles start,
+                       const std::vector<TraceSource *> &shard_traces =
+                           {});
+
+    /**
+     * Shard count this engine was configured with (resolved, clamped to
+     * the node count). 1 = serial reference loop. Individual runs may
+     * still fall back to the serial loop (tracing, invariant checks,
+     * shard-incompatible memory features, missing per-shard traces).
+     */
+    int maxShards() const { return maxShards_; }
 
     /**
      * Publish cumulative engine counters (kernels, warp steps, sector
@@ -84,11 +100,28 @@ class KernelEngine
     void attachTimeline(obs::Timeline *t) { timeline_ = t; }
 
   private:
+    /**
+     * The sharded conservative-PDES event loop (sim/sharded_engine.cc):
+     * one worker thread per shard, warps partitioned by NUMA node,
+     * threads synchronized on time windows of `lookahead_` cycles with
+     * cross-node memory operations executed in the serial barrier
+     * phase. Inputs are pre-validated by run().
+     */
+    KernelRunStats runSharded(
+        const LaunchDims &dims, TraceSource &trace,
+        const std::vector<TraceSource *> &shard_traces,
+        const std::vector<std::vector<TbId>> &node_queues, Cycles start);
+
     const SystemConfig &cfg_;
     MemorySystem &mem_;
     obs::Timeline *timeline_ = nullptr;
     /** nodeOfSm() hoisted into a table, built once per topology. */
     std::vector<NodeId> smNode_;
+
+    /** Resolved shard count (cfg.shards / LADM_SHARDS, clamped). */
+    int maxShards_ = 1;
+    /** Conservative window width: min cross-node link latency. */
+    Cycles lookahead_ = 0;
 
     // Cumulative across run() calls; published as Counter-kind gauges so
     // per-kernel deltas recover the per-launch values.
@@ -96,6 +129,15 @@ class KernelEngine
     uint64_t warpStepsTotal_ = 0;
     uint64_t sectorAccessesTotal_ = 0;
     uint64_t tbsDispatchedTotal_ = 0;
+
+    // PDES shard counters (cumulative; registered when maxShards_ > 1).
+    // windows/deferred/late are deterministic functions of the run;
+    // barrier-wait is wall-clock observability (per shard, nanoseconds).
+    uint64_t pdesWindows_ = 0;
+    uint64_t pdesDeferredOps_ = 0;
+    uint64_t pdesLateEvents_ = 0;
+    std::vector<uint64_t> pdesBarrierNs_;
+
     /** Lives in the registry's "engine" group; null until registered. */
     Histogram *stepLatencyHist_ = nullptr;
 };

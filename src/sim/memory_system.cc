@@ -1,5 +1,6 @@
 #include "sim/memory_system.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "check/invariants.hh"
@@ -32,6 +33,7 @@ MemorySystem::MemorySystem(const SystemConfig &cfg)
 
     fetchLocal_.assign(nodes, 0);
     fetchRemote_.assign(nodes, 0);
+    ctr_.assign(nodes, NodeCounters{});
 
     l1_.reserve(sms);
     smNode_.resize(sms);
@@ -88,7 +90,7 @@ MemorySystem::handleDirtyEviction(Cycles now, NodeId node,
                                   const EvictInfo &ev)
 {
     const int dirty = __builtin_popcount(ev.dirtyMask);
-    writebackSectors_ += dirty;
+    ctr_[node].writebackSectors += dirty;
     const Bytes bytes = static_cast<Bytes>(dirty) * kSectorSize;
     NodeId home = pageTable_.lookup(ev.lineAddr);
     if (home == kInvalidNode)
@@ -122,10 +124,11 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     // L1: reads allocate; writes are write-through no-allocate with
     // write-invalidate (GPU L1s do not hold dirty global data, and a
     // matching sector must not serve stale data to later reads).
+    NodeCounters &ctr = ctr_[node];
     if (!write) {
-        ++l1Accesses_;
+        ++ctr.l1Accesses;
         if (l1_[sm].access(addr, false, true) == AccessResult::Hit) {
-            ++l1Hits_;
+            ++ctr.l1Hits;
             if (obsLat_)
                 obsL1Hit(node);
             return now + cfg_.l1LatencyCycles;
@@ -139,7 +142,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     Cycles obs_xbar = 0;
     {
         const Cycles d = xbar_[node].book(now, kSectorSize);
-        delayXbar_ += d;
+        ctr.delayXbar += d;
         delay += d;
         obs_xbar = d;
     }
@@ -154,7 +157,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     if (mshr.found) {
         const Cycles ready = pend.readyAt(mshr);
         if (ready > now + delay) {
-            ++mshrMerges_;
+            ++ctr.mshrMerges;
             if (obsLat_)
                 obsMerge(node, obs_xbar, ready - now - delay, ready - now);
             return ready;
@@ -196,13 +199,13 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
             const Addr page = roundDown(addr, cfg_.pageSize);
             l2_[home].invalidateRange(page, page + cfg_.pageSize);
             fault_stall += net_->routeDelay(now, home, to, cfg_.pageSize);
-            ++rehomedPages_;
+            ++ctr.rehomedPages;
             home = to;
         } else {
             fault_stall += cfg_.dramLatencyCycles *
                            static_cast<Cycles>(
                                1.0 / check::kSeveredResidualFactor);
-            ++failedNodeAccesses_;
+            ++ctr.failedNodeAccesses;
         }
     }
 
@@ -252,7 +255,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
     if (home == node) {
         ++fetchLocal_[node];
         const Cycles d = dramFor(node, addr).book(now, kSectorSize);
-        delayDram_ += d;
+        ctr.delayDram += d;
         delay += d;
         obs_dram = d;
     } else {
@@ -268,7 +271,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
             const Cycles d = net_->routeDelay(now, node, home,
                                               write ? kSectorSize
                                                     : kCtrlBytes);
-            delayNet_ += d;
+            ctr.delayNet += d;
             delay += d;
             leg += d;
         }
@@ -283,7 +286,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
         obs_l2 += cfg_.l2LatencyCycles;
         if (r3 != AccessResult::Hit) {
             const Cycles d = dramFor(home, addr).book(now, kSectorSize);
-            delayDram_ += d;
+            ctr.delayDram += d;
             delay += d;
             obs_dram = d;
         }
@@ -292,7 +295,7 @@ MemorySystem::access(Cycles now, SmId sm, Addr addr, bool write)
             const Cycles d = net_->routeDelay(now, home, node,
                                               write ? kCtrlBytes
                                                     : kSectorSize);
-            delayNet_ += d;
+            ctr.delayNet += d;
             delay += d;
             leg += d;
         }
@@ -456,50 +459,52 @@ MemorySystem::registerStats(telemetry::StatRegistry &reg,
     reg.formula("mem.offchip_fraction",
                 [this] { return offChipFraction(); });
     reg.gauge("mem.l1_accesses",
-              [this] { return static_cast<double>(l1Accesses_); }, acc);
+              [this] { return static_cast<double>(l1Accesses()); }, acc);
     reg.gauge("mem.l1_hits",
-              [this] { return static_cast<double>(l1Hits_); }, acc);
+              [this] { return static_cast<double>(l1Hits()); }, acc);
     reg.gauge("mem.l2_accesses",
               [this] { return static_cast<double>(l2Accesses()); }, acc);
     reg.gauge("mem.l2_hits",
               [this] { return static_cast<double>(l2Hits()); }, acc);
     reg.gauge("mem.mshr_merges",
-              [this] { return static_cast<double>(mshrMerges_); }, acc);
+              [this] { return static_cast<double>(mshrMerges()); }, acc);
     reg.gauge("mem.writeback_sectors",
               [this] {
-                  return static_cast<double>(writebackSectors_);
+                  return static_cast<double>(writebackSectors());
               },
               acc);
     reg.gauge("mem.delay_xbar",
-              [this] { return static_cast<double>(delayXbar_); }, acc);
+              [this] { return static_cast<double>(delayXbar()); }, acc);
     reg.gauge("mem.delay_net",
-              [this] { return static_cast<double>(delayNet_); }, acc);
+              [this] { return static_cast<double>(delayNet()); }, acc);
     reg.gauge("mem.delay_dram",
-              [this] { return static_cast<double>(delayDram_); }, acc);
+              [this] { return static_cast<double>(delayDram()); }, acc);
     for (int c = 0; c < kNumTrafficClasses; ++c) {
         const std::string cls =
             std::string("mem.class.") +
             toString(static_cast<TrafficClass>(c));
         reg.gauge(cls + ".accesses",
                   [this, c] {
-                      return static_cast<double>(clsAcc_[c]);
+                      return static_cast<double>(classAccesses(
+                          static_cast<TrafficClass>(c)));
                   },
                   acc);
         reg.gauge(cls + ".hits",
                   [this, c] {
-                      return static_cast<double>(clsHit_[c]);
+                      return static_cast<double>(classHits(
+                          static_cast<TrafficClass>(c)));
                   },
                   acc);
     }
     if (chipletFaults_) {
         reg.gauge("mem.fault.rehomed_pages",
                   [this] {
-                      return static_cast<double>(rehomedPages_);
+                      return static_cast<double>(rehomedPages());
                   },
                   acc);
         reg.gauge("mem.fault.failed_node_accesses",
                   [this] {
-                      return static_cast<double>(failedNodeAccesses_);
+                      return static_cast<double>(failedNodeAccesses());
                   },
                   acc);
     }
@@ -569,10 +574,10 @@ MemorySystem::debugInjectPending(NodeId node, Addr addr, Cycles readyAt)
 void
 MemorySystem::flushCaches()
 {
-    for (auto &c : l1_)
-        writebackSectors_ += c.invalidateAll();
-    for (auto &c : l2_)
-        writebackSectors_ += c.invalidateAll();
+    for (size_t s = 0; s < l1_.size(); ++s)
+        ctr_[smNode_[s]].writebackSectors += l1_[s].invalidateAll();
+    for (size_t n = 0; n < l2_.size(); ++n)
+        ctr_[n].writebackSectors += l2_[n].invalidateAll();
     for (auto &p : pending_)
         p.clear();
 }
@@ -635,34 +640,284 @@ MemorySystem::resetStats()
 {
     fetchLocal_.assign(fetchLocal_.size(), 0);
     fetchRemote_.assign(fetchRemote_.size(), 0);
-    l1Hits_ = 0;
-    l1Accesses_ = 0;
-    mshrMerges_ = 0;
-    writebackSectors_ = 0;
-    rehomedPages_ = 0;
-    failedNodeAccesses_ = 0;
-    delayXbar_ = 0;
-    delayNet_ = 0;
-    delayDram_ = 0;
-    clsAcc_.fill(0);
-    clsHit_.fill(0);
+    ctr_.assign(ctr_.size(), NodeCounters{});
     uvm_.reset();
     migration_.reset();
     if (host_)
-        host_->reset();
+        host_->resetStats();
     for (auto &c : l1_)
         c.resetStats();
     for (auto &c : l2_)
         c.resetStats();
+    // Bandwidth servers and the network: clear byte/busy statistics but
+    // keep timing state (next-free cycles). Zeroing the timing too would
+    // warp link availability back to cycle 0 mid-run; skipping the
+    // servers entirely (the old behaviour) leaked utilization from
+    // before the measurement window into it.
+    for (auto &x : xbar_)
+        x.resetStats();
+    for (auto &d : dram_)
+        d.resetStats();
+    net_->resetStats();
     // Outstanding-miss state belongs to the measurement window: a stale
     // completion time surviving into the next window would satisfy
     // merges with timestamps from the previous one.
     for (auto &p : pending_)
         p.clear();
     pendingSweepAt_.assign(pendingSweepAt_.size(), kSweepFloor);
-    // Note: bandwidth servers and the network keep cumulative byte counts;
-    // they are owned per-experiment so a fresh MemorySystem is the usual
-    // way to reset them fully.
+}
+
+// --- sharded (conservative-PDES) access path -----------------------------
+//
+// The contract mirrors access() step for step. Everything up to (and
+// including) the requester-side L2 for a *mapped* address touches only
+// node-exclusive state -- the SM's L1, the node's crossbar server, MSHR
+// table, L2 partition and DRAM channels -- and runs in the parallel
+// phase. Three things cross nodes and are deferred: the fabric legs plus
+// home-side L2/DRAM of a remote fetch, everything after translation for
+// an unmapped page (the UVM first touch mutates the page table), and a
+// dirty eviction homed remotely. Timestamps stay honest: a deferred op
+// executes with its original issue time, so the bandwidth servers see
+// the same booking times the serial engine would have produced, modulo
+// the simultaneity order documented in docs/performance.md.
+
+MemorySystem::ShardAccess
+MemorySystem::shardAccess(ShardLane &lane, Cycles now, SmId sm, Addr addr,
+                          bool write)
+{
+    addr = sectorBase(addr);
+    const NodeId node = smNode_[sm];
+    NodeCounters &ctr = ctr_[node];
+
+    pending_[node].prefetch(addr);
+    l2_[node].prefetchSet(addr);
+    pageTable_.prefetch(addr);
+
+    if (!write) {
+        ++ctr.l1Accesses;
+        if (l1_[sm].access(addr, false, true) == AccessResult::Hit) {
+            ++ctr.l1Hits;
+            return {now + cfg_.l1LatencyCycles, kShardNoOp};
+        }
+    } else {
+        l1_[sm].invalidateSector(addr);
+    }
+    Cycles delay = cfg_.l1LatencyCycles;
+    {
+        const Cycles d = xbar_[node].book(now, kSectorSize);
+        ctr.delayXbar += d;
+        delay += d;
+    }
+
+    auto &pend = pending_[node];
+    const MshrTable::Ref mshr = pend.locate(addr);
+    if (mshr.found) {
+        const Cycles ready = pend.readyAt(mshr);
+        if (ready > now + delay) {
+            ++ctr.mshrMerges;
+            return {ready, kShardNoOp};
+        }
+    }
+    // In-window join: the sector is already being fetched by an earlier
+    // access in this window; ride the deferred op instead of issuing a
+    // second fetch (the MSHR entry only appears once the op executes).
+    if (const auto it = lane.inflight.find(addr);
+        it != lane.inflight.end()) {
+        ++ctr.mshrMerges;
+        return {0, it->second};
+    }
+
+    const NodeId home = pageTable_.lookupNoFill(addr);
+    if (home == kInvalidNode) {
+        // First touch: the UVM fault mutates the page table, which is
+        // machine-global. Defer everything from translation onward.
+        const auto idx = static_cast<uint32_t>(lane.ops.size());
+        lane.ops.push_back({now, lane.seq++, addr, node, kInvalidNode,
+                            ShardOpKind::Untranslated, write, delay, 0,
+                            0});
+        lane.inflight.emplace(addr, idx);
+        return {0, idx};
+    }
+
+    const bool req_alloc = cfg_.remoteCachingL2 || home == node;
+    EvictInfo ev;
+    const AccessResult r2 = l2_[node].access(addr, write, req_alloc, &ev);
+    if (r2 == AccessResult::Hit) {
+        countClass(node, home, node, true);
+        return {now + delay + cfg_.l2LatencyCycles, kShardNoOp};
+    }
+    delay += cfg_.l2LatencyCycles;
+    countClass(node, home, node, false);
+    shardHandleEviction(lane, now, node, ev);
+
+    if (home == node) {
+        ++fetchLocal_[node];
+        const Cycles d = dramFor(node, addr).book(now, kSectorSize);
+        ctr.delayDram += d;
+        delay += d;
+        const Cycles done = now + delay;
+        if (pend.size() >= pendingSweepAt_[node]) {
+            pend.sweepExpired(now);
+            pendingSweepAt_[node] =
+                std::max<size_t>(2 * pend.size(), kSweepFloor);
+            pend.insert(addr, done);
+        } else {
+            pend.insertAt(mshr, addr, done);
+        }
+        return {done, kShardNoOp};
+    }
+
+    ++fetchRemote_[node];
+    const auto idx = static_cast<uint32_t>(lane.ops.size());
+    lane.ops.push_back({now, lane.seq++, addr, node, home,
+                        ShardOpKind::RemoteFetch, write, delay, 0, 0});
+    lane.inflight.emplace(addr, idx);
+    return {0, idx};
+}
+
+void
+MemorySystem::shardHandleEviction(ShardLane &lane, Cycles now, NodeId node,
+                                  const EvictInfo &ev)
+{
+    if (!ev.evicted || ev.dirtyMask == 0)
+        return;
+    const int dirty = __builtin_popcount(ev.dirtyMask);
+    ctr_[node].writebackSectors += dirty;
+    const Bytes bytes = static_cast<Bytes>(dirty) * kSectorSize;
+    NodeId home = pageTable_.lookupNoFill(ev.lineAddr);
+    if (home == kInvalidNode)
+        home = node;
+    if (home == node) {
+        dramFor(node, ev.lineAddr).book(now, bytes);
+        return;
+    }
+    // Fire-and-forget: nobody waits on a writeback, but the fabric and
+    // home DRAM bookings are cross-node, so they ride the barrier.
+    lane.ops.push_back({now, lane.seq++, ev.lineAddr, node, home,
+                        ShardOpKind::Writeback, true, 0, bytes, 0});
+}
+
+void
+MemorySystem::insertPendingSwept(NodeId node, Addr addr, Cycles now,
+                                 Cycles done)
+{
+    auto &pend = pending_[node];
+    if (pend.size() >= pendingSweepAt_[node]) {
+        pend.sweepExpired(now);
+        pendingSweepAt_[node] =
+            std::max<size_t>(2 * pend.size(), kSweepFloor);
+    }
+    pend.insert(addr, done);
+}
+
+void
+MemorySystem::execRemoteLeg(ShardOp &op)
+{
+    const NodeId node = op.node;
+    const NodeId home = op.home;
+    NodeCounters &ctr = ctr_[node];
+    Cycles delay = op.partial;
+    {
+        const Cycles d = net_->routeDelay(
+            op.time, node, home, op.write ? kSectorSize : kCtrlBytes);
+        ctr.delayNet += d;
+        delay += d;
+    }
+    const bool alloc = homeSideAllocates(policy_, true);
+    EvictInfo ev_home;
+    const AccessResult r3 =
+        l2_[home].access(op.addr, op.write, alloc, &ev_home);
+    countClass(node, home, home, r3 == AccessResult::Hit);
+    handleEviction(op.time, home, ev_home);
+    delay += cfg_.l2LatencyCycles;
+    if (r3 != AccessResult::Hit) {
+        const Cycles d = dramFor(home, op.addr).book(op.time, kSectorSize);
+        ctr.delayDram += d;
+        delay += d;
+    }
+    {
+        const Cycles d = net_->routeDelay(
+            op.time, home, node, op.write ? kCtrlBytes : kSectorSize);
+        ctr.delayNet += d;
+        delay += d;
+    }
+    op.done = op.time + delay;
+    insertPendingSwept(node, op.addr, op.time, op.done);
+}
+
+void
+MemorySystem::finishShardFetch(ShardOp &op)
+{
+    const NodeId node = op.node;
+    const NodeId home = op.home;
+    const bool req_alloc = cfg_.remoteCachingL2 || home == node;
+    EvictInfo ev;
+    const AccessResult r2 =
+        l2_[node].access(op.addr, op.write, req_alloc, &ev);
+    if (r2 == AccessResult::Hit) {
+        countClass(node, home, node, true);
+        op.done = op.time + op.partial + cfg_.l2LatencyCycles;
+        return;
+    }
+    op.partial += cfg_.l2LatencyCycles;
+    countClass(node, home, node, false);
+    handleEviction(op.time, node, ev);
+    if (home == node) {
+        ++fetchLocal_[node];
+        const Cycles d = dramFor(node, op.addr).book(op.time, kSectorSize);
+        ctr_[node].delayDram += d;
+        op.partial += d;
+        op.done = op.time + op.partial;
+        insertPendingSwept(node, op.addr, op.time, op.done);
+        return;
+    }
+    ++fetchRemote_[node];
+    execRemoteLeg(op);
+}
+
+void
+MemorySystem::executeShardOps(std::vector<ShardOp *> &ops)
+{
+    // Canonical order: (issue time, requester node, issue seq). Lane seq
+    // numbers are per-node issue order, so this order -- and with it
+    // every booking, cache mutation and page-table fault below -- is a
+    // pure function of the node-level simulation, independent of how
+    // nodes were grouped into shards. That is what makes shards=2 and
+    // shards=4 produce bit-identical metrics.
+    std::sort(ops.begin(), ops.end(),
+              [](const ShardOp *a, const ShardOp *b) {
+                  if (a->time != b->time)
+                      return a->time < b->time;
+                  if (a->node != b->node)
+                      return a->node < b->node;
+                  return a->seq < b->seq;
+              });
+    for (ShardOp *op : ops) {
+        switch (op->kind) {
+        case ShardOpKind::Writeback:
+            net_->routeDelay(op->time, op->node, op->home, op->bytes);
+            dramFor(op->home, op->addr).book(op->time, op->bytes);
+            op->done = op->time;
+            break;
+        case ShardOpKind::Untranslated: {
+            // An earlier op this window may have mapped the page; the
+            // serial-phase lookup (TLB fill allowed: we are exclusive
+            // here) resolves either way, faulting on true first touch.
+            Cycles fault_stall = 0;
+            const NodeId mapped = pageTable_.lookup(op->addr);
+            op->home = mapped != kInvalidNode
+                           ? mapped
+                           : uvm_.touch(pageTable_, op->addr, op->node,
+                                        fault_stall);
+            op->partial += fault_stall;
+            finishShardFetch(*op);
+            break;
+        }
+        case ShardOpKind::RemoteFetch:
+            execRemoteLeg(*op);
+            break;
+        }
+    }
 }
 
 } // namespace ladm

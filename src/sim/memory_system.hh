@@ -24,6 +24,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -59,6 +60,102 @@ class MemorySystem
      * @return completion cycle of the access.
      */
     Cycles access(Cycles now, SmId sm, Addr addr, bool write);
+
+    // --- sharded (conservative-PDES) access path ---------------------------
+    //
+    // The sharded kernel engine partitions warps by NUMA node; each
+    // shard thread calls shardAccess() for its own nodes only. Any part
+    // of the path that would touch another node's state (fabric links,
+    // home-side L2/DRAM, the page table) is deferred as a ShardOp and
+    // executed by executeShardOps() inside the engine's serial barrier
+    // section, in a canonical order independent of the shard count.
+
+    enum class ShardOpKind : uint8_t
+    {
+        RemoteFetch,  ///< requester-L2 miss homed on another node
+        Untranslated, ///< unmapped page: defer from translation onward
+        Writeback,    ///< fire-and-forget dirty eviction to a remote home
+    };
+
+    /** One deferred cross-node operation. */
+    struct ShardOp
+    {
+        Cycles time = 0;  ///< issue cycle (monotone within a lane)
+        uint64_t seq = 0; ///< issue order within the lane
+        Addr addr = 0;
+        NodeId node = 0; ///< requester
+        NodeId home = kInvalidNode;
+        ShardOpKind kind = ShardOpKind::RemoteFetch;
+        bool write = false;
+        Cycles partial = 0; ///< node-local delay accrued before deferral
+        Bytes bytes = 0;    ///< writeback payload
+        Cycles done = 0;    ///< completion cycle; executeShardOps() fills
+    };
+
+    /** Sentinel "no deferred op" value in ShardAccess::op. */
+    static constexpr uint32_t kShardNoOp = 0xFFFFFFFFu;
+
+    /** shardAccess() result: either a completion cycle or an op index. */
+    struct ShardAccess
+    {
+        Cycles done = 0;
+        uint32_t op = kShardNoOp;
+        bool deferred() const { return op != kShardNoOp; }
+    };
+
+    /**
+     * Per-node access lane: this window's deferred-op outbox plus an
+     * in-window merge map (same-sector accesses within one window join
+     * the op already in flight, MSHR style). Owned by the engine, one
+     * per node; only that node's shard thread may touch it between
+     * barriers.
+     */
+    struct ShardLane
+    {
+        NodeId node = 0;
+        uint64_t seq = 0;
+        std::vector<ShardOp> ops;
+        std::unordered_map<Addr, uint32_t> inflight;
+
+        void
+        clearWindow()
+        {
+            ops.clear();
+            inflight.clear();
+        }
+    };
+
+    /**
+     * Node-exclusive part of the access path, callable concurrently from
+     * shard threads as long as each node's lane has exactly one caller
+     * and no serial-phase code runs simultaneously. L1, crossbar, MSHR
+     * probe, read-only translation, and the local-homed L2/DRAM path
+     * complete inline; anything cross-node returns a deferred op index.
+     */
+    ShardAccess shardAccess(ShardLane &lane, Cycles now, SmId sm,
+                            Addr addr, bool write);
+
+    /**
+     * Serial barrier phase: sort this window's deferred ops from every
+     * lane into canonical (time, requester node, issue seq) order and
+     * execute them, filling each op's completion cycle. The canonical
+     * order makes the result independent of how nodes were grouped into
+     * shards.
+     */
+    void executeShardOps(std::vector<ShardOp *> &ops);
+
+    /**
+     * True when the sharded path models this configuration exactly:
+     * fault injection, page migration, host-memory oversubscription and
+     * the latency/heatmap observers all take locks-free shortcuts the
+     * serial path must handle instead.
+     */
+    bool
+    shardCompatible() const
+    {
+        return !chipletFaults_ && !cfg_.pageMigration && !host_ &&
+               !obsLat_ && !obsHeat_;
+    }
 
     /** Set the L2 insertion policy for the next kernel (CRB decision). */
     void setInsertPolicy(L2InsertPolicy p) { policy_ = p; }
@@ -129,22 +226,38 @@ class MemorySystem
     uint64_t l2Accesses() const;
     uint64_t l2Hits() const;
     uint64_t l2SectorMisses() const;
-    uint64_t l1Hits() const { return l1Hits_; }
-    uint64_t l1Accesses() const { return l1Accesses_; }
+    uint64_t l1Hits() const { return sumCtr(&NodeCounters::l1Hits); }
+    uint64_t l1Accesses() const
+    {
+        return sumCtr(&NodeCounters::l1Accesses);
+    }
     uint64_t uvmFaults() const { return uvm_.faults(); }
-    uint64_t mshrMerges() const { return mshrMerges_; }
-    Cycles delayXbar() const { return delayXbar_; }
-    Cycles delayNet() const { return delayNet_; }
-    Cycles delayDram() const { return delayDram_; }
+    uint64_t mshrMerges() const
+    {
+        return sumCtr(&NodeCounters::mshrMerges);
+    }
+    Cycles delayXbar() const { return sumCtr(&NodeCounters::delayXbar); }
+    Cycles delayNet() const { return sumCtr(&NodeCounters::delayNet); }
+    Cycles delayDram() const { return sumCtr(&NodeCounters::delayDram); }
+    uint64_t writebackSectors() const
+    {
+        return sumCtr(&NodeCounters::writebackSectors);
+    }
 
     /** Per-traffic-class L2 accesses / hits (Fig. 11). */
     uint64_t classAccesses(TrafficClass c) const
     {
-        return clsAcc_[static_cast<int>(c)];
+        uint64_t v = 0;
+        for (const NodeCounters &n : ctr_)
+            v += n.clsAcc[static_cast<int>(c)];
+        return v;
     }
     uint64_t classHits(TrafficClass c) const
     {
-        return clsHit_[static_cast<int>(c)];
+        uint64_t v = 0;
+        for (const NodeCounters &n : ctr_)
+            v += n.clsHit[static_cast<int>(c)];
+        return v;
     }
 
     const Network &network() const { return *net_; }
@@ -168,9 +281,15 @@ class MemorySystem
 
     // --- fault injection ----------------------------------------------------
     /** Pages rescued off failed chiplets (faultDegradation on). */
-    uint64_t rehomedPages() const { return rehomedPages_; }
+    uint64_t rehomedPages() const
+    {
+        return sumCtr(&NodeCounters::rehomedPages);
+    }
     /** Accesses that crawled to a failed home (faultDegradation off). */
-    uint64_t failedNodeAccesses() const { return failedNodeAccesses_; }
+    uint64_t failedNodeAccesses() const
+    {
+        return sumCtr(&NodeCounters::failedNodeAccesses);
+    }
 
     /**
      * Reset all statistics and the outstanding-miss (MSHR) tracking --
@@ -180,6 +299,39 @@ class MemorySystem
     void resetStats();
 
   private:
+    /**
+     * Per-requesting-node statistics. Splitting the aggregates by node
+     * (indexed by the requester, summed by the getters) keeps the
+     * sharded engine's parallel phases free of shared counter writes;
+     * the cache-line alignment stops shards from false-sharing
+     * neighbours. Serial results are bit-identical: integer sums are
+     * order-independent.
+     */
+    struct alignas(64) NodeCounters
+    {
+        Cycles delayXbar = 0;
+        Cycles delayNet = 0;
+        Cycles delayDram = 0;
+        uint64_t l1Hits = 0;
+        uint64_t l1Accesses = 0;
+        uint64_t mshrMerges = 0;
+        uint64_t writebackSectors = 0;
+        uint64_t rehomedPages = 0;
+        uint64_t failedNodeAccesses = 0;
+        std::array<uint64_t, kNumTrafficClasses> clsAcc{};
+        std::array<uint64_t, kNumTrafficClasses> clsHit{};
+    };
+
+    template <typename T>
+    T
+    sumCtr(T NodeCounters::*member) const
+    {
+        T v = 0;
+        for (const NodeCounters &n : ctr_)
+            v += n.*member;
+        return v;
+    }
+
     /** Early-out inline: the overwhelmingly common clean case is free. */
     void
     handleEviction(Cycles now, NodeId node, const EvictInfo &ev)
@@ -190,13 +342,25 @@ class MemorySystem
     }
     void handleDirtyEviction(Cycles now, NodeId node, const EvictInfo &ev);
 
+    /** Deferred-path twin: resolves the victim's home without touching
+     *  the TLB and defers cross-node writebacks into @p lane. */
+    void shardHandleEviction(ShardLane &lane, Cycles now, NodeId node,
+                             const EvictInfo &ev);
+    /** Serial phase: requester-side L2 onward for an Untranslated op. */
+    void finishShardFetch(ShardOp &op);
+    /** Serial phase: both fabric legs + home-side L2/DRAM of a fetch. */
+    void execRemoteLeg(ShardOp &op);
+    /** Amortized-sweep pending-table insert shared by the deferred path. */
+    void insertPendingSwept(NodeId node, Addr addr, Cycles now,
+                            Cycles done);
+
     void
     countClass(NodeId origin, NodeId home, NodeId here, bool hit)
     {
         const int c = static_cast<int>(classifyTraffic(origin, home, here));
-        ++clsAcc_[c];
+        ++ctr_[origin].clsAcc[c];
         if (hit)
-            ++clsHit_[c];
+            ++ctr_[origin].clsHit[c];
     }
 
     /** Cold helpers: decompose a completed access for attribution. */
@@ -265,18 +429,8 @@ class MemorySystem
     /** Per-requesting-node fetch counts (index = NodeId). */
     std::vector<uint64_t> fetchLocal_;
     std::vector<uint64_t> fetchRemote_;
-    /** Aggregate delay contributed by each path component (diagnostics). */
-    Cycles delayXbar_ = 0;
-    Cycles delayNet_ = 0;
-    Cycles delayDram_ = 0;
-    uint64_t l1Hits_ = 0;
-    uint64_t l1Accesses_ = 0;
-    uint64_t mshrMerges_ = 0;
-    uint64_t writebackSectors_ = 0;
-    uint64_t rehomedPages_ = 0;
-    uint64_t failedNodeAccesses_ = 0;
-    std::array<uint64_t, kNumTrafficClasses> clsAcc_{};
-    std::array<uint64_t, kNumTrafficClasses> clsHit_{};
+    /** Per-requesting-node counters; getters sum across nodes. */
+    std::vector<NodeCounters> ctr_;
 
     /** Observability pillars, armed by attachObserver (null = off). */
     obs::LatencyAttribution *obsLat_ = nullptr;

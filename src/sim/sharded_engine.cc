@@ -1,0 +1,418 @@
+/**
+ * @file
+ * The sharded conservative-PDES kernel event loop (ROADMAP item 1).
+ *
+ * The serial engine (kernel_engine.cc) interleaves every warp of the
+ * machine in one global min-heap. This loop instead partitions the
+ * machine by NUMA node: each node gets a *lane* -- its own calendar
+ * event queue, warp pool, SM occupancy state and MemorySystem shard
+ * lane -- and lanes are grouped onto worker threads ("shards") by
+ * sched/shard_map.hh. Threads synchronize on conservative time windows
+ * (classic PDES): no cross-node transfer completes in less than the
+ * minimum cross-node link latency L, so every lane may simulate
+ * [W, W+L) without seeing the others. Cross-node memory work issued in
+ * a window is deferred (MemorySystem::shardAccess) and executed in a
+ * canonical shard-count-independent order at the window barrier
+ * (MemorySystem::executeShardOps); the steps that waited on it resolve
+ * right after, in the same window.
+ *
+ * Window loop, two barriers per window:
+ *
+ *   parallel P: each lane runs its events with time < W_end
+ *               (node-exclusive state only -- lock-free)
+ *   barrier A (serial): execute deferred cross-node ops, fold stats,
+ *               tick the timeline
+ *   parallel R: each lane resolves its deferred steps and schedules
+ *               their successor events
+ *   barrier B (serial): W_end' = max(W_end, min over lane heads) + L,
+ *               or terminate when every lane is drained
+ *
+ * Timestamps stay honest throughout: a deferred op executes with its
+ * original issue cycle, and a successor event scheduled below W_end
+ * (possible, because a deferred step's completion may land early in
+ * the window) simply runs in the NEXT window with its true timestamp.
+ * Such "late" events give bandwidth servers a slightly different --
+ * but equally valid -- simultaneity order than the serial engine, the
+ * same class of divergence as the calendar queue's FIFO tie order; the
+ * skew is bounded by one window. Results are therefore not bit-equal
+ * to the serial heap reference, but they ARE bit-equal across shard
+ * counts: every per-lane decision is lane-sequential and every
+ * cross-lane decision is made in canonical node order, so grouping
+ * lanes onto 2 or 4 threads cannot change any outcome. See
+ * docs/performance.md.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/bitutils.hh"
+#include "common/spin_barrier.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
+#include "obs/timeline.hh"
+#include "sched/shard_map.hh"
+#include "sim/engine_internal.hh"
+#include "sim/event_queue.hh"
+#include "sim/kernel_engine.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+using engine_detail::SmState;
+using engine_detail::WarpState;
+
+constexpr Cycles kNoEvent = std::numeric_limits<Cycles>::max();
+
+/** A step that issued deferred ops and waits for them at the barrier. */
+struct Waiter
+{
+    uint32_t warp;
+    Cycles time;    ///< issue cycle of the step
+    Cycles done;    ///< max completion of its inline (non-deferred) part
+    uint32_t opOff; ///< first index into Lane::waiterOps
+    uint32_t opCnt;
+};
+
+/**
+ * One NUMA node's private slice of the event loop. Between barriers,
+ * exactly one shard thread touches a lane; the barriers' acquire/release
+ * ordering covers every cross-phase read (see common/spin_barrier.hh).
+ */
+struct alignas(64) Lane
+{
+    NodeId node = 0;
+    SmId smLo = 0;
+    size_t cursor = 0; ///< dispatch position in the node's TB queue
+
+    /**
+     * Calendar mode, not Heap: FIFO among equal times is reproducible
+     * under the re-held insertion below, and per-lane queues are what
+     * the calendar's dense-timestamp assumption wants.
+     */
+    EventQueue pq;
+    /** One-slot lookahead buffer (EventQueue has no peek). */
+    bool hasHeld = false;
+    WarpEvent held{0, 0};
+
+    std::vector<WarpState> warps;
+    std::vector<uint32_t> freeWarps;
+    std::vector<SmState> sms; ///< indexed by sm - smLo
+    MemorySystem::ShardLane mlane;
+    std::vector<Waiter> waiters;
+    std::vector<uint32_t> waiterOps;
+    std::vector<MemAccess> buf;
+
+    // Per-lane run stats, folded serially (sums are order-independent).
+    uint64_t warpSteps = 0;
+    uint64_t sectorAccesses = 0;
+    Cycles totalStepLatency = 0;
+    Cycles maxStepLatency = 0;
+    Cycles endCycle = 0;
+    uint64_t lateEvents = 0;
+    Histogram hist;
+
+    Lane(Cycles bucket_width, uint64_t hist_width, size_t hist_buckets)
+        : pq(EventQueue::Mode::Calendar, bucket_width),
+          hist(hist_width, hist_buckets)
+    {
+    }
+
+    Cycles headTime() const { return hasHeld ? held.time : kNoEvent; }
+};
+
+} // namespace
+
+KernelRunStats
+KernelEngine::runSharded(const LaunchDims &dims, TraceSource &trace,
+                         const std::vector<TraceSource *> &shard_traces,
+                         const std::vector<std::vector<TbId>> &node_queues,
+                         Cycles start)
+{
+    const int num_nodes = cfg_.numNodes();
+    const int num_shards = maxShards_;
+    const int warps_per_tb =
+        static_cast<int>(ceilDiv(dims.threadsPerTb(), cfg_.warpSize));
+    const int depth = std::clamp(cfg_.warpPipelineDepth, 1, 4);
+    const Cycles gap = cfg_.computeGapCycles;
+    const Cycles bucket = std::max<Cycles>(gap, 1);
+
+    KernelRunStats stats;
+    stats.startCycle = start;
+    stats.endCycle = start;
+    stats.tbCount = dims.numTbs();
+
+    const ShardMap map = buildShardMap(cfg_, num_shards);
+
+    std::vector<Lane> lanes;
+    lanes.reserve(static_cast<size_t>(num_nodes));
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        lanes.emplace_back(bucket, 8, 32);
+        Lane &ln = lanes.back();
+        ln.node = n;
+        ln.mlane.node = n;
+        SmId lo = 0;
+        int count = 0;
+        for (SmId s = 0; s < cfg_.totalSms(); ++s) {
+            if (smNode_[s] == n) {
+                if (count++ == 0)
+                    lo = s;
+            }
+        }
+        ln.smLo = lo;
+        ln.sms.resize(static_cast<size_t>(count));
+        for (auto &sm : ln.sms)
+            sm.freeWarpSlots = cfg_.warpSlotsPerSm;
+    }
+
+    std::vector<int> tb_warps_left(dims.numTbs(), 0);
+
+    auto admit = [&](Lane &ln, SmId sm, Cycles now) {
+        const auto &q = node_queues[ln.node];
+        SmState &st = ln.sms[static_cast<size_t>(sm - ln.smLo)];
+        while (st.residentTbs < cfg_.maxResidentTbsPerSm &&
+               st.freeWarpSlots >= warps_per_tb && ln.cursor < q.size()) {
+            const TbId tb = q[ln.cursor++];
+            ++st.residentTbs;
+            st.freeWarpSlots -= warps_per_tb;
+            tb_warps_left[tb] = warps_per_tb;
+            for (int w = 0; w < warps_per_tb; ++w) {
+                uint32_t slot;
+                if (!ln.freeWarps.empty()) {
+                    slot = ln.freeWarps.back();
+                    ln.freeWarps.pop_back();
+                } else {
+                    slot = static_cast<uint32_t>(ln.warps.size());
+                    ln.warps.emplace_back();
+                }
+                ln.warps[slot] = WarpState{tb, w, sm, 0, {}};
+                ln.pq.push(now, slot);
+            }
+        }
+    };
+
+    // Same scoreboard rule as the serial loop: the step `depth`
+    // iterations back gates the next issue. Returns the successor
+    // event's cycle.
+    auto completeStep = [&](Lane &ln, uint32_t slot, Cycles ev_time,
+                            Cycles done) {
+        WarpState &w = ln.warps[slot];
+        const Cycles lat = done - ev_time;
+        ln.totalStepLatency += lat;
+        ln.maxStepLatency = std::max(ln.maxStepLatency, lat);
+        ln.hist.sample(lat);
+        w.doneRing[static_cast<size_t>(w.step % depth)] = done;
+        const Cycles dep =
+            w.doneRing[static_cast<size_t>((w.step + 1) % depth)];
+        ++w.step;
+        const Cycles next = std::max(ev_time + gap, dep + gap);
+        ln.pq.push(next, slot);
+        return next;
+    };
+
+    // Phase P: run one lane up to (exclusive) the window end.
+    auto processWindow = [&](Lane &ln, TraceSource &tr, Cycles wend) {
+        for (;;) {
+            if (!ln.hasHeld) {
+                if (ln.pq.empty())
+                    break;
+                ln.held = ln.pq.pop();
+                ln.hasHeld = true;
+            }
+            if (ln.held.time >= wend)
+                break;
+            const WarpEvent ev = ln.held;
+            ln.hasHeld = false;
+            WarpState &w = ln.warps[ev.warp];
+
+            ln.buf.clear();
+            if (!tr.warpStep(w.tb, w.warpInTb, w.step, ln.buf)) {
+                Cycles fin = ev.time;
+                for (const Cycles d : w.doneRing)
+                    fin = std::max(fin, d);
+                SmState &st =
+                    ln.sms[static_cast<size_t>(w.sm - ln.smLo)];
+                ++st.freeWarpSlots;
+                ln.freeWarps.push_back(ev.warp);
+                if (--tb_warps_left[w.tb] == 0) {
+                    --st.residentTbs;
+                    admit(ln, w.sm, fin);
+                }
+                ln.endCycle = std::max(ln.endCycle, fin);
+                continue;
+            }
+
+            ++ln.warpSteps;
+            ln.sectorAccesses += ln.buf.size();
+            Cycles done = ev.time;
+            const auto op_off =
+                static_cast<uint32_t>(ln.waiterOps.size());
+            for (const auto &a : ln.buf) {
+                const MemorySystem::ShardAccess r = mem_.shardAccess(
+                    ln.mlane, ev.time, w.sm, a.addr, a.write);
+                if (r.deferred())
+                    ln.waiterOps.push_back(r.op);
+                else
+                    done = std::max(done, r.done);
+            }
+            const auto op_cnt =
+                static_cast<uint32_t>(ln.waiterOps.size()) - op_off;
+            if (op_cnt == 0)
+                completeStep(ln, ev.warp, ev.time, done);
+            else
+                ln.waiters.push_back(
+                    {ev.warp, ev.time, done, op_off, op_cnt});
+        }
+    };
+
+    // Phase R: finish this window's deferred steps, then re-normalize
+    // the held slot (a resolved step's successor may undercut it).
+    auto resolve = [&](Lane &ln, Cycles wend) {
+        for (const Waiter &wt : ln.waiters) {
+            Cycles done = wt.done;
+            for (uint32_t i = 0; i < wt.opCnt; ++i) {
+                const uint32_t op = ln.waiterOps[wt.opOff + i];
+                done = std::max(done, ln.mlane.ops[op].done);
+            }
+            if (completeStep(ln, wt.warp, wt.time, done) < wend)
+                ++ln.lateEvents;
+        }
+        ln.waiters.clear();
+        ln.waiterOps.clear();
+        ln.mlane.clearWindow();
+        if (ln.hasHeld) {
+            ln.pq.push(ln.held.time, ln.held.warp);
+            ln.hasHeld = false;
+        }
+        if (!ln.pq.empty()) {
+            ln.held = ln.pq.pop();
+            ln.hasHeld = true;
+        }
+    };
+
+    // Serial setup: initial admission and the first window bound.
+    for (Lane &ln : lanes) {
+        for (size_t i = 0; i < ln.sms.size(); ++i)
+            admit(ln, ln.smLo + static_cast<SmId>(i), start);
+        if (!ln.pq.empty()) {
+            ln.held = ln.pq.pop();
+            ln.hasHeld = true;
+        }
+    }
+
+    const uint64_t ws_base = warpStepsTotal_;
+    const uint64_t sa_base = sectorAccessesTotal_;
+    const uint64_t late_base = pdesLateEvents_;
+
+    Cycles min_head = kNoEvent;
+    for (const Lane &ln : lanes)
+        min_head = std::min(min_head, ln.headTime());
+
+    if (min_head != kNoEvent) {
+        // Shared window state: written only inside barrier serial
+        // sections, read by every shard after the release -- the
+        // barrier's ordering makes these plain fields race-free.
+        Cycles window_end = min_head + lookahead_;
+        bool finished = false;
+        std::vector<MemorySystem::ShardOp *> all_ops;
+
+        SpinBarrier bar_a(static_cast<uint32_t>(num_shards));
+        SpinBarrier bar_b(static_cast<uint32_t>(num_shards));
+
+        auto serial_a = [&] {
+            all_ops.clear();
+            for (Lane &ln : lanes)
+                for (auto &op : ln.mlane.ops)
+                    all_ops.push_back(&op);
+            mem_.executeShardOps(all_ops);
+            pdesDeferredOps_ += all_ops.size();
+            ++pdesWindows_;
+            uint64_t ws = 0, sa = 0;
+            for (const Lane &ln : lanes) {
+                ws += ln.warpSteps;
+                sa += ln.sectorAccesses;
+            }
+            warpStepsTotal_ = ws_base + ws;
+            sectorAccessesTotal_ = sa_base + sa;
+            if (timeline_)
+                timeline_->maybeTick(window_end);
+        };
+
+        auto serial_b = [&] {
+            Cycles head = kNoEvent;
+            uint64_t late = 0;
+            for (const Lane &ln : lanes) {
+                head = std::min(head, ln.headTime());
+                late += ln.lateEvents;
+            }
+            pdesLateEvents_ = late_base + late;
+            if (head == kNoEvent)
+                finished = true;
+            else
+                window_end = std::max(window_end, head) + lookahead_;
+        };
+
+        auto shardLoop = [&](int s) {
+            TraceSource &tr =
+                s == 0 ? trace
+                       : *shard_traces[static_cast<size_t>(s - 1)];
+            const auto &my_nodes =
+                map.nodesOfShard[static_cast<size_t>(s)];
+            uint64_t wait_ns = 0;
+            using clock = std::chrono::steady_clock;
+            for (;;) {
+                const Cycles wend = window_end;
+                for (const NodeId n : my_nodes)
+                    processWindow(lanes[static_cast<size_t>(n)], tr,
+                                  wend);
+                const auto t0 = clock::now();
+                bar_a.arriveAndWait(serial_a);
+                const auto t1 = clock::now();
+                for (const NodeId n : my_nodes)
+                    resolve(lanes[static_cast<size_t>(n)], wend);
+                const auto t2 = clock::now();
+                bar_b.arriveAndWait(serial_b);
+                const auto t3 = clock::now();
+                wait_ns += static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        (t1 - t0) + (t3 - t2))
+                        .count());
+                if (finished)
+                    break;
+            }
+            pdesBarrierNs_[static_cast<size_t>(s)] += wait_ns;
+        };
+
+        // Workers must not throw (ThreadPool contract) and cannot: all
+        // input validation ran in run() before dispatch, and the loop
+        // body allocates only through vectors sized by the workload.
+        ThreadPool pool(num_shards - 1);
+        for (int s = 1; s < num_shards; ++s)
+            pool.submit([&shardLoop, s] { shardLoop(s); });
+        shardLoop(0);
+        pool.wait();
+    }
+
+    for (const Lane &ln : lanes) {
+        stats.warpSteps += ln.warpSteps;
+        stats.sectorAccesses += ln.sectorAccesses;
+        stats.totalStepLatency += ln.totalStepLatency;
+        stats.maxStepLatency =
+            std::max(stats.maxStepLatency, ln.maxStepLatency);
+        stats.endCycle = std::max(stats.endCycle, ln.endCycle);
+        if (stepLatencyHist_)
+            stepLatencyHist_->merge(ln.hist);
+    }
+    stats.warpInstrs =
+        static_cast<double>(stats.warpSteps) * trace.instrsPerStep();
+    warpStepsTotal_ = ws_base + stats.warpSteps;
+    sectorAccessesTotal_ = sa_base + stats.sectorAccesses;
+    ++kernelsRun_;
+    tbsDispatchedTotal_ += static_cast<uint64_t>(stats.tbCount);
+    return stats;
+}
+
+} // namespace ladm

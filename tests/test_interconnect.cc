@@ -60,6 +60,28 @@ TEST(BandwidthServer, MonotoneBookingQueues)
     EXPECT_EQ(s.book(5, 320), 5u + 10);
 }
 
+// Regression: a measurement-window boundary must clear the byte/busy
+// counters WITHOUT warping the server's availability back to cycle 0.
+// Before resetStats() was split out of reset(), a window reset either
+// left the previous window's bytes in the counters or let the next
+// transfer start in the past on a still-occupied link.
+TEST(BandwidthServer, ResetStatsPreservesTimingState)
+{
+    BandwidthServer s(32.0, 0);
+    s.book(0, 3200); // occupies the server until cycle 100
+    ASSERT_EQ(s.nextFree(), 100u);
+    ASSERT_EQ(s.totalBytes(), 3200u);
+
+    s.resetStats();
+    EXPECT_EQ(s.totalBytes(), 0u);
+    EXPECT_EQ(s.busyCycles(), 0u);
+    EXPECT_EQ(s.nextFree(), 100u); // the backlog did not vanish
+
+    // A transfer issued at cycle 0 still queues behind the backlog.
+    EXPECT_EQ(s.book(0, 32), 100u + 1);
+    EXPECT_EQ(s.totalBytes(), 32u); // only the new window's bytes
+}
+
 TEST(BandwidthServer, ResetClears)
 {
     BandwidthServer s(32.0, 7);

@@ -516,5 +516,73 @@ TEST(EventQueueEquivalence, CalendarModePopsSameTimesFifoWithinTies)
     EXPECT_TRUE(q.empty());
 }
 
+// Year-boundary audit regression. The calendar's horizon is one "year"
+// of kNumBuckets * width cycles: a push at exactly yearStart + yearSpan
+// must take the overflow heap (the bucket it would hash to belongs to
+// the CURRENT year's time slice), while yearStart + yearSpan - 1 files
+// directly into the last bucket; overflow entries migrate in when their
+// year starts. The two conditions (`>= span` to overflow, `< span` to
+// migrate) are complementary -- an off-by-one in either direction
+// misfiles boundary events a whole year early or late. This test hugs
+// the boundary from both sides across several year wraps, comparing the
+// calendar against heap mode (same pop times) and against a FIFO
+// multimap (calendar's stricter tie order).
+TEST(EventQueueEquivalence, CalendarYearBoundaryMatchesHeapReference)
+{
+    Rng rng(44);
+    const Cycles width = 4;
+    const Cycles year = width * 1024; // kNumBuckets buckets per year
+    EventQueue cal(EventQueue::Mode::Calendar, width);
+    EventQueue heap(EventQueue::Mode::Heap);
+    std::multimap<Cycles, uint32_t> ref; // FIFO within a key
+    uint32_t warp = 0;
+    Cycles floor = 0;
+
+    const auto popAll = [&]() {
+        const auto it = ref.begin();
+        const WarpEvent c = cal.pop();
+        const WarpEvent h = heap.pop();
+        ASSERT_EQ(c.time, it->first);
+        ASSERT_EQ(c.warp, it->second); // calendar is FIFO among ties
+        ASSERT_EQ(h.time, it->first);  // heap agrees on times only
+        floor = it->first;
+        ref.erase(it);
+    };
+
+    for (int y = 1; y <= 6; ++y) {
+        const Cycles boundary = static_cast<Cycles>(y) * year;
+        for (int i = 0; i < 256; ++i) {
+            Cycles t;
+            switch (rng.nextBounded(4)) {
+            case 0:
+                t = boundary; // exactly yearStart + yearSpan
+                break;
+            case 1:
+                t = boundary - 1; // last slot of the closing year
+                break;
+            case 2: // just past the horizon
+                t = boundary + rng.nextBounded(2 * width);
+                break;
+            default: // just inside it
+                t = boundary - 1 - rng.nextBounded(2 * width);
+                break;
+            }
+            t = std::max(t, floor);
+            cal.push(t, warp);
+            heap.push(t, warp);
+            ref.emplace(t, warp);
+            ++warp;
+            if (rng.nextBounded(3) == 0)
+                popAll();
+        }
+        // Drain completely so the next cluster starts from an empty
+        // queue a whole year ahead (the bucket-scan fast-forward path).
+        while (!ref.empty())
+            popAll();
+        ASSERT_TRUE(cal.empty());
+        ASSERT_TRUE(heap.empty());
+    }
+}
+
 } // namespace
 } // namespace ladm

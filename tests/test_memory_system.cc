@@ -213,6 +213,35 @@ TEST_F(MemorySystemTest, ResetStatsDropsPendingMisses)
     EXPECT_LT(t2, t1);
 }
 
+// Regression: resetStats() used to skip the bandwidth servers entirely,
+// leaking the previous window's bytes into the next one; the naive fix
+// (full reset()) would instead warp every link back to idle mid-run.
+// The split contract: counters restart at zero, occupancy survives.
+TEST_F(MemorySystemTest, ResetStatsClearsBytesButKeepsLinksBusy)
+{
+    mem_.pageTable().place(0x10000, 1 << 20, 9);
+    for (int i = 0; i < 64; ++i)
+        mem_.access(0, smOf(2), 0x10000 + static_cast<Addr>(i) * 4096,
+                    false);
+    ASSERT_GT(mem_.network().interNodeBytes(), 0u);
+    ASSERT_EQ(mem_.fetchRemote(), 64u);
+
+    mem_.resetStats();
+
+    // Statistics restart at zero...
+    EXPECT_EQ(mem_.fetchLocal(), 0u);
+    EXPECT_EQ(mem_.fetchRemote(), 0u);
+    EXPECT_EQ(mem_.network().interNodeBytes(), 0u);
+
+    // ...but the fabric is still occupied: the same remote access on a
+    // fresh machine is faster than one queued behind the backlog.
+    MemorySystem fresh(cfg_);
+    fresh.pageTable().place(0x10000, 1 << 20, 9);
+    const Cycles behind = mem_.access(0, smOf(2), 0xF0000, false);
+    const Cycles idle = fresh.access(0, smOf(2), 0xF0000, false);
+    EXPECT_GT(behind, idle);
+}
+
 // Regression: a write used to skip the L1 entirely (write-through
 // no-allocate), leaving a previously-read copy of the sector stale. The
 // write must invalidate the matching L1 sector so the next read refetches.

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -156,6 +157,102 @@ TEST(HistogramPercentile, EmptyIsZero)
     Histogram h(10, 4);
     EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
     EXPECT_DOUBLE_EQ(h.overflowFraction(), 0.0);
+}
+
+// Edge contract of percentile(): q >= 1.0 returns exactly maxValue()
+// (no interpolation overshoot), a NaN q degrades to the 0-quantile
+// instead of poisoning the report, and an all-overflow distribution
+// still brackets within [bucketed-range-end, max].
+TEST(HistogramPercentile, TopQuantileIsExactlyMax)
+{
+    Histogram h(10, 4);
+    for (uint64_t v : {3u, 17u, 23u, 38u})
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 38.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), 38.0); // out-of-range q clamps
+}
+
+TEST(HistogramPercentile, NanQuantileIsSafe)
+{
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(25);
+    const double p = h.percentile(std::nan(""));
+    EXPECT_FALSE(std::isnan(p));
+    EXPECT_DOUBLE_EQ(p, h.percentile(0.0));
+    // An empty histogram with a NaN q is still just 0.
+    Histogram e(10, 4);
+    EXPECT_DOUBLE_EQ(e.percentile(std::nan("")), 0.0);
+}
+
+TEST(HistogramPercentile, AllSamplesInOverflow)
+{
+    Histogram h(10, 4); // bucketed range [0, 40)
+    for (uint64_t v : {100u, 200u, 300u})
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 1.0);
+    for (double q : {0.0, 0.5, 0.99}) {
+        const double p = h.percentile(q);
+        EXPECT_GE(p, 40.0);
+        EXPECT_LE(p, 300.0);
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 300.0);
+}
+
+TEST(LogHistogram, NanAndTopQuantileEdges)
+{
+    LogHistogram h;
+    for (uint64_t v : {1u, 7u, 900u})
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 900.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 900.0);
+    const double p = h.percentile(std::nan(""));
+    EXPECT_FALSE(std::isnan(p));
+    EXPECT_DOUBLE_EQ(p, h.percentile(0.0));
+    LogHistogram e;
+    EXPECT_DOUBLE_EQ(e.percentile(std::nan("")), 0.0);
+}
+
+// Histogram::merge (the sharded engine folds per-shard step-latency
+// histograms into the registered one): identical geometry adds
+// bucket-wise; mismatched geometry folds the foreign samples into
+// overflow rather than misfiling them into wrong value ranges.
+TEST(HistogramMerge, SameGeometryMatchesCombinedSampling)
+{
+    Histogram a(10, 4), b(10, 4), both(10, 4);
+    for (uint64_t v : {3u, 17u, 500u}) {
+        a.sample(v);
+        both.sample(v);
+    }
+    for (uint64_t v : {8u, 39u, 900u}) {
+        b.sample(v);
+        both.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.totalSamples(), both.totalSamples());
+    EXPECT_EQ(a.overflow(), both.overflow());
+    EXPECT_EQ(a.maxValue(), both.maxValue());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    for (size_t i = 0; i < a.numBuckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), both.bucketCount(i));
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), both.percentile(0.5));
+}
+
+TEST(HistogramMerge, MismatchedGeometryFoldsIntoOverflow)
+{
+    Histogram a(10, 4);
+    a.sample(5);
+    Histogram b(2, 8); // different width AND bucket count
+    b.sample(3);
+    b.sample(9);
+    a.merge(b);
+    // Totals and moments survive; the unmappable samples land in
+    // overflow instead of a wrong bucket.
+    EXPECT_EQ(a.totalSamples(), 3u);
+    EXPECT_EQ(a.overflow(), 2u);
+    EXPECT_EQ(a.bucketCount(0), 1u); // only a's own sample
+    EXPECT_EQ(a.maxValue(), 9u);
+    EXPECT_DOUBLE_EQ(a.mean(), (5.0 + 3.0 + 9.0) / 3.0);
 }
 
 TEST(StatGroupVisit, EmitsPercentileAndLogHistogramKeys)

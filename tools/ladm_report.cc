@@ -191,8 +191,16 @@ renderTimelineRun(std::ostream &os, const JsonValue &run, size_t index)
     os << "- nodes: " << fmt(run.num("nodes"))
        << ", page size: " << fmt(run.num("page_size"))
        << ", end cycle: " << fmt(run.num("end_cycle")) << "\n\n";
+    // A run carries only the sections whose sinks were armed: a
+    // --obs-attribution run has no heatmap, a --obs-heatmap run has no
+    // latency table, and a windows-only run has just the timeline.
+    // Render what exists and note what doesn't, so a partial document
+    // reads as deliberate rather than truncated.
     if (run.has("timeline"))
         renderTimeline(os, run.get("timeline"));
+    else
+        os << "_No timeline in this run (windowed sampling was not "
+              "armed)._\n\n";
     if (run.has("latency")) {
         const JsonValue &lat = run.get("latency");
         os << "### Access latency by component (cycles, "
@@ -207,8 +215,15 @@ renderTimelineRun(std::ostream &os, const JsonValue &run, size_t index)
             renderLatTable(os, comps);
         }
     }
+    else {
+        os << "_No latency attribution in this run (rerun with "
+              "--obs-attribution)._\n\n";
+    }
     if (run.has("heatmap"))
         renderHeatmap(os, run.get("heatmap"));
+    else
+        os << "_No locality heatmap in this run (rerun with "
+              "--obs-heatmap)._\n\n";
 }
 
 void
