@@ -35,7 +35,7 @@ struct Scenario
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -136,4 +136,13 @@ main(int argc, char **argv)
                 "gracefully -- a one-time page rescue per dead stack "
                 "instead of a per-access maintenance-path crawl.\n");
     return (monotone && degrade_wins) ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

@@ -11,7 +11,7 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -20,7 +20,7 @@ main(int argc, char **argv)
 
     const SystemConfig multi = presets::multiGpu4x4();
     const SystemConfig mono = presets::monolithic256();
-    const CsvSink csv("fig09");
+    CsvSink csv("fig09");
     BenchJsonSink json("fig09");
 
     // Five policy columns per workload, in print order.
@@ -74,4 +74,13 @@ main(int argc, char **argv)
     std::printf("GEOMEAN  LADM vs monolithic: %.2f (paper: 0.82)\n",
                 geomean(ladm_vs_mono));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

@@ -10,7 +10,7 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -18,7 +18,7 @@ main(int argc, char **argv)
                     "(multi-GPU 4x4, Table III)");
 
     const SystemConfig multi = presets::multiGpu4x4();
-    const CsvSink csv("fig10");
+    CsvSink csv("fig10");
     BenchJsonSink json("fig10");
 
     std::vector<core::SweepCell> cells;
@@ -80,4 +80,13 @@ main(int argc, char **argv)
                 "(paper: ~4x)\n",
                 geomean(per_workload_cut));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

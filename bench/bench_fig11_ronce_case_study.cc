@@ -41,7 +41,7 @@ caseStudy(const std::string &workload, const RunMetrics *results)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -69,4 +69,13 @@ main(int argc, char **argv)
                 "smaller but hits often, so RONCE costs performance "
                 "there.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

@@ -12,7 +12,7 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -63,4 +63,13 @@ main(int argc, char **argv)
                 "%.2fx (paper: 4x)\n",
                 geomean(speedup), geomean(traffic));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

@@ -13,7 +13,7 @@ using namespace ladm;
 using namespace ladm::bench;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -56,4 +56,13 @@ main(int argc, char **argv)
                 "LASP vs kernel-wide: %.2fx (paper: 1.4x)\n",
                 geomean(vs_coda), geomean(vs_kwide));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

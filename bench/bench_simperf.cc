@@ -43,6 +43,7 @@
  */
 
 #include <chrono>
+#include <fstream>
 #include <cstring>
 #include <iterator>
 #include <thread>
@@ -121,7 +122,7 @@ extractJsonNumber(const std::string &text, const std::string &key)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     parseJobsFlag(argc, argv); // accepted for uniformity; runs are serial
 
@@ -370,4 +371,13 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

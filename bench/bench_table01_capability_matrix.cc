@@ -26,7 +26,7 @@ struct PatternProbe
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const int jobs = parseJobsFlag(argc, argv);
 
@@ -100,4 +100,13 @@ main(int argc, char **argv)
                 "only strides+ITL;\n  kernel-wide only alignment, row "
                 "sharing, adjacency; CODA only alignment.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(argc, argv); });
 }

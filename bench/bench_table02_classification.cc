@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "compiler/index_analysis.hh"
+#include "snapshot/snapshot.hh"
 #include "kernel/expr.hh"
 
 using namespace ladm;
@@ -65,7 +66,7 @@ cachePolicy(LocalityType t)
 } // namespace
 
 int
-main()
+benchMain()
 {
     std::printf("Table II -- index equations, detected locality types, "
                 "and LASP actions\n\n");
@@ -104,4 +105,13 @@ main()
                 "RCL-row-h / RCL-col-h /\n  RCL-row-v / RCL-col-v / ITL "
                 "/ unclassified.\n");
     return 0;
+}
+
+int
+main()
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(); });
 }

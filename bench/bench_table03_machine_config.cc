@@ -7,11 +7,12 @@
 #include <cstdio>
 
 #include "config/presets.hh"
+#include "snapshot/snapshot.hh"
 
 using namespace ladm;
 
 int
-main()
+benchMain()
 {
     const SystemConfig c = presets::multiGpu4x4();
     const SystemConfig mono = presets::monolithic256();
@@ -64,4 +65,13 @@ main()
                 "16MB L2, 720 GB/s ring,\n  180 GB/s links, 11.2 TB/s "
                 "monolithic crossbar, 180 GB/s HBM per chiplet.\n");
     return 0;
+}
+
+int
+main()
+{
+    // snapshot::runMain maps a graceful SIGINT/SIGTERM stop (checkpoint
+    // flushed at the engine's safe point) to exit 75 and lets the
+    // telemetry atexit finalizer publish partial sinks.
+    return ladm::snapshot::runMain([&] { return benchMain(); });
 }

@@ -22,6 +22,12 @@
  *   --continue-on-error   a failing grid point becomes an error row in
  *                         the sinks and the sweep proceeds
  *                         (LADM_BENCH_CONTINUE)
+ *   --resume-sweep[=path] journal completed cells (LADM_SWEEP_JOURNAL)
+ *                         and, on re-run, replay them instead of
+ *                         simulating; see core/sweep_journal.hh
+ *   --checkpoint-every N / --checkpoint-out P / --resume P
+ *                         mid-run checkpointing of the active
+ *                         experiment; see snapshot/snapshot.hh
  */
 
 #ifndef LADM_BENCH_BENCH_UTIL_HH
@@ -30,16 +36,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <cstring>
 
 #include "check/invariants.hh"
+#include "common/atomic_file.hh"
 #include "config/presets.hh"
 #include "core/experiment.hh"
+#include "core/sweep_journal.hh"
 #include "core/sweep_runner.hh"
+#include "snapshot/snapshot.hh"
 #include "telemetry/json_writer.hh"
 #include "telemetry/session.hh"
 #include "workloads/registry.hh"
@@ -96,6 +105,10 @@ inline int
 parseJobsFlag(int &argc, char **argv)
 {
     telemetry::session().configure(TelemetryOptions::fromEnv());
+    // Checkpoint/resume flags (--checkpoint-every / --checkpoint-out /
+    // --resume) are stripped here too, so every bench is killable and
+    // resumable without per-binary plumbing.
+    snapshot::parseArgs(argc, argv);
     int jobs = 0;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -107,6 +120,10 @@ parseJobsFlag(int &argc, char **argv)
             check::setEnabled(true);
         } else if (std::strcmp(argv[i], "--continue-on-error") == 0) {
             continueOnError() = true;
+        } else if (std::strcmp(argv[i], "--resume-sweep") == 0) {
+            core::setSweepJournalPath("ladm.sweep.jnl");
+        } else if (std::strncmp(argv[i], "--resume-sweep=", 15) == 0) {
+            core::setSweepJournalPath(argv[i] + 15);
         } else {
             argv[out++] = argv[i];
         }
@@ -145,11 +162,24 @@ runGrid(const std::vector<core::SweepCell> &cells, int jobs = 0)
         std::fprintf(stderr, "[bench] %zu runs across %d workers\n",
                      cells.size(), runner.jobs());
     }
-    for (const core::SweepCell &c : cells) {
-        runner.submit([c] {
+    core::SweepJournal *jnl = core::sweepJournal();
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const core::SweepCell &c = cells[i];
+        const std::string key =
+            jnl ? core::cellKey(c, i) : std::string();
+        runner.submit([c, jnl, key] {
+            if (jnl) {
+                // --resume-sweep: completed cells replay their journaled
+                // metrics; cells in flight at the kill re-run.
+                if (const RunMetrics *m = jnl->completed(key))
+                    return *m;
+                jnl->noteStart(key);
+            }
             auto w = workloads::makeWorkload(c.workload, c.scale);
             auto bundle = makeBundle(c.policy);
             RunMetrics m = runExperiment(*w, *bundle, c.cfg, c.launches);
+            if (jnl)
+                jnl->noteDone(key, m);
             return m;
         });
     }
@@ -235,29 +265,28 @@ class CsvSink
         if (!dir)
             return;
         path_ = std::string(dir) + "/" + bench_name + ".csv";
-        std::FILE *f = std::fopen(path_.c_str(), "w");
-        if (!f) {
+        body_ = csvHeader() + "\n";
+        if (!atomicWriteBytes(path_, body_))
             path_.clear();
-            return;
-        }
-        std::fprintf(f, "%s\n", csvHeader().c_str());
-        std::fclose(f);
     }
 
+    /**
+     * Republish the whole file after every run (atomic replace, not
+     * append): a kill between runs leaves a complete, parseable CSV of
+     * the rows so far instead of a torn final line.
+     */
     void
-    add(const RunMetrics &m) const
+    add(const RunMetrics &m)
     {
         if (path_.empty())
             return;
-        std::FILE *f = std::fopen(path_.c_str(), "a");
-        if (!f)
-            return;
-        std::fprintf(f, "%s\n", csvRow(m).c_str());
-        std::fclose(f);
+        body_ += csvRow(m) + "\n";
+        atomicWriteBytes(path_, body_);
     }
 
   private:
     std::string path_;
+    std::string body_;
 };
 
 /**
@@ -289,9 +318,9 @@ class BenchJsonSink
             return;
         written_ = true;
         const std::string path = "BENCH_" + bench_ + ".json";
-        std::ofstream os(path);
-        if (!os)
-            return;
+        // Build in memory, publish atomically: downstream parsers (CI
+        // gates, ladm-report) never see a torn document.
+        std::ostringstream os;
         telemetry::JsonWriter w(os, 1);
         w.beginObject();
         w.kv("schema", "ladm-bench-v1");
@@ -377,6 +406,8 @@ class BenchJsonSink
         w.endObject();
         w.endObject();
         os << '\n';
+        if (!atomicWriteBytes(path, os.str()))
+            return;
         std::printf("[bench] wrote %s (%zu runs)\n", path.c_str(),
                     runs_.size());
     }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "check/invariants.hh"
+#include "snapshot/snapshot.hh"
 #include "config/presets.hh"
 #include "runtime/ladm_runtime.hh"
 
@@ -92,5 +93,6 @@ main(int argc, char **argv)
     // --check arms the invariant suite; runMain renders a SimError as a
     // structured report instead of an unhandled-exception backtrace.
     ladm::check::parseArgs(argc, argv);
-    return ladm::check::runMain([&] { return runExample(); });
+    ladm::snapshot::parseArgs(argc, argv);
+    return ladm::snapshot::runMain([&] { return runExample(); });
 }

@@ -15,6 +15,7 @@
 
 #include "compiler/parser.hh"
 #include "check/invariants.hh"
+#include "snapshot/snapshot.hh"
 #include "config/presets.hh"
 #include "runtime/ladm_runtime.hh"
 
@@ -126,5 +127,6 @@ main(int argc, char **argv)
     // --check arms the invariant suite; runMain renders a SimError as a
     // structured report instead of an unhandled-exception backtrace.
     ladm::check::parseArgs(argc, argv);
-    return ladm::check::runMain([&] { return runExample(argc, argv); });
+    ladm::snapshot::parseArgs(argc, argv);
+    return ladm::snapshot::runMain([&] { return runExample(argc, argv); });
 }

@@ -18,6 +18,7 @@
 #include <cstring>
 
 #include "check/invariants.hh"
+#include "snapshot/snapshot.hh"
 #include "config/presets.hh"
 #include "core/experiment.hh"
 #include "telemetry/session.hh"
@@ -102,5 +103,6 @@ main(int argc, char **argv)
     // --check arms the invariant suite; runMain renders a SimError as a
     // structured report instead of an unhandled-exception backtrace.
     ladm::check::parseArgs(argc, argv);
-    return ladm::check::runMain([&] { return runExample(argc, argv); });
+    ladm::snapshot::parseArgs(argc, argv);
+    return ladm::snapshot::runMain([&] { return runExample(argc, argv); });
 }

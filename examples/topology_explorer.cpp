@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "check/invariants.hh"
+#include "snapshot/snapshot.hh"
 #include "config/presets.hh"
 #include "core/sweep_runner.hh"
 #include "telemetry/session.hh"
@@ -103,5 +104,6 @@ main(int argc, char **argv)
     // --check arms the invariant suite; runMain renders a SimError as a
     // structured report instead of an unhandled-exception backtrace.
     ladm::check::parseArgs(argc, argv);
-    return ladm::check::runMain([&] { return runExample(argc, argv); });
+    ladm::snapshot::parseArgs(argc, argv);
+    return ladm::snapshot::runMain([&] { return runExample(argc, argv); });
 }

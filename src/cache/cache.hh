@@ -31,6 +31,12 @@ namespace telemetry
 class StatRegistry;
 }
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 /** Outcome of one cache lookup. */
 enum class AccessResult
 {
@@ -126,6 +132,10 @@ class SectoredCache
 
     size_t numSets() const { return numSets_; }
     int assoc() const { return assoc_; }
+
+    /** Checkpoint tags/metadata/LRU clock (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     static constexpr int kSectorsPerLine =

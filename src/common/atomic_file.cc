@@ -1,0 +1,76 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace ladm
+{
+
+namespace
+{
+
+bool
+writeAndRename(const std::string &path, const std::string &content)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0) {
+        ladm_warn("cannot create ", tmp, ": ", std::strerror(errno));
+        return false;
+    }
+    size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ladm_warn("write to ", tmp, " failed: ",
+                      std::strerror(errno));
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    // Durability before visibility: the rename must never publish a
+    // file whose bytes are still in flight.
+    if (::fsync(fd) != 0)
+        ladm_warn("fsync of ", tmp, " failed: ", std::strerror(errno));
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ladm_warn("cannot rename ", tmp, " to ", path, ": ",
+                  std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path,
+                const std::function<void(std::ostream &)> &fill)
+{
+    std::ostringstream ss;
+    fill(ss);
+    return writeAndRename(path, ss.str());
+}
+
+bool
+atomicWriteBytes(const std::string &path, const std::string &content)
+{
+    return writeAndRename(path, content);
+}
+
+} // namespace ladm

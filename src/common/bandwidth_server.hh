@@ -29,6 +29,12 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 class BandwidthServer
 {
   public:
@@ -109,6 +115,15 @@ class BandwidthServer
         totalBytes_ = 0;
         busyCycles_ = 0;
     }
+
+    /**
+     * Checkpoint timing + byte counters (snapshot/component_state.cc).
+     * The quotient memo is NOT serialized: it is derived purely from the
+     * configured rate and IEEE division is deterministic, so a cold memo
+     * refills with bit-identical values.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     /**

@@ -15,6 +15,12 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 /**
  * xoshiro256** generator. Small, fast, and good enough statistical quality
  * for synthetic-workload generation; not for cryptography.
@@ -43,6 +49,10 @@ class Rng
      *              uniform
      */
     uint64_t nextZipf(uint64_t n, double alpha);
+
+    /** Checkpoint the stream position (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     uint64_t state_[4];

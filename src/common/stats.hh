@@ -25,6 +25,12 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 /** What a published statistic value represents (drives delta semantics). */
 enum class StatKind
 {
@@ -49,6 +55,10 @@ class Counter
 
     uint64_t value() const { return value_; }
 
+    /** Checkpoint support (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     uint64_t value_ = 0;
 };
@@ -62,6 +72,10 @@ class Average
 
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     uint64_t count() const { return count_; }
+
+    /** Checkpoint support (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     double sum_ = 0.0;
@@ -123,6 +137,10 @@ class Histogram
         return total_ ? static_cast<double>(overflow_) / total_ : 0.0;
     }
 
+    /** Checkpoint support, including geometry (component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     uint64_t bucketWidth_;
     std::vector<uint64_t> buckets_;
@@ -180,6 +198,10 @@ class LogHistogram
      * the observed [min, max] range.
      */
     double percentile(double q) const;
+
+    /** Checkpoint support (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     uint64_t buckets_[kNumBuckets] = {};
@@ -242,6 +264,13 @@ class StatGroup
     {
         return logHistograms_;
     }
+
+    /**
+     * Checkpoint every named entry; load re-creates entries that were
+     * registered lazily (snapshot/component_state.cc).
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     std::string name_;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SweepJournal: append-only completion log for resumable sweeps.
+ *
+ * A figure harness replays a grid of independent cells; an interrupted
+ * sweep today restarts from cell zero. The journal records, per cell,
+ * a `start` line when a worker picks it up and a `done` line (carrying
+ * the full RunMetrics, binary-serialized and hex-encoded) when it
+ * completes. Re-running the same grid with --resume-sweep replays the
+ * journal: completed cells return their recorded metrics without
+ * simulating, cells with a `start` but no `done` (in flight when the
+ * sweep died) re-queue, and new completions append to the same file.
+ *
+ * The file is line-oriented and append-only:
+ *
+ *   ladm-sweep-journal-v1
+ *   start <hex(key)>
+ *   done <hex(key)> <hex(metrics blob)>
+ *
+ * Appends are flushed per line; a kill can tear at most the final line,
+ * which replay skips (that cell simply re-runs). Cell keys combine
+ * workload, policy, system name, launches, scale, and grid index, so a
+ * journal from a *different* grid never satisfies a lookup -- mismatched
+ * cells just miss and run normally.
+ *
+ * Activation: --resume-sweep[=path] (stripped by bench::parseJobsFlag)
+ * or LADM_SWEEP_JOURNAL=path. Default path "ladm.sweep.jnl".
+ */
+
+#ifndef LADM_CORE_SWEEP_JOURNAL_HH
+#define LADM_CORE_SWEEP_JOURNAL_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/metrics.hh"
+#include "core/sweep_runner.hh"
+
+namespace ladm
+{
+namespace core
+{
+
+/** Stable identity of one grid cell (includes its submission index). */
+std::string cellKey(const SweepCell &cell, size_t index);
+
+class SweepJournal
+{
+  public:
+    /**
+     * Open (and replay) the journal at @p path; the file is created on
+     * the first append when absent. Corrupt or torn lines are skipped
+     * with a warning -- their cells re-run.
+     */
+    explicit SweepJournal(std::string path);
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Metrics of a completed cell, or null when the cell must (re)run.
+     * The pointer stays valid for the journal's lifetime.
+     */
+    const RunMetrics *completed(const std::string &key) const;
+
+    /** Record that a worker picked the cell up (flushed immediately). */
+    void noteStart(const std::string &key);
+    /** Record the cell's result (flushed immediately). */
+    void noteDone(const std::string &key, const RunMetrics &m);
+
+    /** Cells the replayed journal saw start but never finish. */
+    size_t inFlightReplayed() const { return inFlight_.size(); }
+    /** Cells the replayed journal saw complete. */
+    size_t completedReplayed() const { return done_.size(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void replay();
+    void append(const std::string &line);
+
+    std::string path_;
+    mutable std::mutex mu_;
+    std::map<std::string, RunMetrics> done_;
+    std::set<std::string> inFlight_;
+};
+
+/**
+ * The process-wide journal, or null when resumable sweeps are off.
+ * Armed by setSweepJournalPath() (from --resume-sweep) or, lazily, by
+ * the LADM_SWEEP_JOURNAL environment variable.
+ */
+SweepJournal *sweepJournal();
+
+/** Arm (path non-empty) or disarm (empty) the process-wide journal. */
+void setSweepJournalPath(const std::string &path);
+
+} // namespace core
+} // namespace ladm
+
+#endif // LADM_CORE_SWEEP_JOURNAL_HH

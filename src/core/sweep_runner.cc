@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/sim_error.hh"
 #include "core/experiment.hh"
+#include "core/sweep_journal.hh"
 #include "telemetry/session.hh"
 #include "workloads/registry.hh"
 
@@ -131,11 +132,26 @@ std::vector<RunMetrics>
 runSweep(const std::vector<SweepCell> &cells, int jobs)
 {
     SweepRunner runner({jobs});
-    for (const SweepCell &cell : cells) {
-        runner.submit([cell] {
+    SweepJournal *jnl = sweepJournal();
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        const std::string key = jnl ? cellKey(cell, i) : std::string();
+        runner.submit([cell, jnl, key] {
+            if (jnl) {
+                // Resumable sweep: a cell the journal saw complete
+                // returns its recorded metrics without simulating; one
+                // that only started (in flight at the kill) re-runs.
+                if (const RunMetrics *m = jnl->completed(key))
+                    return *m;
+                jnl->noteStart(key);
+            }
             auto w = workloads::makeWorkload(cell.workload, cell.scale);
             auto bundle = makeBundle(cell.policy);
-            return runExperiment(*w, *bundle, cell.cfg, cell.launches);
+            RunMetrics m =
+                runExperiment(*w, *bundle, cell.cfg, cell.launches);
+            if (jnl)
+                jnl->noteDone(key, m);
+            return m;
         });
     }
     return runner.results();

@@ -25,6 +25,8 @@ class CrossbarNet : public Network
                        std::function<Cycles()> now = {}) const override;
     void reset() override;
     void resetStats() override;
+    void saveState(serial::Writer &w) const override;
+    void loadState(serial::Reader &r) override;
 
   protected:
     Cycles delayImpl(Cycles now, NodeId src, NodeId dst,

@@ -27,6 +27,8 @@ class HierarchicalNet : public Network
                        std::function<Cycles()> now = {}) const override;
     void reset() override;
     void resetStats() override;
+    void saveState(serial::Writer &w) const override;
+    void loadState(serial::Reader &r) override;
 
     /** Bytes that crossed the inter-GPU switch (for traffic reports). */
     Bytes switchBytes() const;

@@ -71,6 +71,10 @@ class Link
     /** Fixed traversal latency of this link. */
     Cycles latency() const { return server_.latency(); }
 
+    /** Checkpoint the underlying server (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const { server_.saveState(w); }
+    void loadState(serial::Reader &r) { server_.loadState(r); }
+
   private:
     std::string name_;
     BandwidthServer server_{1.0, 0};

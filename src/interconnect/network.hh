@@ -33,6 +33,12 @@ namespace telemetry
 class StatRegistry;
 }
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 class Network
 {
   public:
@@ -106,6 +112,14 @@ class Network
         interNodeBytes_ = 0;
         interGpuBytes_ = 0;
     }
+
+    /**
+     * Checkpoint the fabric's timing + byte accounting. The base class
+     * covers the boundary-crossing totals; topologies append their link
+     * servers in a fixed order (snapshot/component_state.cc).
+     */
+    virtual void saveState(serial::Writer &w) const;
+    virtual void loadState(serial::Reader &r);
 
   protected:
     virtual Cycles delayImpl(Cycles now, NodeId src, NodeId dst,

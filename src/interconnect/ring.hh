@@ -47,6 +47,10 @@ class RingFabric
     /** Clear per-segment byte counters, keeping segment timing state. */
     void resetStats();
 
+    /** Checkpoint every segment server (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     int n_;
     Cycles hopLatency_;
@@ -64,6 +68,8 @@ class RingNet : public Network
                        std::function<Cycles()> now = {}) const override;
     void reset() override;
     void resetStats() override;
+    void saveState(serial::Writer &w) const override;
+    void loadState(serial::Reader &r) override;
 
   protected:
     Cycles delayImpl(Cycles now, NodeId src, NodeId dst,

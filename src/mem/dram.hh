@@ -54,6 +54,10 @@ class Dram
         accesses_ = 0;
     }
 
+    /** Checkpoint channel timing + counters (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     BandwidthServer server_;
     uint64_t accesses_ = 0;

@@ -79,6 +79,10 @@ class MigrationEngine
         migrations_ = 0;
     }
 
+    /** Checkpoint streak tracking (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     struct Streak
     {

@@ -42,6 +42,12 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 class PageTable
 {
   public:
@@ -161,6 +167,15 @@ class PageTable
     uint64_t tlbHits() const { return tlbHits_; }
     uint64_t tlbMisses() const { return tlbMisses_; }
     uint64_t tlbFlushes() const { return tlbFlushes_; }
+
+    /**
+     * Checkpoint all three layers AND the TLB with its hit/miss
+     * counters (snapshot/component_state.cc): the counters are published
+     * stats, so restoring with a cold TLB would diverge from the
+     * uninterrupted run.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     enum class SegKind : uint8_t

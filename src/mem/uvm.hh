@@ -71,6 +71,10 @@ class Uvm
     uint64_t faults() const { return faults_; }
     void reset() { faults_ = 0; }
 
+    /** Checkpoint the fault counter (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     Cycles faultCycles_;
     int interleaveNodes_;

@@ -29,6 +29,13 @@
 
 namespace ladm
 {
+
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 namespace obs
 {
 
@@ -72,6 +79,14 @@ class Timeline
 
     /** Sum of every window's delta per path (== final - initial value). */
     std::vector<double> totals() const;
+
+    /**
+     * Checkpoint stored windows + the open window's baseline reads
+     * (snapshot/component_state.cc) so a resumed run's telescoping sums
+     * stay bit-exact.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     void tick(Cycles now);

@@ -44,6 +44,12 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 /** One pending wake-up: warp slot @p warp acts at cycle @p time. */
 struct WarpEvent
 {
@@ -112,6 +118,16 @@ class EventQueue
         }
         return popCalendar();
     }
+
+    /**
+     * Checkpoint the queue's raw arrays (snapshot/component_state.cc).
+     * The heap vector and calendar buckets are serialized as-is, never
+     * rebuilt by re-pushing: the structural order of EQUAL-time events
+     * is behavior-relevant (simultaneous accesses book bandwidth in pop
+     * order), so restore must reproduce the exact internal layout.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct Entry

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "check/invariants.hh"
+#include "common/serial.hh"
+#include "snapshot/snapshot.hh"
 #include "telemetry/exporters.hh"
 
 namespace ladm
@@ -38,24 +40,34 @@ GpuSystem::GpuSystem(const SystemConfig &cfg)
     }
 }
 
+void
+GpuSystem::attachCheckpointer(snapshot::Checkpointer *ckpt)
+{
+    engine_.attachCheckpointer(ckpt);
+}
+
 KernelRunStats
 GpuSystem::runKernel(const LaunchDims &dims, TraceSource &trace,
                      const std::vector<std::vector<TbId>> &node_queues,
                      L2InsertPolicy policy, bool flush_caches,
-                     const std::vector<TraceSource *> &shard_traces)
+                     const std::vector<TraceSource *> &shard_traces,
+                     bool resume)
 {
-    if (flush_caches)
+    // On resume, the boundary flush already happened in the original run
+    // before the checkpoint was taken; repeating it would wipe restored
+    // cache contents.
+    if (flush_caches && !resume)
         mem_.flushCaches();
     mem_.setInsertPolicy(policy);
 
     const bool windowed = telemetry::session().statsActive();
-    telemetry::Snapshot before;
-    if (windowed)
-        before = reg_.snapshot();
+    if (windowed && !resume)
+        kernelStartSnap_ = reg_.snapshot();
 
     KernelRunStats s;
     try {
-        s = engine_.run(dims, trace, node_queues, now_, shard_traces);
+        s = engine_.run(dims, trace, node_queues, now_, shard_traces,
+                        resume);
     } catch (const InvariantViolation &) {
         // Post-mortem: leave the whole stat tree behind before the
         // violation propagates, so a hung or leaking run is debuggable
@@ -81,10 +93,69 @@ GpuSystem::runKernel(const LaunchDims &dims, TraceSource &trace,
         rec.index = idx;
         rec.startCycle = s.startCycle;
         rec.endCycle = s.endCycle;
-        rec.stats = reg_.snapshot().delta(before);
+        rec.stats = reg_.snapshot().delta(kernelStartSnap_);
         kernelLog_.push_back(std::move(rec));
     }
     return s;
+}
+
+void
+GpuSystem::saveState(serial::Writer &w) const
+{
+    w.beginSection(snapshot::kSystem);
+    w.u64(now_);
+    w.u32(static_cast<uint32_t>(kernelIndex_));
+    w.u64(kernelLog_.size());
+    for (const telemetry::KernelRecord &rec : kernelLog_) {
+        w.u32(static_cast<uint32_t>(rec.index));
+        w.u64(rec.startCycle);
+        w.u64(rec.endCycle);
+        rec.stats.saveState(w);
+    }
+    kernelStartSnap_.saveState(w);
+    w.endSection();
+
+    w.beginSection(snapshot::kMemory);
+    mem_.saveState(w);
+    w.endSection();
+
+    w.beginSection(snapshot::kRegistry);
+    reg_.saveState(w);
+    w.endSection();
+
+    if (obs_ && obs_->timeline()) {
+        w.beginSection(snapshot::kTimeline);
+        obs_->timeline()->saveState(w);
+        w.endSection();
+    }
+}
+
+void
+GpuSystem::loadState(serial::Reader &r)
+{
+    r.openSection(snapshot::kSystem);
+    now_ = r.u64();
+    kernelIndex_ = static_cast<int>(r.u32());
+    kernelLog_.resize(r.u64());
+    for (telemetry::KernelRecord &rec : kernelLog_) {
+        rec.index = static_cast<int>(r.u32());
+        rec.startCycle = r.u64();
+        rec.endCycle = r.u64();
+        rec.stats.loadState(r);
+    }
+    kernelStartSnap_.loadState(r);
+
+    r.openSection(snapshot::kMemory);
+    mem_.loadState(r);
+
+    r.openSection(snapshot::kRegistry);
+    reg_.loadState(r);
+
+    if (obs_ && obs_->timeline() &&
+        r.hasSection(snapshot::kTimeline)) {
+        r.openSection(snapshot::kTimeline);
+        obs_->timeline()->loadState(r);
+    }
 }
 
 } // namespace ladm

@@ -25,6 +25,17 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
+namespace snapshot
+{
+class Checkpointer;
+} // namespace snapshot
+
 class GpuSystem
 {
   public:
@@ -40,15 +51,42 @@ class GpuSystem
      * @param flush_caches software-coherence invalidation at the boundary
      * @param shard_traces extra per-shard trace instances for the
      *                     sharded PDES engine (see KernelEngine::run)
+     * @param resume       continue this kernel from the checkpoint the
+     *                     attached Checkpointer holds instead of starting
+     *                     it: skips the boundary flush (it happened before
+     *                     the checkpoint) and reuses the restored
+     *                     kernel-start stat snapshot so the per-kernel
+     *                     window still spans the whole launch
      */
     KernelRunStats
     runKernel(const LaunchDims &dims, TraceSource &trace,
               const std::vector<std::vector<TbId>> &node_queues,
               L2InsertPolicy policy, bool flush_caches = true,
-              const std::vector<TraceSource *> &shard_traces = {});
+              const std::vector<TraceSource *> &shard_traces = {},
+              bool resume = false);
+
+    /**
+     * Arm periodic / on-signal checkpointing (null disarms). The pointer
+     * is forwarded to the engine, whose event loop polls it at safe
+     * points; with no checkpointer attached the loop pays one untaken
+     * null check per event.
+     */
+    void attachCheckpointer(snapshot::Checkpointer *ckpt);
+
+    /**
+     * Write / restore this machine's complete state as the kSystem +
+     * kMemory + kRegistry (+ kTimeline) checkpoint sections. Must only
+     * run at an engine safe point (between events / at a window
+     * barrier): no access is in flight, so component state is closed.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
     /** Resolved engine shard count (1 = serial reference loop). */
     int engineShards() const { return engine_.maxShards(); }
+
+    /** The kernel engine (e.g. to inspect pdesFallback() diagnostics). */
+    const KernelEngine &engine() const { return engine_; }
 
     MemorySystem &mem() { return mem_; }
     const MemorySystem &mem() const { return mem_; }
@@ -91,6 +129,12 @@ class GpuSystem
     std::unique_ptr<obs::Observer> obs_;
     std::vector<telemetry::KernelRecord> kernelLog_;
     int kernelIndex_ = 0;
+    /**
+     * Registry snapshot at the running kernel's start. A member (not a
+     * runKernel local) so a mid-kernel checkpoint can carry it and a
+     * resumed kernel's stat window still spans [launch, completion).
+     */
+    telemetry::Snapshot kernelStartSnap_;
 };
 
 } // namespace ladm

@@ -5,10 +5,12 @@
 #include "check/invariants.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "common/sim_error.hh"
 #include "obs/timeline.hh"
 #include "sim/engine_internal.hh"
 #include "sim/event_queue.hh"
+#include "snapshot/snapshot.hh"
 #include "telemetry/stat_registry.hh"
 #include "telemetry/trace.hh"
 
@@ -18,6 +20,43 @@ namespace ladm
 using engine_detail::SmState;
 using engine_detail::WarpState;
 
+const char *
+toString(KernelEngine::PdesFallback fb)
+{
+    switch (fb) {
+    case KernelEngine::PdesFallback::None:
+        return "none";
+    case KernelEngine::PdesFallback::CheckSuite:
+        return "invariant check suite (LADM_CHECK) is serial-only";
+    case KernelEngine::PdesFallback::Tracing:
+        return "event tracing (--trace-out) is serial-only";
+    case KernelEngine::PdesFallback::MemoryIncompatible:
+        return "memory feature incompatible with sharding";
+    case KernelEngine::PdesFallback::MissingShardTraces:
+        return "fewer per-shard trace instances than shards";
+    case KernelEngine::PdesFallback::ZeroLookahead:
+        return "zero cross-node latency leaves no conservative window";
+    }
+    return "unknown";
+}
+
+void
+KernelEngine::noteFallback(PdesFallback fb, const char *detail)
+{
+    fallback_ = fb;
+    fallbackDetail_ = detail ? detail : toString(fb);
+    const unsigned bit = 1u << static_cast<int>(fb);
+    if (fallbackWarned_ & bit)
+        return;
+    fallbackWarned_ |= bit;
+    ladm_warn("engine: ", cfg_.resolvedShards(),
+              " PDES shards requested but this run uses the serial "
+              "loop: ",
+              fallbackDetail_,
+              " [engine.pdes.fallback_reason=",
+              static_cast<int>(fb), "]");
+}
+
 KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
     : cfg_(cfg), mem_(mem)
 {
@@ -26,8 +65,11 @@ KernelEngine::KernelEngine(const SystemConfig &cfg, MemorySystem &mem)
         smNode_[s] = cfg_.nodeOfSm(s);
     maxShards_ = cfg_.resolvedShards();
     lookahead_ = cfg_.minCrossNodeLatencyCycles();
-    if (lookahead_ == 0)
-        maxShards_ = 1; // no cross-node latency = no conservative window
+    if (lookahead_ == 0 && maxShards_ > 1) {
+        // No cross-node latency = no conservative window.
+        maxShards_ = 1;
+        noteFallback(PdesFallback::ZeroLookahead, nullptr);
+    }
     pdesBarrierNs_.assign(static_cast<size_t>(maxShards_), 0);
 }
 
@@ -54,6 +96,15 @@ KernelEngine::registerStats(telemetry::StatRegistry &reg)
     // (remote fetches, DRAM queueing) land in the overflow bucket.
     stepLatencyHist_ =
         &reg.group("engine").histogram("step_latency", 8, 32);
+
+    // Fallback diagnostic: registered whenever sharding was *requested*
+    // (even when the ctor already clamped it away), so a silently-serial
+    // run is explainable from its stats dump.
+    if (cfg_.resolvedShards() > 1) {
+        reg.gauge("engine.pdes.fallback_reason", [this] {
+            return static_cast<double>(static_cast<int>(fallback_));
+        });
+    }
 
     // PDES shard counters exist only when the sharded loop can run, so
     // serial runs keep an unchanged stat namespace.
@@ -88,7 +139,8 @@ KernelRunStats
 KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                   const std::vector<std::vector<TbId>> &node_queues,
                   Cycles start,
-                  const std::vector<TraceSource *> &shard_traces)
+                  const std::vector<TraceSource *> &shard_traces,
+                  bool resume)
 {
     const int num_nodes = cfg_.numNodes();
     if (static_cast<int>(node_queues.size()) != num_nodes) {
@@ -165,10 +217,23 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
     // private trace instance per extra shard (warpStep scratch buffers
     // are per-object). Anything short of that runs the bit-exact serial
     // reference below.
-    if (maxShards_ > 1 && !check_on && !telemetry::tracer().enabled() &&
-        mem_.shardCompatible() &&
-        static_cast<int>(shard_traces.size()) + 1 >= maxShards_) {
-        return runSharded(dims, trace, shard_traces, node_queues, start);
+    if (maxShards_ > 1) {
+        if (check_on) {
+            noteFallback(PdesFallback::CheckSuite, nullptr);
+        } else if (telemetry::tracer().enabled()) {
+            noteFallback(PdesFallback::Tracing, nullptr);
+        } else if (!mem_.shardCompatible()) {
+            noteFallback(PdesFallback::MemoryIncompatible,
+                         mem_.shardIncompatibleReason());
+        } else if (static_cast<int>(shard_traces.size()) + 1 <
+                   maxShards_) {
+            noteFallback(PdesFallback::MissingShardTraces, nullptr);
+        } else {
+            fallback_ = PdesFallback::None;
+            fallbackDetail_.clear();
+            return runSharded(dims, trace, shard_traces, node_queues,
+                              start, resume);
+        }
     }
 
     KernelRunStats stats;
@@ -227,10 +292,95 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
         }
     };
 
-    for (SmId sm = 0; sm < cfg_.totalSms(); ++sm)
-        admit(sm, start);
-
     const int depth = std::clamp(cfg_.warpPipelineDepth, 1, 4);
+
+    std::vector<MemAccess> buf;
+    /** Last processed event's cycle: the current safe-point time. */
+    Cycles cur = start;
+
+    // Checkpoint image of every loop local, written at a safe point
+    // (top of the loop, before the pop: the queue is consistent and no
+    // access is in flight). Restore reproduces these verbatim -- the
+    // queue's internal layout in particular, since equal-time pop order
+    // is behavior-relevant.
+    auto save_serial = [&](serial::Writer &w) {
+        w.u8(0); // loop kind: serial
+        saveCumulative(w);
+        w.u64(cur);
+        w.u64(stats.startCycle);
+        w.u64(stats.endCycle);
+        w.u64(stats.warpSteps);
+        w.u64(stats.sectorAccesses);
+        w.u64(stats.totalStepLatency);
+        w.u64(stats.maxStepLatency);
+        w.vec(cursor);
+        w.vec(tb_warps_left);
+        w.u64(sms.size());
+        for (const SmState &s : sms) {
+            w.u32(static_cast<uint32_t>(s.residentTbs));
+            w.u32(static_cast<uint32_t>(s.freeWarpSlots));
+        }
+        w.u64(warps.size());
+        for (const WarpState &ws : warps) {
+            w.i64(ws.tb);
+            w.u32(static_cast<uint32_t>(ws.warpInTb));
+            w.u32(static_cast<uint32_t>(ws.sm));
+            w.i64(ws.step);
+            for (const Cycles d : ws.doneRing)
+                w.u64(d);
+        }
+        w.vec(free_warps);
+        pq.saveState(w);
+    };
+
+    if (resume) {
+        ladm_require(ckpt_ && ckpt_->restorePending(),
+                     "engine resume requested with no restore armed");
+        serial::Reader &r = ckpt_->reader();
+        r.openSection(snapshot::kEngine);
+        if (r.u8() != 0) {
+            throw SimError(
+                SimError::Kind::Config, "checkpoint state mismatch",
+                {{"checkpoint.engine", "sharded",
+                  "the checkpoint was written by the sharded PDES loop "
+                  "but this run resolves to the serial loop",
+                  "resume with the same --shards / --check / tracing "
+                  "setup that produced the checkpoint"}});
+        }
+        loadCumulative(r);
+        cur = r.u64();
+        stats.startCycle = r.u64();
+        stats.endCycle = r.u64();
+        stats.warpSteps = r.u64();
+        stats.sectorAccesses = r.u64();
+        stats.totalStepLatency = r.u64();
+        stats.maxStepLatency = r.u64();
+        r.vec(cursor);
+        r.vec(tb_warps_left);
+        const uint64_t num_sms = r.u64();
+        ladm_require(num_sms == sms.size(),
+                     "checkpoint SM count mismatch");
+        for (SmState &s : sms) {
+            s.residentTbs = static_cast<int>(r.u32());
+            s.freeWarpSlots = static_cast<int>(r.u32());
+        }
+        warps.resize(r.u64());
+        for (WarpState &ws : warps) {
+            ws.tb = r.i64();
+            ws.warpInTb = static_cast<int>(r.u32());
+            ws.sm = static_cast<SmId>(r.u32());
+            ws.step = r.i64();
+            for (Cycles &d : ws.doneRing)
+                d = r.u64();
+        }
+        r.vec(free_warps);
+        pq.loadState(r);
+        ckpt_->finishRestore();
+        ckpt_->noteResumed(cur);
+    } else {
+        for (SmId sm = 0; sm < cfg_.totalSms(); ++sm)
+            admit(sm, start);
+    }
 
     // No-progress watchdog (opt-in): a healthy kernel advances simulated
     // time within a bounded number of events (every warp's next wake-up
@@ -238,12 +388,19 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
     // retires combined with a zero gap spins here forever; the watchdog
     // turns that hang into a structured abort with the machine state.
     const uint64_t watchdog_limit = check_on ? check::watchdogLimit() : 0;
-    Cycles watchdog_time = start;
+    Cycles watchdog_time = cur;
     uint64_t watchdog_stuck = 0;
 
-    std::vector<MemAccess> buf;
     while (!pq.empty()) {
+        // Safe point: between two events the queue is consistent and no
+        // access is in flight. One untaken null check when
+        // checkpointing is off.
+        if (ckpt_ && ckpt_->pending(cur)) {
+            if (ckpt_->capture(cur, save_serial))
+                throw snapshot::Interrupted(ckpt_->outPath(), cur);
+        }
         const WarpEvent ev = pq.pop();
+        cur = ev.time;
         WarpState &w = warps[ev.warp];
 
         // Timeline sampling: event times are globally monotone, so one
@@ -260,6 +417,13 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
                 for (int n = 0; n < num_nodes; ++n) {
                     dispatched += cursor[n];
                     queued += node_queues[n].size();
+                }
+                if (ckpt_) {
+                    // Re-file the popped event so the dumped image is a
+                    // consistent safe point, then leave a replayable
+                    // post-mortem checkpoint beside the telemetry dump.
+                    pq.push(ev.time, ev.warp);
+                    ckpt_->postMortem(cur, save_serial);
                 }
                 throw InvariantViolation(
                     "engine made no progress for " +
@@ -382,6 +546,38 @@ KernelEngine::run(const LaunchDims &dims, TraceSource &trace,
     ++kernelsRun_;
     tbsDispatchedTotal_ += static_cast<uint64_t>(stats.tbCount);
     return stats;
+}
+
+void
+KernelEngine::saveCumulative(serial::Writer &w) const
+{
+    w.u64(kernelsRun_);
+    w.u64(warpStepsTotal_);
+    w.u64(sectorAccessesTotal_);
+    w.u64(tbsDispatchedTotal_);
+    w.u64(pdesWindows_);
+    w.u64(pdesDeferredOps_);
+    w.u64(pdesLateEvents_);
+    // Wall-clock observability; restored so the gauge stays monotone,
+    // but inherently not comparable across interrupted/uninterrupted
+    // runs (docs/robustness.md).
+    w.vec(pdesBarrierNs_);
+}
+
+void
+KernelEngine::loadCumulative(serial::Reader &r)
+{
+    kernelsRun_ = r.u64();
+    warpStepsTotal_ = r.u64();
+    sectorAccessesTotal_ = r.u64();
+    tbsDispatchedTotal_ = r.u64();
+    pdesWindows_ = r.u64();
+    pdesDeferredOps_ = r.u64();
+    pdesLateEvents_ = r.u64();
+    r.vec(pdesBarrierNs_);
+    // The barrier gauges index by original shard count; never let a
+    // (fingerprint-colliding) image change the vector's length.
+    pdesBarrierNs_.resize(static_cast<size_t>(maxShards_), 0);
 }
 
 } // namespace ladm

@@ -34,6 +34,15 @@ namespace obs
 {
 class Timeline;
 }
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+namespace snapshot
+{
+class Checkpointer;
+}
 
 /** Outcome of one kernel execution. */
 struct KernelRunStats
@@ -69,13 +78,18 @@ class KernelEngine
      *                     each shard thread needs its own instance
      *                     because warpStep() uses per-object scratch
      *                     buffers. With fewer instances than shards the
-     *                     engine silently runs the serial loop.
+     *                     engine runs the serial loop (and says so: see
+     *                     pdesFallback()).
+     * @param resume       restore mid-kernel loop state from the
+     *                     attached Checkpointer's kEngine section and
+     *                     continue instead of admitting from scratch
      */
     KernelRunStats run(const LaunchDims &dims, TraceSource &trace,
                        const std::vector<std::vector<TbId>> &node_queues,
                        Cycles start,
                        const std::vector<TraceSource *> &shard_traces =
-                           {});
+                           {},
+                       bool resume = false);
 
     /**
      * Shard count this engine was configured with (resolved, clamped to
@@ -99,7 +113,38 @@ class KernelEngine
      */
     void attachTimeline(obs::Timeline *t) { timeline_ = t; }
 
+    /**
+     * Arm checkpointing (null = off = one untaken null check per event).
+     * The engine polls Checkpointer::pending() at its safe points --
+     * between events serially, at the window-advance barrier sharded --
+     * and also dumps a post-mortem checkpoint when the watchdog fires.
+     */
+    void attachCheckpointer(snapshot::Checkpointer *c) { ckpt_ = c; }
+
+    /**
+     * Why the last run() with maxShards() > 1 used the serial loop
+     * instead of the sharded PDES loop (None = it ran sharded). The
+     * reason is also published as the "engine.pdes.fallback_reason"
+     * gauge and warned once per distinct reason, so a silently-serial
+     * run is diagnosable from its telemetry alone.
+     */
+    enum class PdesFallback : int
+    {
+        None = 0,
+        CheckSuite = 1,         ///< LADM_CHECK invariants force serial
+        Tracing = 2,            ///< event tracing is serial-only
+        MemoryIncompatible = 3, ///< see MemorySystem::shardIncompatibleReason
+        MissingShardTraces = 4, ///< caller supplied too few trace instances
+        ZeroLookahead = 5,      ///< config gives a zero conservative window
+    };
+
+    PdesFallback pdesFallback() const { return fallback_; }
+    /** Human-readable detail of the last fallback ("" when None). */
+    const std::string &pdesFallbackDetail() const { return fallbackDetail_; }
+
   private:
+    /** Record + publish a PDES->serial fallback (warns once per reason). */
+    void noteFallback(PdesFallback fb, const char *detail);
     /**
      * The sharded conservative-PDES event loop (sim/sharded_engine.cc):
      * one worker thread per shard, warps partitioned by NUMA node,
@@ -110,11 +155,17 @@ class KernelEngine
     KernelRunStats runSharded(
         const LaunchDims &dims, TraceSource &trace,
         const std::vector<TraceSource *> &shard_traces,
-        const std::vector<std::vector<TbId>> &node_queues, Cycles start);
+        const std::vector<std::vector<TbId>> &node_queues, Cycles start,
+        bool resume);
+
+    /** Cumulative counters shared by both loops (kEngine section). */
+    void saveCumulative(serial::Writer &w) const;
+    void loadCumulative(serial::Reader &r);
 
     const SystemConfig &cfg_;
     MemorySystem &mem_;
     obs::Timeline *timeline_ = nullptr;
+    snapshot::Checkpointer *ckpt_ = nullptr;
     /** nodeOfSm() hoisted into a table, built once per topology. */
     std::vector<NodeId> smNode_;
 
@@ -140,7 +191,15 @@ class KernelEngine
 
     /** Lives in the registry's "engine" group; null until registered. */
     Histogram *stepLatencyHist_ = nullptr;
+
+    /** Last run's PDES->serial fallback reason (satellite diagnostic). */
+    PdesFallback fallback_ = PdesFallback::None;
+    std::string fallbackDetail_;
+    /** Bitmask of reasons already warned about (warn once per reason). */
+    unsigned fallbackWarned_ = 0;
 };
+
+const char *toString(KernelEngine::PdesFallback fb);
 
 } // namespace ladm
 

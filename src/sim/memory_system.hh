@@ -157,6 +157,27 @@ class MemorySystem
                !obsLat_ && !obsHeat_;
     }
 
+    /**
+     * Name of the first feature blocking the sharded path, or nullptr
+     * when shardCompatible(). Drives the engine's structured fallback
+     * diagnostic so a silently-serial run is explainable.
+     */
+    const char *
+    shardIncompatibleReason() const
+    {
+        if (chipletFaults_)
+            return "fault injection (faultSpec)";
+        if (cfg_.pageMigration)
+            return "reactive page migration (pageMigration)";
+        if (host_)
+            return "host-memory oversubscription (hbmCapacityPerNode)";
+        if (obsLat_)
+            return "latency attribution observer (--obs-attribution)";
+        if (obsHeat_)
+            return "locality heatmap observer (--obs-heatmap)";
+        return nullptr;
+    }
+
     /** Set the L2 insertion policy for the next kernel (CRB decision). */
     void setInsertPolicy(L2InsertPolicy p) { policy_ = p; }
     L2InsertPolicy insertPolicy() const { return policy_; }
@@ -297,6 +318,15 @@ class MemorySystem
      * satisfy merges in the next one. Cache *contents* survive.
      */
     void resetStats();
+
+    /**
+     * Checkpoint the whole memory path -- page table, UVM, caches, DRAM
+     * channels, crossbars, fabric, MSHR tables, per-node counters
+     * (snapshot/component_state.cc). Must be called at an engine safe
+     * point (no access in flight).
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     /**

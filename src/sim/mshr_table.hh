@@ -38,6 +38,12 @@
 namespace ladm
 {
 
+namespace serial
+{
+class Writer;
+class Reader;
+} // namespace serial
+
 class MshrTable
 {
   public:
@@ -201,6 +207,10 @@ class MshrTable
         genBase_ = static_cast<uint64_t>(gen_) << kGenShift;
         size_ = 0;
     }
+
+    /** Checkpoint the slot array verbatim (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct Slot

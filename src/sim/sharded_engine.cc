@@ -47,6 +47,9 @@
 #include <limits>
 
 #include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/serial.hh"
+#include "common/sim_error.hh"
 #include "common/spin_barrier.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
@@ -55,6 +58,7 @@
 #include "sim/engine_internal.hh"
 #include "sim/event_queue.hh"
 #include "sim/kernel_engine.hh"
+#include "snapshot/snapshot.hh"
 
 namespace ladm
 {
@@ -130,7 +134,7 @@ KernelRunStats
 KernelEngine::runSharded(const LaunchDims &dims, TraceSource &trace,
                          const std::vector<TraceSource *> &shard_traces,
                          const std::vector<std::vector<TbId>> &node_queues,
-                         Cycles start)
+                         Cycles start, bool resume)
 {
     const int num_nodes = cfg_.numNodes();
     const int num_shards = maxShards_;
@@ -293,29 +297,146 @@ KernelEngine::runSharded(const LaunchDims &dims, TraceSource &trace,
         }
     };
 
-    // Serial setup: initial admission and the first window bound.
-    for (Lane &ln : lanes) {
-        for (size_t i = 0; i < ln.sms.size(); ++i)
-            admit(ln, ln.smLo + static_cast<SmId>(i), start);
-        if (!ln.pq.empty()) {
-            ln.held = ln.pq.pop();
-            ln.hasHeld = true;
+    // Shared window state: written only inside barrier serial sections,
+    // read by every shard after the release -- the barrier's ordering
+    // makes these plain fields race-free. Hoisted above the setup so
+    // the checkpoint lambdas below can capture it.
+    Cycles window_end = 0;
+    bool run_windows = false;
+
+    // Checkpoint image of the sharded loop, written only inside the
+    // window-advance barrier's serial section (serial_b): every lane is
+    // quiescent there -- resolve() cleared the waiters and the shard
+    // lane's deferred-op outbox, and re-normalized the held slot -- so
+    // per-lane state is closed. window_end is serialized post-advance:
+    // the restored run's next window must batch deferred ops exactly as
+    // the uninterrupted run's would.
+    auto save_sharded = [&](serial::Writer &w) {
+        w.u8(1); // loop kind: sharded PDES
+        saveCumulative(w);
+        w.u64(window_end);
+        w.vec(tb_warps_left);
+        w.u64(lanes.size());
+        for (const Lane &ln : lanes) {
+            w.u64(ln.cursor);
+            w.u8(ln.hasHeld ? 1 : 0);
+            w.u64(ln.held.time);
+            w.u32(ln.held.warp);
+            w.u64(ln.warps.size());
+            for (const WarpState &ws : ln.warps) {
+                w.i64(ws.tb);
+                w.u32(static_cast<uint32_t>(ws.warpInTb));
+                w.u32(static_cast<uint32_t>(ws.sm));
+                w.i64(ws.step);
+                for (const Cycles d : ws.doneRing)
+                    w.u64(d);
+            }
+            w.vec(ln.freeWarps);
+            w.u64(ln.sms.size());
+            for (const SmState &s : ln.sms) {
+                w.u32(static_cast<uint32_t>(s.residentTbs));
+                w.u32(static_cast<uint32_t>(s.freeWarpSlots));
+            }
+            w.u64(ln.warpSteps);
+            w.u64(ln.sectorAccesses);
+            w.u64(ln.totalStepLatency);
+            w.u64(ln.maxStepLatency);
+            w.u64(ln.endCycle);
+            w.u64(ln.lateEvents);
+            ln.hist.saveState(w);
+            ln.pq.saveState(w);
+        }
+    };
+
+    if (resume) {
+        ladm_require(ckpt_ && ckpt_->restorePending(),
+                     "engine resume requested with no restore armed");
+        serial::Reader &r = ckpt_->reader();
+        r.openSection(snapshot::kEngine);
+        if (r.u8() != 1) {
+            throw SimError(
+                SimError::Kind::Config, "checkpoint state mismatch",
+                {{"checkpoint.engine", "serial",
+                  "the checkpoint was written by the serial loop but "
+                  "this run resolves to the sharded PDES loop",
+                  "resume with the same --shards / --check / tracing "
+                  "setup that produced the checkpoint"}});
+        }
+        loadCumulative(r);
+        window_end = r.u64();
+        r.vec(tb_warps_left);
+        ladm_require(r.u64() == lanes.size(),
+                     "checkpoint lane count mismatch");
+        for (Lane &ln : lanes) {
+            ln.cursor = r.u64();
+            ln.hasHeld = r.u8() != 0;
+            ln.held.time = r.u64();
+            ln.held.warp = r.u32();
+            ln.warps.resize(r.u64());
+            for (WarpState &ws : ln.warps) {
+                ws.tb = r.i64();
+                ws.warpInTb = static_cast<int>(r.u32());
+                ws.sm = static_cast<SmId>(r.u32());
+                ws.step = r.i64();
+                for (Cycles &d : ws.doneRing)
+                    d = r.u64();
+            }
+            r.vec(ln.freeWarps);
+            ladm_require(r.u64() == ln.sms.size(),
+                         "checkpoint SM count mismatch");
+            for (SmState &s : ln.sms) {
+                s.residentTbs = static_cast<int>(r.u32());
+                s.freeWarpSlots = static_cast<int>(r.u32());
+            }
+            ln.warpSteps = r.u64();
+            ln.sectorAccesses = r.u64();
+            ln.totalStepLatency = r.u64();
+            ln.maxStepLatency = r.u64();
+            ln.endCycle = r.u64();
+            ln.lateEvents = r.u64();
+            ln.hist.loadState(r);
+            ln.pq.loadState(r);
+        }
+        ckpt_->finishRestore();
+        ckpt_->noteResumed(window_end);
+        // Mid-kernel checkpoints are only taken while events remain.
+        run_windows = true;
+    } else {
+        // Serial setup: initial admission and the first window bound.
+        for (Lane &ln : lanes) {
+            for (size_t i = 0; i < ln.sms.size(); ++i)
+                admit(ln, ln.smLo + static_cast<SmId>(i), start);
+            if (!ln.pq.empty()) {
+                ln.held = ln.pq.pop();
+                ln.hasHeld = true;
+            }
+        }
+        Cycles min_head = kNoEvent;
+        for (const Lane &ln : lanes)
+            min_head = std::min(min_head, ln.headTime());
+        if (min_head != kNoEvent) {
+            window_end = min_head + lookahead_;
+            run_windows = true;
         }
     }
 
-    const uint64_t ws_base = warpStepsTotal_;
-    const uint64_t sa_base = sectorAccessesTotal_;
-    const uint64_t late_base = pdesLateEvents_;
+    // The cumulative totals already include each restored lane's
+    // mid-kernel progress, so the bases subtract it back out (zero on a
+    // fresh run): serial_a re-derives the totals as base + lane sums.
+    uint64_t lane_ws = 0, lane_sa = 0, lane_late = 0;
+    for (const Lane &ln : lanes) {
+        lane_ws += ln.warpSteps;
+        lane_sa += ln.sectorAccesses;
+        lane_late += ln.lateEvents;
+    }
+    const uint64_t ws_base = warpStepsTotal_ - lane_ws;
+    const uint64_t sa_base = sectorAccessesTotal_ - lane_sa;
+    const uint64_t late_base = pdesLateEvents_ - lane_late;
 
-    Cycles min_head = kNoEvent;
-    for (const Lane &ln : lanes)
-        min_head = std::min(min_head, ln.headTime());
+    bool interrupted = false;
+    Cycles interrupted_at = 0;
 
-    if (min_head != kNoEvent) {
-        // Shared window state: written only inside barrier serial
-        // sections, read by every shard after the release -- the
-        // barrier's ordering makes these plain fields race-free.
-        Cycles window_end = min_head + lookahead_;
+    if (run_windows) {
         bool finished = false;
         std::vector<MemorySystem::ShardOp *> all_ops;
 
@@ -342,6 +463,11 @@ KernelEngine::runSharded(const LaunchDims &dims, TraceSource &trace,
         };
 
         auto serial_b = [&] {
+            // Checkpoint timestamp: the boundary the lanes just drained
+            // to. The serialized image still carries the *advanced*
+            // window_end computed below, so the restored run partitions
+            // deferred ops into the same windows as this one would.
+            const Cycles boundary = window_end;
             Cycles head = kNoEvent;
             uint64_t late = 0;
             for (const Lane &ln : lanes) {
@@ -353,6 +479,17 @@ KernelEngine::runSharded(const LaunchDims &dims, TraceSource &trace,
                 finished = true;
             else
                 window_end = std::max(window_end, head) + lookahead_;
+            if (ckpt_ && !finished && ckpt_->pending(boundary)) {
+                if (ckpt_->capture(boundary, save_sharded)) {
+                    // Stop requested: end the window loop on every
+                    // shard; the unwinding throw happens on the caller
+                    // thread after the pool drains (workers must not
+                    // throw).
+                    interrupted = true;
+                    interrupted_at = boundary;
+                    finished = true;
+                }
+            }
         };
 
         auto shardLoop = [&](int s) {
@@ -395,6 +532,9 @@ KernelEngine::runSharded(const LaunchDims &dims, TraceSource &trace,
         shardLoop(0);
         pool.wait();
     }
+
+    if (interrupted)
+        throw snapshot::Interrupted(ckpt_->outPath(), interrupted_at);
 
     for (const Lane &ln : lanes) {
         stats.warpSteps += ln.warpSteps;

@@ -1,0 +1,397 @@
+#include "snapshot/snapshot.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+#include "common/sim_error.hh"
+#include "config/system_config.hh"
+
+namespace ladm
+{
+namespace snapshot
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+stopHandler(int)
+{
+    g_stop = 1;
+}
+
+Cycles
+envCycles(const char *name)
+{
+    if (const char *v = std::getenv(name))
+        return static_cast<Cycles>(std::strtoull(v, nullptr, 10));
+    return 0;
+}
+
+Options
+optionsFromEnv()
+{
+    Options o;
+    o.every = envCycles("LADM_CHECKPOINT_EVERY");
+    if (const char *v = std::getenv("LADM_CHECKPOINT_OUT"))
+        if (*v)
+            o.out = v;
+    if (const char *v = std::getenv("LADM_RESUME"))
+        o.resume = v;
+    return o;
+}
+
+Options g_options = optionsFromEnv();
+bool g_handlersInstalled = false;
+
+// Run-sequencing state: each runExperiment call takes the next sequence
+// number; the checkpoint remembers which one it belongs to, so a
+// multi-experiment driver re-executes the (deterministic) earlier runs
+// and restores only into the matching one.
+std::mutex g_mu;
+uint32_t g_runSeq = 0;
+bool g_busy = false;
+bool g_busyWarned = false;
+bool g_resumeConsumed = false;
+std::shared_ptr<serial::Reader> g_reader;
+
+/** FNV-1a over raw bytes. */
+struct Fnv
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const uint8_t *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    }
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        bytes(&v, sizeof v);
+    }
+    void
+    str(const std::string &s)
+    {
+        pod(s.size());
+        bytes(s.data(), s.size());
+    }
+};
+
+} // namespace
+
+Interrupted::Interrupted(std::string path, Cycles cycle)
+    : path_(std::move(path)), cycle_(cycle)
+{
+    what_ = "run stopped at cycle " + std::to_string(cycle_) +
+            "; checkpoint written to " + path_ +
+            " (resume with --resume " + path_ + ")";
+}
+
+uint64_t
+configFingerprint(const SystemConfig &c)
+{
+    Fnv f;
+    f.str(c.name);
+    f.pod(c.numGpus);
+    f.pod(c.chipletsPerGpu);
+    f.pod(c.smsPerChiplet);
+    f.pod(c.topology);
+    f.pod(c.clockGhz);
+    f.pod(c.warpSize);
+    f.pod(c.warpSlotsPerSm);
+    f.pod(c.maxResidentTbsPerSm);
+    f.pod(c.computeGapCycles);
+    f.pod(c.warpPipelineDepth);
+    f.pod(c.engineCalendarQueue);
+    f.pod(c.resolvedShards());
+    f.pod(c.l1SizePerSm);
+    f.pod(c.l1Assoc);
+    f.pod(c.l1LatencyCycles);
+    f.pod(c.l2SizePerChiplet);
+    f.pod(c.l2Assoc);
+    f.pod(c.l2BanksPerChiplet);
+    f.pod(c.l2LatencyCycles);
+    f.pod(c.remoteCachingL2);
+    f.pod(c.pageSize);
+    f.pod(c.memBwPerChipletGBs);
+    f.pod(c.dramLatencyCycles);
+    f.pod(c.dramChannelsPerChiplet);
+    f.pod(c.pageMigration);
+    f.pod(c.migrationThreshold);
+    f.pod(c.migrationLatencyCycles);
+    f.pod(c.flushL2BetweenKernels);
+    f.pod(c.hbmCapacityPerNode);
+    f.pod(c.hostLinkGBs);
+    f.pod(c.hostFaultCycles);
+    f.pod(c.intraChipletXbarGBs);
+    f.pod(c.interChipletRingGBs);
+    f.pod(c.interGpuLinkGBs);
+    f.pod(c.monolithicXbarGBs);
+    f.pod(c.ringHopLatencyCycles);
+    f.pod(c.switchLatencyCycles);
+    f.pod(c.pageFaultCycles);
+    f.pod(c.uvmFirstTouchInterleave);
+    f.str(c.faultSpec);
+    f.pod(c.faultDegradation);
+    return f.h;
+}
+
+Options &
+options()
+{
+    return g_options;
+}
+
+bool
+stopRequested()
+{
+    return g_stop != 0;
+}
+
+void
+requestStop()
+{
+    g_stop = 1;
+}
+
+void
+clearStopRequest()
+{
+    g_stop = 0;
+}
+
+void
+installSignalHandlers()
+{
+    if (g_handlersInstalled)
+        return;
+    g_handlersInstalled = true;
+    std::signal(SIGINT, stopHandler);
+    std::signal(SIGTERM, stopHandler);
+}
+
+void
+resetForTest()
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_options = Options{};
+    g_runSeq = 0;
+    g_busy = false;
+    g_busyWarned = false;
+    g_resumeConsumed = false;
+    g_reader.reset();
+    g_stop = 0;
+}
+
+void
+parseArgs(int &argc, char **argv)
+{
+    Options &o = g_options;
+    int w = 1;
+    auto value = [&](int &i, const char *flag,
+                     std::string &out) -> bool {
+        const size_t len = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, len) != 0)
+            return false;
+        if (argv[i][len] == '=') {
+            out = argv[i] + len + 1;
+            return true;
+        }
+        if (argv[i][len] == '\0' && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (value(i, "--checkpoint-every", v)) {
+            o.every = static_cast<Cycles>(
+                std::strtoull(v.c_str(), nullptr, 10));
+            continue;
+        }
+        if (value(i, "--checkpoint-out", v)) {
+            o.out = v;
+            continue;
+        }
+        if (value(i, "--resume", v)) {
+            o.resume = v;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    if (o.active())
+        installSignalHandlers();
+}
+
+int
+runMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const Interrupted &e) {
+        std::fprintf(stderr, "ladm: %s\n", e.what());
+        return kExitCheckpointed;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "%s", e.report().c_str());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
+
+void
+requireCheckpointable(const SystemConfig &cfg,
+                      const TelemetryOptions &topts)
+{
+    auto refuse = [](const std::string &field, const std::string &value,
+                     const std::string &hint) {
+        throw SimError(
+            SimError::Kind::Config,
+            "configuration not checkpointable",
+            {{field, value,
+              "checkpointing does not serialize this feature's state",
+              hint}});
+    };
+    if (topts.traceEnabled()) {
+        refuse("telemetry.traceOutPath", topts.traceOutPath,
+               "drop --trace-out, or run without --checkpoint-every");
+    }
+    if (topts.obsAttribution || topts.obsHeatmap) {
+        refuse("telemetry.obs",
+               topts.obsAttribution ? "attribution" : "heatmap",
+               "drop --obs-attribution/--obs-heatmap, or run without "
+               "--checkpoint-every");
+    }
+    if (cfg.hbmCapacityPerNode != 0) {
+        refuse("system.hbmCapacityPerNode",
+               std::to_string(cfg.hbmCapacityPerNode),
+               "the host-memory FIFO model is not serialized; set "
+               "hbmCapacityPerNode=0 or run without checkpointing");
+    }
+}
+
+Checkpointer::Checkpointer(std::string out, Cycles every, Cycles stop_at,
+                           uint64_t fingerprint, uint32_t seq)
+    : out_(std::move(out)), every_(every), nextAt_(every), stopAt_(stop_at),
+      fingerprint_(fingerprint), seq_(seq)
+{
+}
+
+Checkpointer::~Checkpointer()
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_busy = false;
+}
+
+bool
+Checkpointer::capture(Cycles now,
+                      const std::function<void(serial::Writer &)> &engine)
+{
+    writeTo(out_, now, engine);
+    if (every_ != 0) {
+        // Period from the capture cycle, not a fixed grid: a resumed
+        // run re-schedules identically because nextAt_ never persists.
+        nextAt_ = now + every_;
+    }
+    return stopRequested() || (stopAt_ != 0 && now >= stopAt_);
+}
+
+void
+Checkpointer::postMortem(
+    Cycles now, const std::function<void(serial::Writer &)> &engine)
+{
+    const std::string path = out_ + ".postmortem";
+    writeTo(path, now, engine);
+    ladm_warn("watchdog checkpoint written to ", path,
+              "; replay with --resume ", path, " --check");
+}
+
+void
+Checkpointer::writeTo(const std::string &path, Cycles now,
+                      const std::function<void(serial::Writer &)> &engine)
+{
+    serial::Writer w;
+    w.beginSection(kMeta);
+    w.u32(seq_);
+    w.u64(now);
+    w.endSection();
+    if (ctx_)
+        ctx_(w);
+    w.beginSection(kEngine);
+    engine(w);
+    w.endSection();
+    atomicWriteBytes(path, w.finish(fingerprint_));
+}
+
+std::unique_ptr<Checkpointer>
+makeRunCheckpointer(const SystemConfig &cfg)
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    const Options &o = g_options;
+    if (!o.active())
+        return nullptr;
+    if (g_busy) {
+        // One checkpoint stream per process: concurrent sweep workers
+        // would interleave writes into the same file.
+        if (!g_busyWarned) {
+            g_busyWarned = true;
+            ladm_warn("checkpointing covers one run at a time; "
+                      "concurrent runs proceed without it");
+        }
+        return nullptr;
+    }
+    const uint32_t seq = g_runSeq++;
+    const uint64_t fingerprint = configFingerprint(cfg);
+    // Validate the resume image before constructing the Checkpointer:
+    // ~Checkpointer re-locks g_mu, so letting a throw unwind a live
+    // Checkpointer inside this locked scope would self-deadlock.
+    std::shared_ptr<serial::Reader> restore;
+    if (!o.resume.empty() && !g_resumeConsumed) {
+        if (!g_reader) {
+            g_reader = std::make_shared<serial::Reader>(
+                serial::Reader::fromFile(o.resume));
+        }
+        g_reader->openSection(kMeta);
+        const uint32_t ck_seq = g_reader->u32();
+        if (ck_seq == seq) {
+            if (g_reader->fingerprint() != fingerprint) {
+                throw SimError(
+                    SimError::Kind::Config,
+                    "checkpoint does not match this configuration",
+                    {{"checkpoint.fingerprint", o.resume,
+                      "the SystemConfig of the resuming run must hash "
+                      "identically to the checkpointed one",
+                      "resume with the exact command line / config "
+                      "that produced the checkpoint"}});
+            }
+            restore = g_reader;
+            g_resumeConsumed = true;
+        }
+    }
+    auto ck = std::make_unique<Checkpointer>(o.out, o.every, o.testStopAt,
+                                             fingerprint, seq);
+    if (restore)
+        ck->armRestore(restore, -1);
+    g_busy = true;
+    return ck;
+}
+
+} // namespace snapshot
+} // namespace ladm

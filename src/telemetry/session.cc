@@ -1,9 +1,10 @@
 #include "telemetry/session.hh"
 
 #include <cstdlib>
-#include <fstream>
+#include <functional>
 #include <iostream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "telemetry/exporters.hh"
 #include "telemetry/json_writer.hh"
@@ -127,21 +128,22 @@ Session::writeStatsJson(std::ostream &os) const
 namespace
 {
 
-/** Open @p path for writing, "-" meaning stdout; warn on failure. */
-bool
-openSink(const std::string &path, std::ofstream &file, std::ostream *&os)
+/**
+ * Publish one sink: "-" streams to stdout, anything else goes through
+ * the shared write-temp/fsync/rename path (common/atomic_file.hh) so a
+ * kill mid-finalize leaves either the previous complete file or the new
+ * complete file -- never a torn prefix a downstream parser chokes on.
+ * atomicWriteFile warns (path + errno) on failure.
+ */
+void
+writeSink(const std::string &path,
+          const std::function<void(std::ostream &)> &fill)
 {
     if (path == "-") {
-        os = &std::cout;
-        return true;
+        fill(std::cout);
+        return;
     }
-    file.open(path);
-    if (!file) {
-        ladm_warn("telemetry: cannot open sink '", path, "'");
-        return false;
-    }
-    os = &file;
-    return true;
+    atomicWriteFile(path, fill);
 }
 
 } // namespace
@@ -154,44 +156,37 @@ Session::finalize()
     finalized_ = true;
 
     if (!opts_.statsJsonPath.empty()) {
-        std::ofstream f;
-        std::ostream *os = nullptr;
-        if (openSink(opts_.statsJsonPath, f, os))
-            writeStatsJson(*os);
+        writeSink(opts_.statsJsonPath,
+                  [this](std::ostream &os) { writeStatsJson(os); });
     }
     if (!opts_.statsCsvPath.empty()) {
-        std::ofstream f;
-        std::ostream *os = nullptr;
-        if (openSink(opts_.statsCsvPath, f, os)) {
-            *os << "run,workload,policy,path,kind,value\n";
+        writeSink(opts_.statsCsvPath, [this](std::ostream &os) {
+            os << "run,workload,policy,path,kind,value\n";
             for (size_t i = 0; i < runs_.size(); ++i) {
                 const RunRecord &r = runs_[i];
                 for (const auto &[path, s] : r.final.values) {
-                    *os << i << ',' << r.workload << ',' << r.policy
-                        << ',' << path << ',' << toString(s.kind) << ','
-                        << s.value << "\n";
+                    os << i << ',' << r.workload << ',' << r.policy
+                       << ',' << path << ',' << toString(s.kind) << ','
+                       << s.value << "\n";
                 }
             }
-        }
+        });
     }
     if (!opts_.statsTextPath.empty()) {
-        std::ofstream f;
-        std::ostream *os = nullptr;
-        if (openSink(opts_.statsTextPath, f, os)) {
+        writeSink(opts_.statsTextPath, [this](std::ostream &os) {
             for (const RunRecord &r : runs_) {
-                *os << "=== " << r.workload << " / " << r.policy << " / "
-                    << r.system << " (" << r.cycles << " cycles) ===\n";
-                exportText(*os, r.final);
+                os << "=== " << r.workload << " / " << r.policy << " / "
+                   << r.system << " (" << r.cycles << " cycles) ===\n";
+                exportText(os, r.final);
             }
             if (!profiler_.empty())
-                profiler_.report(*os);
-        }
+                profiler_.report(os);
+        });
     }
     if (opts_.timelineEnabled()) {
-        std::ofstream f;
-        std::ostream *os = nullptr;
-        if (openSink(opts_.timelineOutPath, f, os))
-            obs::writeObservationsJson(*os, observations_);
+        writeSink(opts_.timelineOutPath, [this](std::ostream &os) {
+            obs::writeObservationsJson(os, observations_);
+        });
         // A flat CSV of the windows lands alongside the JSON (plotting
         // tools want columns, not nested documents). Stdout gets JSON
         // only.
@@ -204,29 +199,25 @@ Session::finalize()
                 csv_path.resize(csv_path.size() - suffix.size());
             }
             csv_path += ".csv";
-            std::ofstream cf;
-            std::ostream *cos = nullptr;
-            if (openSink(csv_path, cf, cos))
-                obs::writeObservationsCsv(*cos, observations_);
+            writeSink(csv_path, [this](std::ostream &os) {
+                obs::writeObservationsCsv(os, observations_);
+            });
         }
     }
     if (opts_.traceEnabled()) {
-        std::ofstream f;
-        std::ostream *os = nullptr;
-        if (openSink(opts_.traceOutPath, f, os)) {
-            tracer_.write(*os);
-            if (tracer_.droppedEvents() > 0) {
-                // One line, with the knobs to turn: a silently truncated
-                // timeline is worse than a noisy one.
-                ladm_warn("telemetry: trace dropped ",
-                          tracer_.droppedEvents(),
-                          " events past the cap; raise --trace-max-events"
-                          " (currently ",
-                          opts_.traceMaxEvents,
-                          ") or thin harder with --trace-sample"
-                          " (currently 1-in-",
-                          opts_.traceSampleEvery, ")");
-            }
+        writeSink(opts_.traceOutPath,
+                  [this](std::ostream &os) { tracer_.write(os); });
+        if (tracer_.droppedEvents() > 0) {
+            // One line, with the knobs to turn: a silently truncated
+            // timeline is worse than a noisy one.
+            ladm_warn("telemetry: trace dropped ",
+                      tracer_.droppedEvents(),
+                      " events past the cap; raise --trace-max-events"
+                      " (currently ",
+                      opts_.traceMaxEvents,
+                      ") or thin harder with --trace-sample"
+                      " (currently 1-in-",
+                      opts_.traceSampleEvery, ")");
         }
     }
     if (std::getenv("LADM_PROFILE") && !profiler_.empty())

@@ -52,6 +52,10 @@ class Snapshot
     std::optional<double> value(const std::string &path) const;
 
     bool empty() const { return values.empty(); }
+
+    /** Checkpoint support (snapshot/component_state.cc). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 };
 
 class StatRegistry
@@ -114,6 +118,14 @@ class StatRegistry
 
     size_t numGroups() const { return groups_.size(); }
     size_t numGauges() const { return gauges_.size(); }
+
+    /**
+     * Checkpoint every eager StatGroup (snapshot/component_state.cc).
+     * Gauges/formulas are pull-based closures over live component state
+     * and restore through their owners, not here.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct GaugeEntry

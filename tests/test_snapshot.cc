@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Tests for ladm::snapshot (checkpoint/resume), the atomic-sink layer,
+ * the resumable sweep journal, and the PDES fallback diagnostic.
+ *
+ * The load-bearing suite is the kill-and-resume differential: a run
+ * deterministically "killed" at cycle N (Options::testStopAt stands in
+ * for SIGTERM at the engine's safe point), then resumed from the
+ * flushed checkpoint, must be bit-identical -- every metric, every
+ * registry counter in the CSV sink -- to the uninterrupted reference.
+ * Covered for a regular workload (VecAdd) and an irregular one
+ * (PageRank), in the serial loop and the sharded PDES loop, and across
+ * a multi-launch experiment.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+
+#include "check/invariants.hh"
+#include "common/atomic_file.hh"
+#include "common/rng.hh"
+#include "common/serial.hh"
+#include "common/sim_error.hh"
+#include "config/presets.hh"
+#include "core/experiment.hh"
+#include "core/sweep_journal.hh"
+#include "sched/kernel_wide.hh"
+#include "sim/gpu_system.hh"
+#include "snapshot/snapshot.hh"
+#include "telemetry/json_reader.hh"
+#include "telemetry/session.hh"
+#include "workloads/registry.hh"
+
+namespace ladm
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * Registry lines that report host wall-clock (PDES barrier waits) are
+ * real time, not simulated time: they legitimately differ between an
+ * interrupted-and-resumed run and an uninterrupted one, so the
+ * bit-identical comparison drops them (see docs/robustness.md).
+ */
+std::string
+dropWallClockLines(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("barrier_wait_ns") == std::string::npos)
+            out << line << '\n';
+    }
+    return out.str();
+}
+
+class SnapshotTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        snapshot::resetForTest();
+        telemetry::session().resetForTest();
+        ::unsetenv("LADM_SHARDS");
+        ::unsetenv("LADM_CHECKPOINT_EVERY");
+        ::unsetenv("LADM_RESUME");
+    }
+    void
+    TearDown() override
+    {
+        snapshot::resetForTest();
+        telemetry::session().resetForTest();
+    }
+};
+
+RunMetrics
+runOnce(const char *workload, int shards, double scale, int launches = 1)
+{
+    SystemConfig cfg = presets::multiGpu4x4();
+    cfg.shards = shards;
+    auto w = workloads::makeWorkload(workload, scale);
+    return runExperiment(*w, Policy::Ladm, cfg, launches);
+}
+
+/**
+ * The differential: reference run, killed run, resumed run; the resumed
+ * metrics and the full registry CSV must match the reference byte for
+ * byte (modulo wall-clock gauges).
+ *
+ * @param stop_at deterministic kill cycle; 0 = half the reference run.
+ *                Note the stop fires at the engine's *event-time* safe
+ *                points: single-step kernels (VecAdd) keep all event
+ *                times near launch even though completions run long, so
+ *                they need an explicitly early stop.
+ */
+void
+expectResumeIdentical(const char *workload, int shards, double scale,
+                      int launches = 1, Cycles stop_at = 0)
+{
+    const std::string ckpt = tmpPath("resume.ckpt");
+    const std::string ref_csv = tmpPath("ref.csv");
+    const std::string res_csv = tmpPath("res.csv");
+
+    // Uninterrupted reference, with the CSV sink armed so the whole
+    // stat tree lands in a comparable file.
+    TelemetryOptions topts;
+    topts.statsCsvPath = ref_csv;
+    telemetry::session().configure(topts);
+    const RunMetrics ref = runOnce(workload, shards, scale, launches);
+    telemetry::session().finalize();
+    telemetry::session().resetForTest();
+    if (stop_at == 0)
+        stop_at = ref.cycles / 2;
+    ASSERT_GT(ref.cycles, stop_at) << "workload too small to interrupt";
+
+    // Killed run: stop deterministically at the first safe point at or
+    // after stop_at. runExperiment dies with Interrupted after the
+    // final checkpoint is flushed.
+    snapshot::resetForTest();
+    snapshot::options().out = ckpt;
+    snapshot::options().testStopAt = stop_at;
+    bool interrupted = false;
+    try {
+        runOnce(workload, shards, scale, launches);
+    } catch (const snapshot::Interrupted &e) {
+        interrupted = true;
+        EXPECT_EQ(e.path(), ckpt);
+        EXPECT_GE(e.cycle(), stop_at);
+        EXPECT_LT(e.cycle(), ref.cycles);
+    }
+    ASSERT_TRUE(interrupted) << "testStopAt never fired";
+
+    // Resumed run: restores the checkpoint and completes.
+    snapshot::resetForTest();
+    snapshot::options().resume = ckpt;
+    topts.statsCsvPath = res_csv;
+    telemetry::session().configure(topts);
+    const RunMetrics res = runOnce(workload, shards, scale, launches);
+    telemetry::session().finalize();
+    telemetry::session().resetForTest();
+
+    // Bit-identical: the one-row metrics and the whole registry.
+    EXPECT_EQ(csvRow(ref), csvRow(res));
+    EXPECT_EQ(dropWallClockLines(slurp(ref_csv)),
+              dropWallClockLines(slurp(res_csv)));
+}
+
+TEST_F(SnapshotTest, ResumeIdenticalVecAddSerial)
+{
+    // VecAdd warps are single-step, so every event time sits at the
+    // first compute gap; stop there (mid-kernel: the step-0 wave has
+    // executed, the retire wave has not).
+    expectResumeIdentical("VecAdd", 1, 0.25, 1, /*stop_at=*/2);
+}
+
+TEST_F(SnapshotTest, ResumeIdenticalConvSharded)
+{
+    // Regular multi-step workload under the sharded PDES loop: the
+    // window barrier is the safe point. (Sharded VecAdd completes
+    // inside one conservative window, so it has no mid-kernel barrier
+    // to stop at -- CONV is the regular workload with enough steps.)
+    expectResumeIdentical("CONV", 4, 0.2);
+}
+
+TEST_F(SnapshotTest, ResumeIdenticalPageRankSerial)
+{
+    expectResumeIdentical("PageRank", 1, 0.1);
+}
+
+TEST_F(SnapshotTest, ResumeIdenticalPageRankSharded)
+{
+    expectResumeIdentical("PageRank", 4, 0.1);
+}
+
+TEST_F(SnapshotTest, ResumeIdenticalMultiLaunch)
+{
+    // Half of a three-launch experiment lands inside a later launch:
+    // the restore replays completed launches host-side and resumes the
+    // in-flight one.
+    expectResumeIdentical("VecAdd", 1, 0.25, /*launches=*/3);
+}
+
+// --- format-level behaviour ------------------------------------------------
+
+TEST_F(SnapshotTest, SerialRoundTrip)
+{
+    serial::Writer w;
+    w.beginSection(7);
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.f64(3.14159);
+    w.str("hello checkpoint");
+    std::vector<uint64_t> v{1, 2, 3, 5, 8};
+    w.vec(v);
+    w.endSection();
+    w.beginSection(9);
+    w.u64(99);
+    w.endSection();
+
+    serial::Reader r(w.finish(0x1122334455667788ull));
+    EXPECT_EQ(r.fingerprint(), 0x1122334455667788ull);
+    EXPECT_TRUE(r.hasSection(7));
+    EXPECT_TRUE(r.hasSection(9));
+    EXPECT_FALSE(r.hasSection(8));
+    // Sections open in any order.
+    r.openSection(9);
+    EXPECT_EQ(r.u64(), 99u);
+    r.openSection(7);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "hello checkpoint");
+    std::vector<uint64_t> v2;
+    r.vec(v2);
+    EXPECT_EQ(v2, v);
+}
+
+TEST_F(SnapshotTest, ReaderRejectsCorruptedSection)
+{
+    serial::Writer w;
+    w.beginSection(1);
+    for (int i = 0; i < 64; ++i)
+        w.u64(static_cast<uint64_t>(i));
+    w.endSection();
+    std::string image = w.finish(7);
+    image[image.size() / 2] ^= 0x40; // flip one payload bit
+    EXPECT_THROW({ serial::Reader r(std::move(image)); }, SimError);
+}
+
+TEST_F(SnapshotTest, CorruptedCheckpointFailsRecoverably)
+{
+    const std::string ckpt = tmpPath("corrupt.ckpt");
+    snapshot::options().out = ckpt;
+    snapshot::options().testStopAt = 2; // VecAdd events all sit early
+    EXPECT_THROW(runOnce("VecAdd", 1, 0.2), snapshot::Interrupted);
+
+    std::string image = slurp(ckpt);
+    ASSERT_FALSE(image.empty());
+    image[image.size() / 2] ^= 0x01;
+    {
+        std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+        out << image;
+    }
+
+    // A bit-flipped checkpoint surfaces as a recoverable SimError (CRC
+    // mismatch), never as garbage state or a crash.
+    snapshot::resetForTest();
+    snapshot::options().resume = ckpt;
+    EXPECT_THROW(runOnce("VecAdd", 1, 0.2), SimError);
+}
+
+TEST_F(SnapshotTest, FingerprintMismatchRefused)
+{
+    const std::string ckpt = tmpPath("fp.ckpt");
+    snapshot::options().out = ckpt;
+    snapshot::options().testStopAt = 2; // VecAdd events all sit early
+    EXPECT_THROW(runOnce("VecAdd", 1, 0.2), snapshot::Interrupted);
+
+    // Same workload, different machine: the restore must refuse.
+    snapshot::resetForTest();
+    snapshot::options().resume = ckpt;
+    SystemConfig other = presets::multiGpu4x4();
+    other.l2SizePerChiplet *= 2;
+    auto w = workloads::makeWorkload("VecAdd", 0.2);
+    EXPECT_THROW(runExperiment(*w, Policy::Ladm, other), SimError);
+}
+
+TEST_F(SnapshotTest, RequireCheckpointableRefusesTracing)
+{
+    TelemetryOptions topts;
+    topts.traceOutPath = "trace.json";
+    SystemConfig cfg = presets::multiGpu4x4();
+    EXPECT_THROW(snapshot::requireCheckpointable(cfg, topts), SimError);
+    topts = TelemetryOptions{};
+    topts.obsHeatmap = true;
+    EXPECT_THROW(snapshot::requireCheckpointable(cfg, topts), SimError);
+    topts = TelemetryOptions{};
+    cfg.hbmCapacityPerNode = 1 << 20;
+    EXPECT_THROW(snapshot::requireCheckpointable(cfg, topts), SimError);
+}
+
+TEST_F(SnapshotTest, RunMainMapsInterruptedToExitCode)
+{
+    const int rc = snapshot::runMain([]() -> int {
+        throw snapshot::Interrupted("x.ckpt", 123);
+    });
+    EXPECT_EQ(rc, snapshot::kExitCheckpointed);
+}
+
+TEST_F(SnapshotTest, ParseArgsStripsFlags)
+{
+    const char *raw[] = {"prog", "--checkpoint-every", "5000",
+                         "--checkpoint-out=a.ckpt", "--resume", "b.ckpt",
+                         "--keep-me", nullptr};
+    char *argv[8];
+    for (int i = 0; i < 7; ++i)
+        argv[i] = const_cast<char *>(raw[i]);
+    argv[7] = nullptr;
+    int argc = 7;
+    snapshot::parseArgs(argc, argv);
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "--keep-me");
+    EXPECT_EQ(snapshot::options().every, 5000u);
+    EXPECT_EQ(snapshot::options().out, "a.ckpt");
+    EXPECT_EQ(snapshot::options().resume, "b.ckpt");
+}
+
+TEST_F(SnapshotTest, RngStateRoundTrip)
+{
+    Rng a(12345);
+    for (int i = 0; i < 100; ++i)
+        a.next();
+    serial::Writer w;
+    w.beginSection(1);
+    a.saveState(w);
+    w.endSection();
+    const uint64_t expect0 = a.next();
+    const uint64_t expect1 = a.next();
+
+    serial::Reader r(w.finish(0));
+    r.openSection(1);
+    Rng b(1); // different seed; loadState must fully overwrite
+    b.loadState(r);
+    EXPECT_EQ(b.next(), expect0);
+    EXPECT_EQ(b.next(), expect1);
+}
+
+// --- atomic sinks ----------------------------------------------------------
+
+TEST_F(SnapshotTest, AtomicSinkParsesAfterSimulatedTornWrite)
+{
+    const std::string sink = tmpPath("stats.json");
+
+    // Simulate a previous process killed mid-write: a torn temp file
+    // next to the destination. Publication must ignore it and the
+    // final document must parse.
+    {
+        std::ofstream torn(sink + ".tmp.99999");
+        torn << "{\"schema\": \"ladm-stats-v1\", \"runs\": [{\"trunc";
+    }
+
+    TelemetryOptions topts;
+    topts.statsJsonPath = sink;
+    telemetry::session().configure(topts);
+    (void)runOnce("VecAdd", 1, 0.1);
+    telemetry::session().finalize();
+
+    telemetry::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(telemetry::parseJson(slurp(sink), doc, &err)) << err;
+    EXPECT_EQ(doc.get("generator").asString(), "ladm");
+    EXPECT_EQ(doc.get("runs").items().size(), 1u);
+}
+
+TEST_F(SnapshotTest, AtomicWriteReplacesNotAppends)
+{
+    const std::string path = tmpPath("atomic.txt");
+    ASSERT_TRUE(atomicWriteBytes(path, "first version, long content\n"));
+    ASSERT_TRUE(atomicWriteBytes(path, "second\n"));
+    EXPECT_EQ(slurp(path), "second\n");
+}
+
+// --- PDES fallback diagnostic ----------------------------------------------
+
+class TinyTrace : public TraceSource
+{
+  public:
+    bool
+    warpStep(TbId tb, int, int64_t step,
+             std::vector<MemAccess> &out) override
+    {
+        if (step >= 4)
+            return false;
+        out.push_back({static_cast<Addr>(tb) * 4096 +
+                           static_cast<Addr>(step) * 32,
+                       false});
+        return true;
+    }
+};
+
+TEST_F(SnapshotTest, PdesFallbackDiagnosticForFaultedShardedConfig)
+{
+    // --shards 4 plus fault injection: the engine must fall back to the
+    // serial loop AND say so -- via the accessor, the published gauge,
+    // and a human-readable detail naming the blocking feature.
+    SystemConfig cfg = presets::multiGpu4x4();
+    cfg.shards = 4;
+    cfg.faultSpec = "chiplet:5:fail@0";
+    GpuSystem sys(cfg);
+    ASSERT_EQ(sys.engineShards(), 4);
+    sys.mem().pageTable().place(0, 1ull << 26, 0);
+
+    LaunchDims dims;
+    dims.grid = {32, 1};
+    dims.block = {128, 1};
+    KernelWideScheduler sched;
+    TinyTrace trace;
+    sys.runKernel(dims, trace, sched.assign(dims, cfg),
+                  L2InsertPolicy::RTwice);
+
+    EXPECT_EQ(sys.engine().pdesFallback(),
+              KernelEngine::PdesFallback::MemoryIncompatible);
+    EXPECT_NE(sys.engine().pdesFallbackDetail().find("fault"),
+              std::string::npos);
+    EXPECT_EQ(
+        sys.registry().value("engine.pdes.fallback_reason").value_or(-1.0),
+        3.0);
+}
+
+TEST_F(SnapshotTest, PdesNoFallbackPublishesNone)
+{
+    SystemConfig cfg = presets::multiGpu4x4();
+    cfg.shards = 2;
+    const RunMetrics m = runOnce("VecAdd", 2, 0.1);
+    EXPECT_GT(m.cycles, 0u);
+}
+
+// --- watchdog post-mortem --------------------------------------------------
+
+/** Never retires, never touches memory: spins at one simulated cycle. */
+class HangingTrace : public TraceSource
+{
+  public:
+    bool
+    warpStep(TbId, int, int64_t, std::vector<MemAccess> &) override
+    {
+        return true;
+    }
+};
+
+TEST_F(SnapshotTest, WatchdogDumpsReplayableCheckpoint)
+{
+    check::ScopedEnable on;
+    const uint64_t saved = check::watchdogLimit();
+    check::setWatchdogLimit(10'000);
+
+    const std::string ckpt = tmpPath("hung.ckpt");
+    snapshot::options().out = ckpt;
+    snapshot::options().every = 1u << 30; // armed, but never periodic
+
+    SystemConfig cfg = presets::monolithic256();
+    cfg.computeGapCycles = 0;
+    auto chk = snapshot::makeRunCheckpointer(cfg);
+    ASSERT_NE(chk, nullptr);
+
+    GpuSystem sys(cfg);
+    sys.attachCheckpointer(chk.get());
+    sys.mem().pageTable().place(0, 1ull << 30, 0);
+    HangingTrace trace;
+    LaunchDims dims;
+    dims.grid = {1, 1};
+    dims.block = {32, 1};
+    KernelWideScheduler sched;
+    EXPECT_THROW(sys.runKernel(dims, trace, sched.assign(dims, cfg),
+                               L2InsertPolicy::RTwice),
+                 InvariantViolation);
+    check::setWatchdogLimit(saved);
+
+    // The hang left a complete, valid checkpoint behind for offline
+    // replay with --resume <path>.postmortem --check.
+    const std::string pm = slurp(ckpt + ".postmortem");
+    ASSERT_FALSE(pm.empty());
+    serial::Reader r(pm);
+    EXPECT_TRUE(r.hasSection(snapshot::kMeta));
+    EXPECT_TRUE(r.hasSection(snapshot::kEngine));
+}
+
+// --- resumable sweep journal ------------------------------------------------
+
+TEST_F(SnapshotTest, SweepJournalReplaysCompletedCells)
+{
+    const std::string jnl = tmpPath("sweep.jnl");
+    std::remove(jnl.c_str());
+
+    std::vector<core::SweepCell> cells;
+    {
+        core::SweepCell c;
+        c.workload = "VecAdd";
+        c.policy = Policy::Ladm;
+        c.cfg = presets::multiGpu4x4();
+        c.scale = 0.1;
+        cells.push_back(c);
+        c.policy = Policy::Coda;
+        cells.push_back(c);
+    }
+
+    core::setSweepJournalPath(jnl);
+    const auto first = core::runSweep(cells, 1);
+    ASSERT_EQ(first.size(), 2u);
+
+    // Re-running the same grid replays both cells from the journal,
+    // byte-identically.
+    core::setSweepJournalPath(jnl);
+    const auto second = core::runSweep(cells, 1);
+    ASSERT_EQ(second.size(), 2u);
+    EXPECT_EQ(csvRow(first[0]), csvRow(second[0]));
+    EXPECT_EQ(csvRow(first[1]), csvRow(second[1]));
+
+    core::SweepJournal replay(jnl);
+    EXPECT_EQ(replay.completedReplayed(), 2u);
+    EXPECT_EQ(replay.inFlightReplayed(), 0u);
+    core::setSweepJournalPath("");
+}
+
+TEST_F(SnapshotTest, SweepJournalRequeuesInFlightAndTornLines)
+{
+    const std::string jnl = tmpPath("sweep_torn.jnl");
+    std::remove(jnl.c_str());
+
+    core::SweepCell c;
+    c.workload = "VecAdd";
+    c.policy = Policy::Ladm;
+    c.cfg = presets::multiGpu4x4();
+    c.scale = 0.1;
+
+    // A journal from a killed sweep: cell 0 completed, cell 1 started
+    // but never finished, and the kill tore the final line.
+    {
+        core::SweepJournal j(jnl);
+        j.noteDone(core::cellKey(c, 0), RunMetrics{});
+        j.noteStart(core::cellKey(c, 1));
+    }
+    {
+        std::ofstream out(jnl, std::ios::app);
+        out << "done 0abc"; // torn: odd hex, no newline
+    }
+
+    core::SweepJournal replay(jnl);
+    EXPECT_EQ(replay.completedReplayed(), 1u);
+    EXPECT_EQ(replay.inFlightReplayed(), 1u);
+    EXPECT_NE(replay.completed(core::cellKey(c, 0)), nullptr);
+    EXPECT_EQ(replay.completed(core::cellKey(c, 1)), nullptr);
+}
+
+} // namespace
+} // namespace ladm
