@@ -5,6 +5,66 @@
 namespace ladm
 {
 
+const char *
+toString(ErrCode c)
+{
+    switch (c) {
+      case ErrCode::Ok:
+        return "OK";
+      case ErrCode::BadConfig:
+        return "BAD_CONFIG";
+      case ErrCode::BadUsage:
+        return "BAD_USAGE";
+      case ErrCode::ParseError:
+        return "PARSE_ERROR";
+      case ErrCode::BadRequest:
+        return "BAD_REQUEST";
+      case ErrCode::Invariant:
+        return "INVARIANT";
+      case ErrCode::FaultSpec:
+        return "FAULT_SPEC";
+      case ErrCode::IoError:
+        return "IO_ERROR";
+      case ErrCode::CorruptFrame:
+        return "CORRUPT_FRAME";
+      case ErrCode::JournalCorrupt:
+        return "JOURNAL_CORRUPT";
+      case ErrCode::RemoteError:
+        return "REMOTE_ERROR";
+      case ErrCode::Busy:
+        return "BUSY";
+      case ErrCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case ErrCode::ShuttingDown:
+        return "SHUTTING_DOWN";
+    }
+    return "E?";
+}
+
+ErrCode
+errCodeFromWire(uint32_t v)
+{
+    const ErrCode c = static_cast<ErrCode>(v);
+    switch (c) {
+      case ErrCode::Ok:
+      case ErrCode::BadConfig:
+      case ErrCode::BadUsage:
+      case ErrCode::ParseError:
+      case ErrCode::BadRequest:
+      case ErrCode::Invariant:
+      case ErrCode::FaultSpec:
+      case ErrCode::IoError:
+      case ErrCode::CorruptFrame:
+      case ErrCode::JournalCorrupt:
+      case ErrCode::RemoteError:
+      case ErrCode::Busy:
+      case ErrCode::DeadlineExceeded:
+      case ErrCode::ShuttingDown:
+        return c;
+    }
+    return ErrCode::RemoteError;
+}
+
 std::string
 toString(const Diagnostic &d)
 {
@@ -16,6 +76,9 @@ toString(const Diagnostic &d)
         os << ": " << d.constraint;
     if (!d.hint.empty())
         os << " (fix: " << d.hint << ")";
+    if (d.code != ErrCode::Ok)
+        os << " [" << toString(d.code) << "/"
+           << static_cast<uint32_t>(d.code) << "]";
     return os.str();
 }
 
@@ -31,8 +94,35 @@ toString(SimError::Kind k)
         return "invariant";
       case SimError::Kind::Fault:
         return "fault";
+      case SimError::Kind::Io:
+        return "io";
+      case SimError::Kind::Remote:
+        return "remote";
     }
     return "?";
+}
+
+ErrCode
+SimError::code() const
+{
+    for (const Diagnostic &d : diags_)
+        if (d.code != ErrCode::Ok)
+            return d.code;
+    switch (kind_) {
+      case Kind::Config:
+        return ErrCode::BadConfig;
+      case Kind::Usage:
+        return ErrCode::BadUsage;
+      case Kind::Invariant:
+        return ErrCode::Invariant;
+      case Kind::Fault:
+        return ErrCode::FaultSpec;
+      case Kind::Io:
+        return ErrCode::IoError;
+      case Kind::Remote:
+        return ErrCode::RemoteError;
+    }
+    return ErrCode::RemoteError;
 }
 
 std::string

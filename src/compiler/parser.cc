@@ -6,12 +6,31 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace ladm
 {
 
 namespace
 {
+
+/**
+ * Malformed kernel text is a *recoverable* user error: the placement
+ * server parses IR that arrives over a socket, and one bad request must
+ * not take the daemon down. SimError(Usage) with the stable ParseError
+ * code lets every entry point render it (runMain) and lets serve put it
+ * on the wire.
+ */
+[[noreturn]] void
+parseError(int line, const std::string &msg)
+{
+    throw SimError(SimError::Kind::Usage,
+                   detail::format("kernel parse error at line ", line,
+                                  ": ", msg),
+                   {{"kernel.source", "", msg,
+                     "fix the kernel description text",
+                     ErrCode::ParseError}});
+}
 
 // --- lexer --------------------------------------------------------------------
 
@@ -125,9 +144,8 @@ class Lexer
           case ':': single(Tok::Colon); return;
           case '=': single(Tok::Equals); return;
           default:
-            ladm_fatal("kernel parse error at line ", line_,
-                       ": unexpected character '", std::string(1, c),
-                       "'");
+            parseError(line_, "unexpected character '" +
+                                  std::string(1, c) + "'");
         }
     }
 
@@ -183,8 +201,7 @@ class Parser
     [[noreturn]] void
     fail(const std::string &msg)
     {
-        ladm_fatal("kernel parse error at line ", lex_.peek().line, ": ",
-                   msg);
+        parseError(lex_.peek().line, msg);
     }
 
     Token

@@ -55,7 +55,9 @@ namespace ladm
  *
  * Accesses outside the loop body get AccessFreq::Once; accesses inside
  * are per-iteration. Argument indices follow the parameter list order.
- * fatal()s with a line number on malformed input (user error).
+ * Malformed input throws SimError(Usage) carrying ErrCode::ParseError
+ * and a line number -- recoverable, because the placement server parses
+ * kernel text that arrives over a socket (see serve/).
  */
 KernelDesc parseKernel(const std::string &source);
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The server's warm state: a sharded in-memory decision cache plus its
+ * crash-safe append-only journal.
+ *
+ * Cache: N independent shards (mutex + open hash map) selected by the
+ * key hash, so concurrent lookups from the connection threads and
+ * inserts from the worker pool contend only 1/N of the time. Values are
+ * the decision's canonical *encoded bytes* (decision.hh): what the
+ * cache stores is exactly what the journal stores is exactly what goes
+ * on the wire, so bit-identity is checkable end to end.
+ *
+ * Journal: an 8-byte magic header followed by self-validating records
+ *
+ *   u64 irHash | u64 fingerprint | u32 length | u32 CRC32(payload) |
+ *   payload
+ *
+ * appended with a single write(2) each (one record never straddles two
+ * writes, so a kill -9 can only tear the *last* record). replay() stops
+ * at the first invalid record, truncates the file back to the last
+ * valid byte, and reports how many decisions it restored: a committed
+ * decision -- one whose append returned -- is never lost, matching the
+ * atomic_file/serial conventions used by checkpoints. Degraded
+ * (heuristic) answers are never journaled; every record replays
+ * bit-identical to a cold recompute of its key.
+ */
+
+#ifndef LADM_SERVE_CACHE_HH
+#define LADM_SERVE_CACHE_HH
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/decision.hh"
+
+namespace ladm
+{
+namespace serve
+{
+
+class DecisionCache
+{
+  public:
+    explicit DecisionCache(int shards = 16);
+
+    DecisionCache(const DecisionCache &) = delete;
+    DecisionCache &operator=(const DecisionCache &) = delete;
+
+    /** Encoded decision for @p key; empty string = miss. */
+    std::string get(const DecisionKey &key) const;
+
+    /**
+     * Insert @p encoded under @p key. Returns false when the key was
+     * already present (the stored bytes win; idempotent replays and
+     * single-flight races both land here).
+     */
+    bool put(const DecisionKey &key, const std::string &encoded);
+
+    size_t size() const;
+    int numShards() const { return static_cast<int>(shards_.size()); }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<DecisionKey, std::string, DecisionKeyHash>
+            map;
+    };
+
+    Shard &shardFor(const DecisionKey &key) const;
+
+    mutable std::vector<Shard> shards_;
+};
+
+class DecisionJournal
+{
+  public:
+    DecisionJournal() = default;
+    ~DecisionJournal();
+
+    DecisionJournal(const DecisionJournal &) = delete;
+    DecisionJournal &operator=(const DecisionJournal &) = delete;
+
+    /**
+     * Open @p path for appending, creating it (with header) if absent.
+     * An existing journal is replayed through @p sink first -- one call
+     * per valid record, in append order -- and truncated past the last
+     * valid record so subsequent appends extend a clean tail.
+     *
+     * @return number of records replayed
+     * @throws SimError(Io) when the file cannot be opened/created or
+     *         its header is not a decision journal
+     */
+    size_t open(const std::string &path,
+                const std::function<void(const DecisionKey &,
+                                         const std::string &)> &sink);
+
+    /**
+     * Append one committed decision. Thread-safe; the record is written
+     * with a single write(2). When the append fails (disk full, fd
+     * gone) the journal turns itself off and warns once -- the server
+     * keeps answering, it just loses warm-restart coverage, which beats
+     * refusing traffic.
+     */
+    void append(const DecisionKey &key, const std::string &encoded);
+
+    /** fdatasync the tail (graceful-shutdown path). */
+    void sync();
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Records appended by *this process* (not replayed ones). */
+    uint64_t appended() const { return appended_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    uint64_t appended_ = 0;
+    std::mutex mu_;
+};
+
+} // namespace serve
+} // namespace ladm
+
+#endif // LADM_SERVE_CACHE_HH

@@ -1,0 +1,85 @@
+#include "serve/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace ladm
+{
+namespace serve
+{
+
+ServeFaultPlan
+ServeFaultPlan::parse(const std::string &spec)
+{
+    ServeFaultPlan plan;
+    std::vector<Diagnostic> bad;
+
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t semi = spec.find(';', pos);
+        if (semi == std::string::npos)
+            semi = spec.size();
+        const std::string clause = spec.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (clause.empty())
+            continue;
+
+        const size_t colon = clause.find(':');
+        const std::string kind = clause.substr(0, colon);
+        const char *vals = colon == std::string::npos
+                               ? ""
+                               : clause.c_str() + colon + 1;
+        char *end = nullptr;
+        const long v = std::strtol(vals, &end, 10);
+        const bool numeric =
+            end != vals && end && *end == '\0' && v >= 0;
+
+        if (kind == "drop" && numeric) {
+            plan.dropFirst_ = static_cast<int>(v);
+            plan.dropsLeft_ = static_cast<int>(v);
+        } else if (kind == "corrupt" && numeric) {
+            plan.corruptFirst_ = static_cast<int>(v);
+            plan.corruptsLeft_ = static_cast<int>(v);
+        } else if (kind == "fail" && numeric) {
+            plan.failFirst_ = static_cast<int>(v);
+            plan.failsLeft_ = static_cast<int>(v);
+        } else if (kind == "stall" && numeric) {
+            plan.stallUs_ = static_cast<uint32_t>(v);
+        } else if (kind == "delay" && numeric) {
+            plan.delayUs_ = static_cast<uint32_t>(v);
+        } else {
+            bad.push_back({"serve.fault", clause,
+                           "expected drop:<n>, corrupt:<n>, fail:<n>, "
+                           "stall:<us> or delay:<us> with a "
+                           "non-negative integer",
+                           "fix the clause", ErrCode::BadUsage});
+        }
+    }
+    if (!bad.empty())
+        throw SimError(SimError::Kind::Fault,
+                       "bad serve fault spec: " + spec, std::move(bad));
+    return plan;
+}
+
+std::string
+ServeFaultPlan::toSpec() const
+{
+    std::ostringstream os;
+    const char *sep = "";
+    const auto clause = [&](const char *k, uint64_t v) {
+        if (v == 0)
+            return;
+        os << sep << k << ":" << v;
+        sep = ";";
+    };
+    clause("drop", dropFirst_);
+    clause("corrupt", corruptFirst_);
+    clause("fail", failFirst_);
+    clause("stall", stallUs_);
+    clause("delay", delayUs_);
+    return os.str();
+}
+
+} // namespace serve
+} // namespace ladm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Serve-side fault injection, in the spirit of check::FaultPlan: a
+ * compact spec string scripts the failure modes a long-running advisor
+ * meets in practice, so the tests and the load bench can drive the
+ * retry/degraded/shedding machinery deterministically instead of hoping
+ * for races.
+ *
+ * Spec grammar (clauses joined by ';'):
+ *
+ *   drop:<n>      close the connection without replying to the first n
+ *                 placement requests (client sees an I/O error; its
+ *                 retry/backoff loop must converge)
+ *   corrupt:<n>   flip a payload byte in the first n replies after the
+ *                 CRC is computed (client detects CORRUPT_FRAME)
+ *   stall:<us>    every cold-miss classification sleeps this many
+ *                 microseconds first (drives the degraded mode and, at
+ *                 load, the admission queue / shedding)
+ *   delay:<us>    every reply waits this many microseconds before
+ *                 sending (inflates observed latency without touching
+ *                 the classifier)
+ *   fail:<n>      the first n classifications throw an internal error
+ *                 (drives the circuit breaker into degraded mode)
+ *
+ * Example: "drop:3;stall:2000" -- drop the first three requests, then
+ * serve with a 2 ms classifier.
+ */
+
+#ifndef LADM_SERVE_FAULT_HH
+#define LADM_SERVE_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/sim_error.hh"
+
+namespace ladm
+{
+namespace serve
+{
+
+class ServeFaultPlan
+{
+  public:
+    ServeFaultPlan() = default;
+
+    // Copyable despite the atomic countdowns: copying transfers the
+    // remaining budgets by value (parse() returns by value; the server
+    // then owns the live countdown).
+    ServeFaultPlan(const ServeFaultPlan &o) { *this = o; }
+    ServeFaultPlan &
+    operator=(const ServeFaultPlan &o)
+    {
+        dropFirst_ = o.dropFirst_;
+        corruptFirst_ = o.corruptFirst_;
+        failFirst_ = o.failFirst_;
+        stallUs_ = o.stallUs_;
+        delayUs_ = o.delayUs_;
+        dropsLeft_ = o.dropsLeft_.load(std::memory_order_relaxed);
+        corruptsLeft_ = o.corruptsLeft_.load(std::memory_order_relaxed);
+        failsLeft_ = o.failsLeft_.load(std::memory_order_relaxed);
+        return *this;
+    }
+
+    /**
+     * Parse a spec string (see grammar above); empty = no faults.
+     * @throws SimError(Kind::Fault) with one Diagnostic per bad clause.
+     */
+    static ServeFaultPlan parse(const std::string &spec);
+
+    /** Canonical spec string; parse(toSpec()) round-trips. */
+    std::string toSpec() const;
+
+    bool
+    empty() const
+    {
+        return dropFirst_ == 0 && corruptFirst_ == 0 && stallUs_ == 0 &&
+               delayUs_ == 0 && failFirst_ == 0;
+    }
+
+    // -- consumption (called by the server; each "first n" clause is a
+    //    shared countdown across all connections) -------------------------
+    /** True when this placement request should be dropped unanswered. */
+    bool takeDrop() { return takeBudget(dropsLeft_); }
+    /** True when this reply should be corrupted. */
+    bool takeCorrupt() { return takeBudget(corruptsLeft_); }
+    /** True when this classification should throw. */
+    bool takeFail() { return takeBudget(failsLeft_); }
+    uint32_t stallUs() const { return stallUs_; }
+    uint32_t delayUs() const { return delayUs_; }
+
+    int dropFirst() const { return dropFirst_; }
+    int corruptFirst() const { return corruptFirst_; }
+    int failFirst() const { return failFirst_; }
+
+  private:
+    static bool
+    takeBudget(std::atomic<int> &left)
+    {
+        int cur = left.load(std::memory_order_relaxed);
+        while (cur > 0) {
+            if (left.compare_exchange_weak(cur, cur - 1,
+                                           std::memory_order_relaxed))
+                return true;
+        }
+        return false;
+    }
+
+    int dropFirst_ = 0;
+    int corruptFirst_ = 0;
+    int failFirst_ = 0;
+    uint32_t stallUs_ = 0;
+    uint32_t delayUs_ = 0;
+
+    std::atomic<int> dropsLeft_{0};
+    std::atomic<int> corruptsLeft_{0};
+    std::atomic<int> failsLeft_{0};
+};
+
+} // namespace serve
+} // namespace ladm
+
+#endif // LADM_SERVE_FAULT_HH

@@ -1,0 +1,593 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "snapshot/snapshot.hh"
+
+namespace ladm
+{
+namespace serve
+{
+
+namespace
+{
+
+void
+sleepUs(uint32_t us)
+{
+    if (us)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/** Error-frame payload (wire format shared with client.cc). */
+std::string
+encodeError(ErrCode code, const std::string &summary,
+            uint32_t retry_after_ms, const std::vector<Diagnostic> &diags)
+{
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(code));
+    w.str(summary);
+    w.u32(retry_after_ms);
+    w.u32(static_cast<uint32_t>(diags.size()));
+    for (const Diagnostic &d : diags) {
+        w.str(d.field);
+        w.str(d.value);
+        w.str(d.constraint);
+        w.str(d.hint);
+        w.u32(static_cast<uint32_t>(d.code));
+    }
+    return w.take();
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheShards)
+{
+    if (!opts_.faultSpec.empty())
+        faults_ = ServeFaultPlan::parse(opts_.faultSpec);
+
+    // Eager counters so a fresh server exports zeros, not absences.
+    auto &g = registry_.group("serve");
+    for (const char *c :
+         {"requests", "hits", "misses", "shed", "degraded",
+          "deadline_timeouts", "errors", "bad_frames", "dropped",
+          "connections", "conn_rejected", "journal_appended",
+          "computed"})
+        g.counter(c);
+    g.logHistogram("latency_us");
+    registry_.gauge("serve.queue_depth", [this] {
+        return pool_ ? static_cast<double>(pool_->queueDepth()) : 0.0;
+    });
+    registry_.gauge("serve.cache_size", [this] {
+        return static_cast<double>(cache_.size());
+    });
+    registry_.gauge("serve.journal_replayed", [this] {
+        return static_cast<double>(replayed_);
+    });
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+void
+Server::start()
+{
+    if (running_.load())
+        return;
+
+    // Warm the topology memo (also validates the configured default).
+    uint64_t fp = 0;
+    configFor(opts_.topology, &fp);
+
+    if (!opts_.journalPath.empty()) {
+        replayed_ = journal_.open(
+            opts_.journalPath,
+            [this](const DecisionKey &k, const std::string &bytes) {
+                cache_.put(k, bytes);
+            });
+        if (replayed_ > 0)
+            ladm_inform("serve: replayed ", replayed_,
+                      " journaled decision(s) from ", opts_.journalPath);
+    }
+
+    std::string err;
+    listenFd_ = listenOn(opts_.listen, &address_, &err);
+    if (listenFd_ < 0)
+        throw SimError(SimError::Kind::Io,
+                       "serve: cannot listen on " + opts_.listen,
+                       {{"serve.listen", opts_.listen, err,
+                         "free the address or pick another",
+                         ErrCode::IoError}});
+
+    pool_ = std::make_unique<ThreadPool>(opts_.workers,
+                                         opts_.queueCapacity);
+    running_.store(true);
+    stopping_.store(false);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    ladm_inform("serve: listening on ", address_, " (", opts_.workers,
+              " workers, queue ", opts_.queueCapacity, ", deadline ",
+              opts_.defaultDeadlineUs, "us, budget ",
+              opts_.classifierBudgetUs, "us)");
+}
+
+void
+Server::shutdown()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    if (!running_.load()) {
+        stopping_.store(false);
+        return;
+    }
+
+    // 1. Stop accepting. Closing the fd pops the accept thread out of
+    //    poll/accept.
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // 2. Finish what was admitted. Connection threads still waiting on
+    //    their Pending get answers (new submissions now shed as
+    //    SHUTTING_DOWN because the pool refuses them).
+    if (pool_)
+        pool_->drain();
+
+    // 3. The committed tail is now complete: make it durable before the
+    //    process can exit.
+    journal_.sync();
+
+    // 4. Unblock idle connection readers and join everyone.
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+
+    journal_.close();
+    running_.store(false);
+    ladm_inform("serve: drained (", static_cast<uint64_t>(
+                  statValue("serve.requests")),
+              " requests served, ",
+              static_cast<uint64_t>(statValue("serve.shed")), " shed, ",
+              static_cast<uint64_t>(statValue("serve.degraded")),
+              " degraded)");
+}
+
+void
+Server::serveUntilStopped()
+{
+    while (!snapshot::stopRequested() && running_.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    shutdown();
+}
+
+double
+Server::statValue(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lk(statsMu_);
+    return registry_.value(path).value_or(0.0);
+}
+
+// --- accept / connection plumbing -------------------------------------------
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        struct pollfd pfd;
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 100);
+        if (stopping_.load())
+            break;
+        if (pr <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            break; // listen socket gone
+        }
+        if (liveConns_.load() >= opts_.maxConnections) {
+            // Connection-level shed: answer once, structurally, and
+            // close -- never silently refuse.
+            bump("conn_rejected");
+            sendFrame(fd, MsgType::Error,
+                      encodeError(ErrCode::Busy,
+                                  "connection limit reached",
+                                  opts_.retryAfterMs, {}));
+            ::close(fd);
+            continue;
+        }
+        bump("connections");
+        ++liveConns_;
+        std::lock_guard<std::mutex> lk(connMu_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    for (;;) {
+        MsgType type;
+        std::string payload;
+        const RecvStatus rs = recvFrame(fd, type, payload, -1);
+        if (rs == RecvStatus::Corrupt) {
+            bump("bad_frames");
+            sendError(fd, ErrCode::CorruptFrame,
+                      "corrupt frame received");
+            break;
+        }
+        if (rs != RecvStatus::Ok)
+            break; // EOF / error / shutdown
+
+        bool keep = true;
+        switch (type) {
+        case MsgType::Place:
+            keep = handlePlace(fd, payload);
+            break;
+        case MsgType::Stats:
+            handleStats(fd);
+            break;
+        case MsgType::Ping:
+            reply(fd, MsgType::Pong, std::string());
+            break;
+        default:
+            bump("bad_frames");
+            sendError(fd, ErrCode::BadRequest,
+                      "unexpected frame type");
+            break;
+        }
+        if (!keep)
+            break;
+    }
+    // Unregister before close so shutdown() can never shut down a
+    // recycled fd number.
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        connFds_.erase(
+            std::remove(connFds_.begin(), connFds_.end(), fd),
+            connFds_.end());
+    }
+    ::close(fd);
+    --liveConns_;
+}
+
+bool
+Server::reply(int fd, MsgType type, const std::string &payload)
+{
+    sleepUs(faults_.delayUs());
+    return sendFrame(fd, type, payload, faults_.takeCorrupt());
+}
+
+bool
+Server::sendDecision(int fd, const std::string &encoded, bool degraded,
+                     bool cached, Clock::time_point arrival)
+{
+    ByteWriter w;
+    w.u8(degraded ? 1 : 0);
+    w.u8(cached ? 1 : 0);
+    w.str(encoded);
+    sampleLatency(arrival);
+    return reply(fd, MsgType::Decision, w.take());
+}
+
+bool
+Server::sendError(int fd, ErrCode code, const std::string &summary,
+                  uint32_t retry_after_ms,
+                  const std::vector<Diagnostic> &diags)
+{
+    return reply(fd, MsgType::Error,
+                 encodeError(code, summary, retry_after_ms, diags));
+}
+
+void
+Server::handleStats(int fd)
+{
+    telemetry::Snapshot snap;
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        snap = registry_.snapshot();
+    }
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(snap.values.size()));
+    for (const auto &kv : snap.values) {
+        w.str(kv.first);
+        w.f64(kv.second.value);
+    }
+    reply(fd, MsgType::StatsReply, w.take());
+}
+
+// --- the request path -------------------------------------------------------
+
+SystemConfig
+Server::configFor(const std::string &topology, uint64_t *fp)
+{
+    const std::string name =
+        topology.empty() ? opts_.topology : topology;
+    std::lock_guard<std::mutex> lk(cfgMu_);
+    auto it = cfgCache_.find(name);
+    if (it == cfgCache_.end()) {
+        SystemConfig cfg = resolveTopology(name, opts_.topology);
+        const uint64_t f = snapshot::configFingerprint(cfg);
+        it = cfgCache_.emplace(name, std::make_pair(cfg, f)).first;
+    }
+    if (fp)
+        *fp = it->second.second;
+    return it->second.first;
+}
+
+bool
+Server::breakerOpen() const
+{
+    std::lock_guard<std::mutex> lk(breakerMu_);
+    return breakerStreak_ >= opts_.breakerThreshold;
+}
+
+void
+Server::breakerRecord(bool internal_fault)
+{
+    std::lock_guard<std::mutex> lk(breakerMu_);
+    if (internal_fault) {
+        ++breakerStreak_;
+        if (breakerStreak_ == opts_.breakerThreshold)
+            ladm_warn("serve: ", breakerStreak_,
+                      " consecutive classifier faults; answering "
+                      "degraded until one succeeds");
+    } else {
+        breakerStreak_ = 0;
+    }
+}
+
+void
+Server::bump(const char *name, uint64_t n)
+{
+    std::lock_guard<std::mutex> lk(statsMu_);
+    registry_.group("serve").counter(name) += n;
+}
+
+void
+Server::sampleLatency(Clock::time_point arrival)
+{
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - arrival)
+                        .count();
+    std::lock_guard<std::mutex> lk(statsMu_);
+    registry_.group("serve").logHistogram("latency_us").sample(
+        static_cast<uint64_t>(us < 0 ? 0 : us));
+}
+
+void
+Server::computeInto(const std::shared_ptr<Pending> &p,
+                    const PlacementRequest &req, const SystemConfig &cfg,
+                    const DecisionKey &key)
+{
+    std::string encoded;
+    bool failed = false;
+    bool internal_fault = false;
+    ErrCode code = ErrCode::Ok;
+    std::string error;
+    std::vector<Diagnostic> diags;
+
+    sleepUs(faults_.stallUs());
+    if (faults_.takeFail()) {
+        failed = internal_fault = true;
+        code = ErrCode::RemoteError;
+        error = "injected classifier fault";
+    } else {
+        try {
+            encoded = computeDecision(req, cfg).encode();
+        } catch (const SimError &e) {
+            failed = true;
+            code = e.code();
+            error = e.what();
+            diags = e.diagnostics();
+            // A malformed request is the caller's fault and says nothing
+            // about classifier health; only non-4xx-style faults trip
+            // the breaker.
+            internal_fault =
+                static_cast<uint32_t>(code) < 100 ||
+                static_cast<uint32_t>(code) >= 150;
+        } catch (const std::exception &e) {
+            failed = internal_fault = true;
+            code = ErrCode::RemoteError;
+            error = e.what();
+        }
+    }
+    // Successes close the breaker, internal faults advance it; caller
+    // errors leave it alone (they say nothing about classifier health).
+    if (internal_fault)
+        breakerRecord(true);
+    else if (!failed)
+        breakerRecord(false);
+
+    if (!failed) {
+        bump("computed");
+        // Commit order: journal first, then cache. A decision visible
+        // in the cache is always already durable (modulo fdatasync at
+        // drain), so "committed" can never un-happen across restart.
+        journal_.append(key, encoded);
+        if (journal_.isOpen())
+            bump("journal_appended");
+        cache_.put(key, encoded);
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(p->mu);
+        p->done = true;
+        p->failed = failed;
+        p->encoded = std::move(encoded);
+        p->code = code;
+        p->error = std::move(error);
+        p->diags = std::move(diags);
+    }
+    p->cv.notify_all();
+
+    std::lock_guard<std::mutex> lk(inflightMu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == p)
+        inflight_.erase(it);
+}
+
+bool
+Server::handlePlace(int fd, const std::string &payload)
+{
+    const Clock::time_point arrival = Clock::now();
+    bump("requests");
+
+    if (faults_.takeDrop()) {
+        // Injected network loss: vanish without a reply. The client's
+        // read times out / sees EOF and its retry loop takes over.
+        bump("dropped");
+        return false;
+    }
+
+    PlacementRequest req;
+    SystemConfig cfg;
+    uint64_t fp = 0;
+    try {
+        ByteReader r(payload);
+        req = PlacementRequest::decode(r);
+        cfg = configFor(req.topology, &fp);
+    } catch (const SimError &e) {
+        bump("errors");
+        return sendError(fd, e.code(), e.what(), 0, e.diagnostics());
+    }
+
+    const DecisionKey key{requestIrHash(req), fp};
+    const uint32_t deadline_us =
+        req.deadlineUs ? req.deadlineUs : opts_.defaultDeadlineUs;
+    const auto deadline =
+        arrival + std::chrono::microseconds(deadline_us);
+
+    // Warm path: answer straight from the cache.
+    {
+        const std::string hit = cache_.get(key);
+        if (!hit.empty()) {
+            bump("hits");
+            return sendDecision(fd, hit, false, true, arrival);
+        }
+    }
+    bump("misses");
+
+    // Breaker open: the classifier is presumed sick; do not queue more
+    // work at it, answer heuristically right away.
+    if (breakerOpen()) {
+        bump("degraded");
+        return sendDecision(fd, heuristicDecision(req, cfg).encode(),
+                            true, false, arrival);
+    }
+
+    // Single-flight: concurrent identical misses share one computation.
+    std::shared_ptr<Pending> pending;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(inflightMu_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            pending = it->second;
+        } else {
+            pending = std::make_shared<Pending>();
+            inflight_.emplace(key, pending);
+            owner = true;
+        }
+    }
+
+    if (owner) {
+        const bool admitted = pool_ && pool_->trySubmit([this, pending,
+                                                         req, cfg, key] {
+            computeInto(pending, req, cfg, key);
+        });
+        if (!admitted) {
+            {
+                std::lock_guard<std::mutex> lk(inflightMu_);
+                auto it = inflight_.find(key);
+                if (it != inflight_.end() && it->second == pending)
+                    inflight_.erase(it);
+            }
+            const bool draining = !pool_ || pool_->draining();
+            bump("shed");
+            return sendError(
+                fd,
+                draining ? ErrCode::ShuttingDown : ErrCode::Busy,
+                draining ? "server is draining"
+                         : "admission queue full",
+                opts_.retryAfterMs);
+        }
+    }
+
+    // Wait for the computation, but never past min(deadline, budget):
+    // crossing the budget first means "the classifier is too slow for
+    // this caller -- degrade"; crossing the deadline means the whole
+    // request is out of time.
+    const auto budget_end =
+        arrival + std::chrono::microseconds(
+                      std::min(deadline_us, opts_.classifierBudgetUs));
+    bool done;
+    {
+        std::unique_lock<std::mutex> lk(pending->mu);
+        done = pending->cv.wait_until(lk, budget_end,
+                                      [&] { return pending->done; });
+    }
+
+    if (!done) {
+        if (budget_end >= deadline) {
+            // The caller's deadline was at or inside the classifier
+            // budget; there is no time left for a useful answer.
+            bump("deadline_timeouts");
+            return sendError(fd, ErrCode::DeadlineExceeded,
+                             "deadline exceeded before placement "
+                             "completed");
+        }
+        bump("degraded");
+        return sendDecision(fd, heuristicDecision(req, cfg).encode(),
+                            true, false, arrival);
+    }
+
+    std::lock_guard<std::mutex> lk(pending->mu);
+    if (!pending->failed)
+        return sendDecision(fd, pending->encoded, false, false, arrival);
+
+    const uint32_t c = static_cast<uint32_t>(pending->code);
+    if (c >= 100 && c < 150) {
+        // The request itself was bad; degraded placement would be
+        // garbage for an unparsable kernel. Tell the caller.
+        bump("errors");
+        return sendError(fd, pending->code, pending->error, 0,
+                         pending->diags);
+    }
+    // Internal fault: the caller still deserves an answer within the
+    // deadline -- degrade.
+    bump("degraded");
+    return sendDecision(fd, heuristicDecision(req, cfg).encode(), true,
+                        false, arrival);
+}
+
+} // namespace serve
+} // namespace ladm

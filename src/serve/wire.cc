@@ -1,0 +1,402 @@
+#include "serve/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/serial.hh" // crc32
+
+namespace ladm
+{
+namespace serve
+{
+
+void
+ByteWriter::raw(const void *p, size_t n)
+{
+    buf_.append(static_cast<const char *>(p), n);
+}
+
+void
+ByteReader::raw(void *p, size_t n)
+{
+    if (n > buf_.size() - pos_) {
+        throw SimError(SimError::Kind::Io, "truncated payload",
+                       {{"frame.payload", std::to_string(buf_.size()),
+                         "decoder needs " + std::to_string(n) +
+                             " more byte(s) at offset " +
+                             std::to_string(pos_),
+                         "peer sent a malformed frame; drop the "
+                         "connection",
+                         ErrCode::CorruptFrame}});
+    }
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+}
+
+uint8_t
+ByteReader::u8()
+{
+    uint8_t v;
+    raw(&v, 1);
+    return v;
+}
+
+uint16_t
+ByteReader::u16()
+{
+    uint16_t v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+uint32_t
+ByteReader::u32()
+{
+    uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+uint64_t
+ByteReader::u64()
+{
+    uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+int64_t
+ByteReader::i64()
+{
+    int64_t v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    double v;
+    raw(&v, sizeof v);
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const uint32_t n = u32();
+    if (n > buf_.size() - pos_) {
+        throw SimError(SimError::Kind::Io, "truncated string",
+                       {{"frame.payload", std::to_string(n),
+                         "string length exceeds remaining payload",
+                         "peer sent a malformed frame; drop the "
+                         "connection",
+                         ErrCode::CorruptFrame}});
+    }
+    std::string s(buf_.data() + pos_, n);
+    pos_ += n;
+    return s;
+}
+
+namespace
+{
+
+struct FrameHeader
+{
+    uint32_t magic;
+    uint8_t version;
+    uint8_t type;
+    uint16_t reserved;
+    uint32_t length;
+    uint32_t crc;
+} __attribute__((packed));
+
+static_assert(sizeof(FrameHeader) == 16, "wire header layout");
+
+/** write(2) the whole buffer, retrying short writes; no SIGPIPE. */
+bool
+sendAll(int fd, const void *p, size_t n)
+{
+    const char *c = static_cast<const char *>(p);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, c, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        c += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/**
+ * Read exactly @p n bytes. @p deadline_ms counts down across calls so
+ * header + payload share one timeout budget.
+ */
+RecvStatus
+recvAll(int fd, void *p, size_t n, int *deadline_ms, bool *any_byte)
+{
+    char *c = static_cast<char *>(p);
+    while (n > 0) {
+        if (deadline_ms && *deadline_ms >= 0) {
+            struct pollfd pfd = {fd, POLLIN, 0};
+            const int r = ::poll(&pfd, 1, *deadline_ms);
+            if (r == 0)
+                return RecvStatus::Timeout;
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return RecvStatus::Error;
+            }
+        }
+        const ssize_t r = ::recv(fd, c, n, 0);
+        if (r == 0)
+            return RecvStatus::Eof;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return RecvStatus::Timeout;
+            return RecvStatus::Error;
+        }
+        if (any_byte)
+            *any_byte = true;
+        c += r;
+        n -= static_cast<size_t>(r);
+    }
+    return RecvStatus::Ok;
+}
+
+} // namespace
+
+bool
+sendFrame(int fd, MsgType type, const std::string &payload,
+          bool corrupt_payload)
+{
+    FrameHeader h;
+    h.magic = kFrameMagic;
+    h.version = kProtoVersion;
+    h.type = static_cast<uint8_t>(type);
+    h.reserved = 0;
+    h.length = static_cast<uint32_t>(payload.size());
+    h.crc = serial::crc32(payload.data(), payload.size());
+
+    std::string out(reinterpret_cast<const char *>(&h), sizeof h);
+    out += payload;
+    if (corrupt_payload && !payload.empty())
+        out[sizeof h + payload.size() / 2] ^= 0x5a;
+    return sendAll(fd, out.data(), out.size());
+}
+
+RecvStatus
+recvFrame(int fd, MsgType &type, std::string &payload, int timeout_ms)
+{
+    FrameHeader h;
+    bool any_byte = false;
+    int budget = timeout_ms;
+    RecvStatus st =
+        recvAll(fd, &h, sizeof h, timeout_ms >= 0 ? &budget : nullptr,
+                &any_byte);
+    if (st == RecvStatus::Eof && any_byte)
+        return RecvStatus::Corrupt; // stream died mid-header
+    if (st != RecvStatus::Ok)
+        return st;
+    if (h.magic != kFrameMagic || h.version != kProtoVersion ||
+        h.length > kMaxFrameBytes)
+        return RecvStatus::Corrupt;
+
+    payload.resize(h.length);
+    if (h.length > 0) {
+        st = recvAll(fd, payload.data(), h.length,
+                     timeout_ms >= 0 ? &budget : nullptr, nullptr);
+        if (st == RecvStatus::Eof)
+            return RecvStatus::Corrupt; // truncated payload
+        if (st != RecvStatus::Ok)
+            return st;
+    }
+    if (serial::crc32(payload.data(), payload.size()) != h.crc)
+        return RecvStatus::Corrupt;
+    type = static_cast<MsgType>(h.type);
+    return RecvStatus::Ok;
+}
+
+namespace
+{
+
+bool
+splitTcp(const std::string &hostport, std::string &host, int &port)
+{
+    const size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos)
+        return false;
+    host = hostport.substr(0, colon);
+    port = std::atoi(hostport.c_str() + colon + 1);
+    return !host.empty() && port >= 0 && port <= 65535;
+}
+
+int
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg + " (" + std::strerror(errno) + ")";
+    return -1;
+}
+
+} // namespace
+
+int
+connectTo(const std::string &address, std::string *err)
+{
+    if (address.rfind("unix:", 0) == 0) {
+        const std::string path = address.substr(5);
+        struct sockaddr_un sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sun_family = AF_UNIX;
+        if (path.size() >= sizeof sa.sun_path) {
+            if (err)
+                *err = "unix socket path too long: " + path;
+            return -1;
+        }
+        std::strncpy(sa.sun_path, path.c_str(), sizeof sa.sun_path - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(err, "socket");
+        if (::connect(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                      sizeof sa) != 0) {
+            const int e = errno;
+            ::close(fd);
+            errno = e;
+            return fail(err, "connect " + address);
+        }
+        return fd;
+    }
+    if (address.rfind("tcp:", 0) == 0) {
+        std::string host;
+        int port = 0;
+        if (!splitTcp(address.substr(4), host, port)) {
+            if (err)
+                *err = "bad tcp address: " + address;
+            return -1;
+        }
+        struct sockaddr_in sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sin_family = AF_INET;
+        sa.sin_port = htons(static_cast<uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+            if (err)
+                *err = "bad tcp host (use a literal IPv4 address): " +
+                       host;
+            return -1;
+        }
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(err, "socket");
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (::connect(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                      sizeof sa) != 0) {
+            const int e = errno;
+            ::close(fd);
+            errno = e;
+            return fail(err, "connect " + address);
+        }
+        return fd;
+    }
+    if (err)
+        *err = "address must start with unix: or tcp:, got " + address;
+    return -1;
+}
+
+int
+listenOn(const std::string &address, std::string *resolved,
+         std::string *err)
+{
+    if (address.rfind("unix:", 0) == 0) {
+        const std::string path = address.substr(5);
+        struct sockaddr_un sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sun_family = AF_UNIX;
+        if (path.size() >= sizeof sa.sun_path) {
+            if (err)
+                *err = "unix socket path too long: " + path;
+            return -1;
+        }
+        std::strncpy(sa.sun_path, path.c_str(), sizeof sa.sun_path - 1);
+        ::unlink(path.c_str()); // stale socket from a previous run
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(err, "socket");
+        if (::bind(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                   sizeof sa) != 0 ||
+            ::listen(fd, 128) != 0) {
+            const int e = errno;
+            ::close(fd);
+            errno = e;
+            return fail(err, "bind/listen " + address);
+        }
+        if (resolved)
+            *resolved = address;
+        return fd;
+    }
+    if (address.rfind("tcp:", 0) == 0) {
+        std::string host;
+        int port = 0;
+        if (!splitTcp(address.substr(4), host, port)) {
+            if (err)
+                *err = "bad tcp address: " + address;
+            return -1;
+        }
+        struct sockaddr_in sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sin_family = AF_INET;
+        sa.sin_port = htons(static_cast<uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+            if (err)
+                *err = "bad tcp host (use a literal IPv4 address): " +
+                       host;
+            return -1;
+        }
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(err, "socket");
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                   sizeof sa) != 0 ||
+            ::listen(fd, 128) != 0) {
+            const int e = errno;
+            ::close(fd);
+            errno = e;
+            return fail(err, "bind/listen " + address);
+        }
+        if (resolved) {
+            struct sockaddr_in bound;
+            socklen_t len = sizeof bound;
+            if (::getsockname(
+                    fd, reinterpret_cast<struct sockaddr *>(&bound),
+                    &len) == 0) {
+                *resolved = "tcp:" + host + ":" +
+                            std::to_string(ntohs(bound.sin_port));
+            } else {
+                *resolved = address;
+            }
+        }
+        return fd;
+    }
+    if (err)
+        *err = "address must start with unix: or tcp:, got " + address;
+    return -1;
+}
+
+} // namespace serve
+} // namespace ladm

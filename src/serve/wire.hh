@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Wire layer of the placement-advisor service: byte-level encoding and
+ * length-prefixed framing over a Unix or TCP socket.
+ *
+ * A frame is
+ *
+ *   u32 magic 'LSRV' | u8 version | u8 type | u16 reserved |
+ *   u32 payload length | u32 CRC32(payload) | payload
+ *
+ * The CRC turns a bit-flipped or truncated frame into a structured
+ * CORRUPT_FRAME error instead of a desynchronized stream: both sides
+ * validate every frame before decoding a byte of payload (the serve
+ * fault injector corrupts frames deliberately to exercise exactly this
+ * path). Scalars are little-endian; both ends of a connection are
+ * assumed same-machine or same-arch, like the checkpoint format.
+ *
+ * Addresses are strings so every flag/env knob can carry one:
+ *
+ *   unix:/path/to.sock      Unix domain stream socket
+ *   tcp:host:port           TCP (port 0 picks a free port; the resolved
+ *                           address comes back from listenOn)
+ */
+
+#ifndef LADM_SERVE_WIRE_HH
+#define LADM_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_error.hh"
+
+namespace ladm
+{
+namespace serve
+{
+
+constexpr uint32_t kFrameMagic = 0x4C535256; // "LSRV"
+constexpr uint8_t kProtoVersion = 1;
+
+/** Frame types of the serve protocol (docs/serving.md). */
+enum class MsgType : uint8_t
+{
+    Place = 1,      ///< client -> server: placement request
+    Decision = 2,   ///< server -> client: placement decision
+    Error = 3,      ///< server -> client: structured error
+    Stats = 4,      ///< client -> server: telemetry snapshot request
+    StatsReply = 5, ///< server -> client: flat path/value stat rows
+    Ping = 6,       ///< client -> server: liveness probe
+    Pong = 7,       ///< server -> client: liveness answer
+};
+
+/** Append-only little-endian byte buffer for payload encoding. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { raw(&v, 1); }
+    void u16(uint16_t v) { raw(&v, sizeof v); }
+    void u32(uint32_t v) { raw(&v, sizeof v); }
+    void u64(uint64_t v) { raw(&v, sizeof v); }
+    void i64(int64_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void raw(const void *p, size_t n);
+
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked cursor over a received payload. Overruns throw
+ * SimError(Io) with ErrCode::CorruptFrame -- a short payload means the
+ * frame lied about its contents even though the CRC matched (a buggy or
+ * hostile peer), and the connection handler maps that to a structured
+ * error instead of reading garbage.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &buf) : buf_(buf) {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    int64_t i64();
+    double f64();
+    std::string str();
+
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    void raw(void *p, size_t n);
+
+    const std::string &buf_;
+    size_t pos_ = 0;
+};
+
+/** Outcome of recvFrame. */
+enum class RecvStatus
+{
+    Ok,      ///< a validated frame was read
+    Eof,     ///< clean end of stream before any frame byte
+    Corrupt, ///< bad magic/version/CRC or oversized frame
+    Timeout, ///< no full frame within the timeout
+    Error,   ///< socket error (errno-level)
+};
+
+/** Frames above this are rejected before allocation (DoS guard). */
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/**
+ * Send one frame. @p corrupt_payload deliberately flips a payload byte
+ * AFTER the CRC is computed -- the fault injector's hook; never set
+ * otherwise. Returns false on socket error (connection gone).
+ */
+bool sendFrame(int fd, MsgType type, const std::string &payload,
+               bool corrupt_payload = false);
+
+/**
+ * Receive one validated frame. @p timeout_ms < 0 waits forever. On
+ * Corrupt the stream position is unrecoverable; close the connection.
+ */
+RecvStatus recvFrame(int fd, MsgType &type, std::string &payload,
+                     int timeout_ms = -1);
+
+/**
+ * Connect to @p address ("unix:..." or "tcp:host:port").
+ * @return connected fd, or -1 with @p err describing the failure.
+ */
+int connectTo(const std::string &address, std::string *err);
+
+/**
+ * Bind + listen on @p address. Port 0 in a tcp address resolves to a
+ * free port; @p resolved (may be null) receives the final address.
+ * @return listening fd, or -1 with @p err describing the failure.
+ */
+int listenOn(const std::string &address, std::string *resolved,
+             std::string *err);
+
+} // namespace serve
+} // namespace ladm
+
+#endif // LADM_SERVE_WIRE_HH

@@ -5,11 +5,15 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "common/sim_error.hh"
 #include "common/bitutils.hh"
+#include "common/thread_pool.hh"
 #include "core/metrics.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -232,6 +236,118 @@ TEST(Metrics, CsvRowMatchesHeaderArity)
     EXPECT_EQ(commas(header), commas(row));
     EXPECT_NE(row.find("w,p,s,sched"), std::string::npos);
     EXPECT_NE(row.find("123"), std::string::npos);
+}
+
+TEST(ErrCode, StableValuesAndMnemonics)
+{
+    // Wire/journal contract: these values may never change.
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::Ok), 0u);
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::BadConfig), 100u);
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::ParseError), 102u);
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::IoError), 200u);
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::CorruptFrame), 201u);
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::Busy), 301u);
+    EXPECT_EQ(static_cast<uint32_t>(ErrCode::DeadlineExceeded), 302u);
+    EXPECT_STREQ(toString(ErrCode::Busy), "BUSY");
+    EXPECT_STREQ(toString(ErrCode::ParseError), "PARSE_ERROR");
+    EXPECT_STREQ(toString(ErrCode::DeadlineExceeded),
+                 "DEADLINE_EXCEEDED");
+}
+
+TEST(ErrCode, WireDecodeWhitelistsKnownValues)
+{
+    EXPECT_EQ(errCodeFromWire(301), ErrCode::Busy);
+    EXPECT_EQ(errCodeFromWire(0), ErrCode::Ok);
+    // A newer peer's unknown code degrades to RemoteError, never an
+    // out-of-enum value.
+    EXPECT_EQ(errCodeFromWire(9999), ErrCode::RemoteError);
+}
+
+TEST(ErrCode, SimErrorDerivesCodeFromKindOrDiagnostic)
+{
+    const SimError from_kind(SimError::Kind::Io, "disk gone");
+    EXPECT_EQ(from_kind.code(), ErrCode::IoError);
+    const SimError from_diag(
+        SimError::Kind::Io, "bad frame",
+        {{"f", "v", "c", "h", ErrCode::CorruptFrame}});
+    EXPECT_EQ(from_diag.code(), ErrCode::CorruptFrame);
+    // The rendered diagnostic carries the stable mnemonic.
+    EXPECT_NE(std::string(from_diag.what()).find("CORRUPT_FRAME"),
+              std::string::npos);
+}
+
+TEST(ThreadPool, BoundedTrySubmitShedsWhenFull)
+{
+    ThreadPool pool(1, 2);
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    // Occupy the single worker...
+    ASSERT_TRUE(pool.trySubmit([&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+    }));
+    while (pool.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // ...then fill the queue to capacity.
+    ASSERT_TRUE(pool.trySubmit([&] { ++ran; }));
+    ASSERT_TRUE(pool.trySubmit([&] { ++ran; }));
+    // Queue full: the admission-control signal.
+    EXPECT_FALSE(pool.trySubmit([&] { ++ran; }));
+    EXPECT_EQ(pool.queueDepth(), 2u);
+    release = true;
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, BoundedSubmitBlocksUntilSpace)
+{
+    ThreadPool pool(1, 1);
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.submit([&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+    }));
+    while (pool.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(pool.submit([&] { ++ran; })); // fills the queue
+    // This submit must block until the first task drains, then land.
+    std::thread blocked([&] {
+        EXPECT_TRUE(pool.submit([&] { ++ran; }));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(ran.load(), 0); // still parked
+    release = true;
+    blocked.join();
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, DrainRunsAdmittedWorkAndRefusesNew)
+{
+    ThreadPool pool(2, 8);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(pool.submit([&] { ++ran; }));
+    pool.drain();
+    EXPECT_EQ(ran.load(), 6);
+    EXPECT_TRUE(pool.draining());
+    // Post-drain the pool refuses everything, both politely and not.
+    EXPECT_FALSE(pool.submit([&] { ++ran; }));
+    EXPECT_FALSE(pool.trySubmit([&] { ++ran; }));
+    EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(ThreadPool, UnboundedStaysUnbounded)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(pool.trySubmit([&] { ++ran; }));
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "compiler/locality_table.hh"
 #include "compiler/parser.hh"
 
@@ -16,6 +17,25 @@ namespace
 {
 
 using namespace dsl;
+
+/**
+ * Assert @p fn throws the recoverable parse error: SimError(Usage) with
+ * the stable ParseError code and @p needle somewhere in the message.
+ */
+template <typename Fn>
+void
+expectParseError(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected SimError, got success";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Usage);
+        EXPECT_EQ(e.code(), ErrCode::ParseError);
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+}
 
 TEST(Parser, Literals)
 {
@@ -47,12 +67,15 @@ TEST(Parser, WhitespaceAndComments)
               bx * bdx + tx);
 }
 
-TEST(ParserDeathTest, RejectsGarbage)
+TEST(ParserErrors, RejectsGarbage)
 {
-    EXPECT_DEATH((void)parseIndexExpr("bx + "), "parse error");
-    EXPECT_DEATH((void)parseIndexExpr("foo"), "unknown identifier");
-    EXPECT_DEATH((void)parseIndexExpr("bx @ tx"), "unexpected character");
-    EXPECT_DEATH((void)parseIndexExpr("bx tx"), "trailing input");
+    expectParseError([] { (void)parseIndexExpr("bx + "); }, "parse error");
+    expectParseError([] { (void)parseIndexExpr("foo"); },
+                     "unknown identifier");
+    expectParseError([] { (void)parseIndexExpr("bx @ tx"); },
+                     "unexpected character");
+    expectParseError([] { (void)parseIndexExpr("bx tx"); },
+                     "trailing input");
 }
 
 const char *kSgemm = R"(
@@ -137,29 +160,39 @@ TEST(Parser, TypesSetElementSizes)
     EXPECT_EQ(k.accesses[1].elemSize, 4u); // default f32
 }
 
-TEST(ParserDeathTest, KernelErrors)
+TEST(ParserErrors, KernelErrors)
 {
-    EXPECT_DEATH((void)parseKernel("kernel k(A, A) {}"),
-                 "duplicate parameter");
-    EXPECT_DEATH((void)parseKernel("kernel k(A) { read X[tx]; }"),
-                 "not a kernel parameter");
-    EXPECT_DEATH((void)parseKernel(
-                     "kernel k(A) { loop m { loop j { read A[tx]; } } }"),
-                 "nested loops");
-    EXPECT_DEATH(
-        (void)parseKernel(
-            "kernel k(A) { loop m { read A[m]; } loop j { read A[j]; } }"),
+    expectParseError([] { (void)parseKernel("kernel k(A, A) {}"); },
+                     "duplicate parameter");
+    expectParseError(
+        [] { (void)parseKernel("kernel k(A) { read X[tx]; }"); },
+        "not a kernel parameter");
+    expectParseError(
+        [] {
+            (void)parseKernel(
+                "kernel k(A) { loop m { loop j { read A[tx]; } } }");
+        },
+        "nested loops");
+    expectParseError(
+        [] {
+            (void)parseKernel("kernel k(A) { loop m { read A[m]; } "
+                              "loop j { read A[j]; } }");
+        },
         "one outer loop");
-    EXPECT_DEATH((void)parseKernel("kernel k(A) { read A[tx] : f16; }"),
-                 "unknown type");
+    expectParseError(
+        [] { (void)parseKernel("kernel k(A) { read A[tx] : f16; }"); },
+        "unknown type");
 }
 
 TEST(Parser, LoopCounterScopesToTheLoop)
 {
     // Outside the loop, `m` is not a known identifier.
-    EXPECT_DEATH((void)parseKernel(
-                     "kernel k(A) { loop i { read A[i]; } write A[i]; }"),
-                 "unknown identifier");
+    expectParseError(
+        [] {
+            (void)parseKernel(
+                "kernel k(A) { loop i { read A[i]; } write A[i]; }");
+        },
+        "unknown identifier");
     // Inside, any name works as the induction variable.
     const KernelDesc k = parseKernel(
         "kernel k(A) { loop step { read A[tx * 16 + step]; } }");

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ladm-served: the placement-advisor daemon. Binds a Unix or TCP
+ * socket, replays the decision journal into the cache, and answers
+ * Place frames until SIGTERM/SIGINT, then drains gracefully and exits
+ * with snapshot::kExitCheckpointed (75) -- the same "stopped on
+ * purpose, state is durable, restart me" contract the checkpointed
+ * simulator binaries use, so one wrapper script supervises both.
+ *
+ * Usage:
+ *   ladm-served [--listen unix:/path|tcp:host:port]
+ *               [--topology multi-gpu-4x4|monolithic-256|dgx-4]
+ *               [--workers N] [--queue N] [--deadline-us N]
+ *               [--budget-us N] [--retry-after-ms N] [--max-conns N]
+ *               [--journal path] [--serve-faults spec]
+ *
+ * The resolved address is printed as "listening <address>" on stdout
+ * (meaningful for tcp port 0) before the daemon blocks.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hh"
+#include "snapshot/snapshot.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr
+        << "usage: ladm-served [--listen ADDR] [--topology NAME]\n"
+           "                   [--workers N] [--queue N]\n"
+           "                   [--deadline-us N] [--budget-us N]\n"
+           "                   [--retry-after-ms N] [--max-conns N]\n"
+           "                   [--journal PATH] [--serve-faults SPEC]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ladm;
+
+    serve::ServerOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "ladm-served: " << a
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--listen")
+            opts.listen = val();
+        else if (a == "--topology")
+            opts.topology = val();
+        else if (a == "--workers")
+            opts.workers = std::atoi(val().c_str());
+        else if (a == "--queue")
+            opts.queueCapacity =
+                static_cast<size_t>(std::atol(val().c_str()));
+        else if (a == "--deadline-us")
+            opts.defaultDeadlineUs =
+                static_cast<uint32_t>(std::atol(val().c_str()));
+        else if (a == "--budget-us")
+            opts.classifierBudgetUs =
+                static_cast<uint32_t>(std::atol(val().c_str()));
+        else if (a == "--retry-after-ms")
+            opts.retryAfterMs =
+                static_cast<uint32_t>(std::atol(val().c_str()));
+        else if (a == "--max-conns")
+            opts.maxConnections = std::atoi(val().c_str());
+        else if (a == "--journal")
+            opts.journalPath = val();
+        else if (a == "--serve-faults")
+            opts.faultSpec = val();
+        else if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "ladm-served: unknown flag " << a << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    return snapshot::runMain([&] {
+        snapshot::installSignalHandlers();
+        serve::Server server(opts);
+        server.start();
+        std::cout << "listening " << server.address() << std::endl;
+        server.serveUntilStopped();
+        // A requested stop is the graceful-drain contract: committed
+        // state is on disk, exit "resumable" like the checkpointed
+        // simulators do.
+        return snapshot::stopRequested() ? snapshot::kExitCheckpointed
+                                         : 0;
+    });
+}
